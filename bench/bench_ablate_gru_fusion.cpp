@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: DIEN operator granularity — the framework-faithful
+ * per-timestep unrolling (what Caffe2's RecurrentNetwork executes and
+ * the paper characterizes) versus a hypothetical fused GRU operator.
+ * Quantifies how much of DIEN's frontend pressure and GPU launch tax
+ * is an artifact of operator granularity rather than the algorithm.
+ */
+
+#include "bench_util.h"
+
+using namespace recstack;
+using namespace recstack::bench;
+
+int
+main()
+{
+    banner("Ablation", "DIEN GRU fusion (unrolled vs fused operator)");
+
+    ModelOptions unrolled;
+    ModelOptions fused;
+    fused.dienFusedGru = true;
+
+    SweepCache sw_unrolled(allPlatforms(), unrolled);
+    SweepCache sw_fused(allPlatforms(), fused);
+
+    TextTable table({"variant", "ops", "BDW latency b16", "BDW i-MPKI",
+                     "BDW frontend", "1080Ti latency b16",
+                     "1080Ti latency b4096"});
+    auto row = [&](const char* label, SweepCache& sweep) {
+        const RunResult& cpu = sweep.get(ModelId::kDIEN, kBdw, 16);
+        const RunResult& gpu16 = sweep.get(ModelId::kDIEN, kGtx, 16);
+        const RunResult& gpu4k = sweep.get(ModelId::kDIEN, kGtx, 4096);
+        table.addRow(
+            {label,
+             std::to_string(sweep.characterizer()
+                                .model(ModelId::kDIEN)
+                                .net.opCount()),
+             TextTable::fmtSeconds(cpu.seconds),
+             TextTable::fmt(cpu.topdown.imspki, 2),
+             TextTable::fmtPercent(cpu.topdown.l1.frontendBound),
+             TextTable::fmtSeconds(gpu16.seconds),
+             TextTable::fmtSeconds(gpu4k.seconds)});
+    };
+    row("unrolled (Caffe2-style)", sw_unrolled);
+    row("fused GRULayer", sw_fused);
+    std::printf("%s", table.render().c_str());
+
+    checkHeader();
+    const double icache_unrolled =
+        sw_unrolled.get(ModelId::kDIEN, kBdw, 16).topdown.imspki;
+    const double icache_fused =
+        sw_fused.get(ModelId::kDIEN, kBdw, 16).topdown.imspki;
+    check(icache_unrolled > 2.0 * icache_fused,
+          "DIEN's elevated i-cache pressure is largely an operator-"
+          "granularity artifact (fusion collapses it)");
+    check(sw_fused.get(ModelId::kDIEN, kGtx, 16).seconds <
+              sw_unrolled.get(ModelId::kDIEN, kGtx, 16).seconds,
+          "fusion removes the per-step launch tax on GPUs at small "
+          "batch");
+    check(sw_fused.get(ModelId::kDIEN, kBdw, 16).seconds <
+              sw_unrolled.get(ModelId::kDIEN, kBdw, 16).seconds,
+          "fusion also removes per-step dispatch overhead on CPUs");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 4: GPU data-communication overheads as a percentage of total
+ * execution time, per model and batch size.
+ */
+
+#include "bench_util.h"
+
+using namespace recstack;
+using namespace recstack::bench;
+
+int
+main()
+{
+    banner("Fig. 4", "GPU data communication overhead (% of total time)");
+
+    SweepCache sweep(allPlatforms());
+    const auto batches = paperBatchSizes();
+
+    for (size_t gpu : {kGtx, kT4}) {
+        std::printf("\n--- %s ---\n", shortPlatformName(gpu));
+        std::vector<std::string> headers = {"model"};
+        for (int64_t b : batches) {
+            headers.push_back("b=" + std::to_string(b));
+        }
+        TextTable table(headers);
+        for (ModelId id : allModels()) {
+            std::vector<std::string> row = {modelName(id)};
+            for (int64_t b : batches) {
+                row.push_back(TextTable::fmtPercent(
+                    sweep.get(id, gpu, b).gpu.dataCommFraction()));
+            }
+            table.addRow(row);
+        }
+        std::printf("%s", table.render().c_str());
+    }
+
+    checkHeader();
+    // Fraction grows with batch size once past the launch-latency
+    // regime; the lookup-heavy models show it most clearly.
+    bool grows = true;
+    for (ModelId id : {ModelId::kRM1, ModelId::kRM2, ModelId::kDIN,
+                       ModelId::kDIEN}) {
+        grows &= sweep.get(id, kGtx, 16384).gpu.dataCommFraction() >
+                 sweep.get(id, kGtx, 64).gpu.dataCommFraction();
+    }
+    check(grows, "data-communication share grows with batch size for "
+                 "the embedding/attention models (compute accelerates, "
+                 "transfer does not)");
+
+    // Embedding-lookup models suffer most at large batch.
+    const double rm2 =
+        sweep.get(ModelId::kRM2, kGtx, 16384).gpu.dataCommFraction();
+    const double rm3 =
+        sweep.get(ModelId::kRM3, kGtx, 16384).gpu.dataCommFraction();
+    check(rm2 > rm3, "models relying on embedding lookups (RM2) spend "
+                     "a larger share on data movement than FC models "
+                     "(RM3)");
+    check(rm2 > 0.3, "at large batch, data communication is a major "
+                     "(>30%) share for lookup-heavy models");
+    return 0;
+}

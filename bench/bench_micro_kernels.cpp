@@ -1,0 +1,146 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the numeric kernels and the
+ * simulator primitives themselves (host performance of recstack, not
+ * figure regeneration).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/executor.h"
+#include "models/model.h"
+#include "ops/elementwise.h"
+#include "ops/embedding.h"
+#include "ops/fc.h"
+#include "uarch/branch_predictor.h"
+#include "uarch/cache_hierarchy.h"
+#include "uarch/cpu_model.h"
+
+namespace recstack {
+namespace {
+
+void
+BM_FCKernel(benchmark::State& state)
+{
+    const int64_t m = state.range(0);
+    const int64_t nk = state.range(1);
+    Workspace ws;
+    ws.set("x", Tensor({m, nk}));
+    ws.set("w", Tensor({nk, nk}));
+    ws.set("b", Tensor({nk}));
+    FCOp fc("fc", "x", "w", "b", "y");
+    fc.inferShapes(ws);
+    for (auto _ : state) {
+        fc.run(ws);
+        benchmark::DoNotOptimize(ws.get("y").data<float>());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * nk * nk);
+}
+BENCHMARK(BM_FCKernel)->Args({16, 64})->Args({16, 256})->Args({64, 256});
+
+void
+BM_SparseLengthsSum(benchmark::State& state)
+{
+    const int64_t lookups = state.range(0);
+    const int64_t rows = 100000;
+    const int64_t dim = 64;
+    Workspace ws;
+    ws.set("table", Tensor({rows, dim}));
+    Rng rng(1);
+    std::vector<int64_t> idx(static_cast<size_t>(lookups));
+    for (auto& i : idx) {
+        i = static_cast<int64_t>(rng.nextBounded(rows));
+    }
+    ws.set("idx", Tensor::fromInt64s({lookups}, idx));
+    ws.set("len", Tensor::fromInt32s({1}, {static_cast<int32_t>(
+                                              lookups)}));
+    SparseLengthsSumOp sls("sls", "table", "idx", "len", "y");
+    sls.inferShapes(ws);
+    for (auto _ : state) {
+        sls.run(ws);
+        benchmark::DoNotOptimize(ws.get("y").data<float>());
+    }
+    state.SetItemsProcessed(state.iterations() * lookups);
+}
+BENCHMARK(BM_SparseLengthsSum)->Arg(80)->Arg(1280)->Arg(10240);
+
+void
+BM_CacheHierarchyAccess(benchmark::State& state)
+{
+    CacheHierarchy h(broadwellConfig());
+    Rng rng(2);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = rng.nextBounded(1ull << 26);
+        benchmark::DoNotOptimize(h.access(addr, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void
+BM_BranchPredictor(benchmark::State& state)
+{
+    GsharePredictor bp(14, 12);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bp.predictAndUpdate(0x400, rng.nextBool(0.9)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+void
+BM_SimulateGemmKernel(benchmark::State& state)
+{
+    CpuModel cpu(broadwellConfig());
+    Workspace ws;
+    ws.set("x", Tensor({64, 256}));
+    ws.set("w", Tensor({256, 256}));
+    ws.set("b", Tensor({256}));
+    FCOp fc("fc", "x", "w", "b", "y");
+    fc.inferShapes(ws);
+    const KernelProfile kp = fc.profile(ws);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cpu.simulateKernel(kp));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateGemmKernel);
+
+void
+BM_ProfileOnlyNetExecution(benchmark::State& state)
+{
+    Model model = buildModel(ModelId::kRM1, tinyOptions());
+    Workspace ws;
+    ws.setShapeOnly(true);
+    model.declareParams(ws);
+    BatchGenerator gen(model.workload);
+    gen.declare(ws, 64);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            Executor::run(model.net, ws, ExecMode::kProfileOnly));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(model.net.opCount()));
+}
+BENCHMARK(BM_ProfileOnlyNetExecution);
+
+void
+BM_ZipfSampler(benchmark::State& state)
+{
+    Rng rng(4);
+    ZipfSampler zipf(1000000, 0.9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSampler);
+
+}  // namespace
+}  // namespace recstack
+
+BENCHMARK_MAIN();

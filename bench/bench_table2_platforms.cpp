@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table II: the four hardware platforms and the parameters their
+ * recstack models are configured with.
+ */
+
+#include "bench_util.h"
+
+using namespace recstack;
+using namespace recstack::bench;
+
+int
+main()
+{
+    banner("Table II", "Summary of hardware platforms studied");
+
+    const CpuConfig bdw = broadwellConfig();
+    const CpuConfig clx = cascadeLakeConfig();
+    TextTable cpus({"parameter", "Broadwell", "Cascade Lake"});
+    auto row = [&](const char* name, const std::string& a,
+                   const std::string& b) {
+        cpus.addRow({name, a, b});
+    };
+    row("frequency", TextTable::fmt(bdw.freqGHz, 1) + " GHz",
+        TextTable::fmt(clx.freqGHz, 1) + " GHz");
+    row("SIMD", "AVX-2 (256b)", "AVX-512 VNNI (512b)");
+    row("L1", "32 KB", "32 KB");
+    row("L2", "256 KB", "1 MB");
+    row("L3", "40 MB (inclusive)", "22 MB (exclusive)");
+    row("DRAM BW", TextTable::fmt(bdw.dramGBs, 0) + " GB/s",
+        TextTable::fmt(clx.dramGBs, 0) + " GB/s");
+    row("DSB delivery", TextTable::fmt(bdw.dsbUopsPerCycle, 1) + " uops/cyc",
+        TextTable::fmt(clx.dsbUopsPerCycle, 1) + " uops/cyc");
+    row("mispredict penalty", std::to_string(bdw.mispredictPenalty) + " cyc",
+        std::to_string(clx.mispredictPenalty) + " cyc");
+    std::printf("%s\n", cpus.render().c_str());
+
+    const GpuConfig gtx = gtx1080TiConfig();
+    const GpuConfig t4 = t4Config();
+    TextTable gpus({"parameter", "GTX 1080 Ti", "T4"});
+    auto grow = [&](const char* name, const std::string& a,
+                    const std::string& b) {
+        gpus.addRow({name, a, b});
+    };
+    grow("SM count", std::to_string(gtx.smCount),
+         std::to_string(t4.smCount));
+    grow("frequency", TextTable::fmt(gtx.freqGHz, 2) + " GHz",
+         TextTable::fmt(t4.freqGHz, 2) + " GHz");
+    grow("mem BW", TextTable::fmt(gtx.memGBs, 0) + " GB/s (GDDR5X)",
+         TextTable::fmt(t4.memGBs, 0) + " GB/s (GDDR6)");
+    grow("sustained GEMM", TextTable::fmt(gtx.effTflops, 1) + " TF",
+         TextTable::fmt(t4.effTflops, 1) + " TF");
+    grow("gather efficiency", TextTable::fmt(gtx.gatherEfficiency, 2),
+         TextTable::fmt(t4.gatherEfficiency, 2));
+    grow("kernel launch", TextTable::fmtSeconds(gtx.kernelLaunchSec),
+         TextTable::fmtSeconds(t4.kernelLaunchSec));
+    std::printf("%s", gpus.render().c_str());
+
+    checkHeader();
+    check(clx.l2.sizeBytes > bdw.l2.sizeBytes &&
+              clx.l3.sizeBytes < bdw.l3.sizeBytes,
+          "Cascade Lake: larger L2, smaller exclusive L3");
+    check(clx.simdBits == 2 * bdw.simdBits,
+          "Cascade Lake doubles SIMD width (AVX-2 -> AVX-512)");
+    check(t4.smCount > gtx.smCount && t4.memGBs < gtx.memGBs,
+          "T4: more SMs, lower raw GDDR bandwidth than 1080 Ti");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Platform explorer: sweep one model (or all) across the four Table
+ * II platforms and the paper's batch-size axis, printing latency,
+ * speedup, dominant operator and — for CPUs — the TopDown headline.
+ *
+ * Usage: platform_explorer [MODEL|all] [--csv]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+#include "report/table.h"
+
+using namespace recstack;
+
+namespace {
+
+void
+exploreModel(SweepCache& sweep, ModelId id, bool csv)
+{
+    const auto batches = paperBatchSizes();
+    if (csv) {
+        for (size_t p = 0; p < sweep.platforms().size(); ++p) {
+            for (int64_t b : batches) {
+                const RunResult& r = sweep.get(id, p, b);
+                std::printf("%s,%s,%lld,%.8f,%s\n", modelName(id),
+                            sweep.platforms()[p].name().c_str(),
+                            static_cast<long long>(b), r.seconds,
+                            r.breakdown.dominantType().c_str());
+            }
+        }
+        return;
+    }
+
+    std::printf("\n=== %s — %s ===\n", modelName(id), modelDomain(id));
+    TextTable table({"batch", "platform", "latency", "speedup vs BDW",
+                     "dominant op", "TopDown headline"});
+    for (int64_t b : batches) {
+        for (size_t p = 0; p < sweep.platforms().size(); ++p) {
+            const RunResult& r = sweep.get(id, p, b);
+            std::string headline = "-";
+            if (r.kind == PlatformKind::kCpu) {
+                const TopDownL1& l1 = r.topdown.l1;
+                if (l1.retiring >= l1.backendBound &&
+                    l1.retiring >= l1.frontendBound) {
+                    headline = "retiring " +
+                               TextTable::fmtPercent(l1.retiring);
+                } else if (l1.backendBound > l1.frontendBound) {
+                    headline = "backend " +
+                               TextTable::fmtPercent(l1.backendBound);
+                } else {
+                    headline = "frontend " +
+                               TextTable::fmtPercent(l1.frontendBound);
+                }
+            } else {
+                headline = "data-comm " +
+                           TextTable::fmtPercent(
+                               r.gpu.dataCommFraction());
+            }
+            table.addRow({p == 0 ? std::to_string(b) : "",
+                          sweep.platforms()[p].name(),
+                          TextTable::fmtSeconds(r.seconds),
+                          TextTable::fmtSpeedup(
+                              sweep.speedupOverBaseline(id, p, b)),
+                          r.breakdown.dominantType(), headline});
+        }
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string which = argc > 1 ? argv[1] : "RM1";
+    bool csv = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) {
+            csv = true;
+        }
+    }
+    if (which == "--csv") {
+        which = "RM1";
+    }
+
+    SweepCache sweep(allPlatforms());
+    if (csv) {
+        std::printf("model,platform,batch,seconds,dominant_op\n");
+    }
+    if (which == "all") {
+        for (ModelId id : allModels()) {
+            exploreModel(sweep, id, csv);
+        }
+    } else {
+        exploreModel(sweep, modelFromName(which), csv);
+    }
+    return 0;
+}

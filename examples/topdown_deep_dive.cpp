@@ -1,0 +1,101 @@
+/**
+ * @file
+ * TopDown deep dive: per-operator-type cycle accounting for one model
+ * on one CPU platform — the drill-down view behind Figs. 8, 10, 13.
+ *
+ * Usage: topdown_deep_dive [MODEL] [BATCH] [bdw|clx]
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/characterizer.h"
+#include "graph/executor.h"
+#include "report/table.h"
+
+using namespace recstack;
+
+int
+main(int argc, char** argv)
+{
+    const std::string model_name = argc > 1 ? argv[1] : "RM1";
+    const int64_t batch = argc > 2 ? std::atoll(argv[2]) : 16;
+    const bool clx = argc > 3 && std::string(argv[3]) == "clx";
+    const CpuConfig cfg = clx ? cascadeLakeConfig() : broadwellConfig();
+
+    const ModelId id = modelFromName(model_name);
+    Model model = buildModel(id);
+    Workspace ws;
+    ws.setShapeOnly(true);
+    model.declareParams(ws);
+    BatchGenerator gen(model.workload);
+    gen.declare(ws, batch);
+    const NetExecResult exec =
+        Executor::run(model.net, ws, ExecMode::kProfileOnly);
+
+    CpuModel cpu(cfg);
+    std::vector<const KernelProfile*> profiles;
+    const KernelProfile data_load = gen.dataLoadProfile(batch);
+    profiles.push_back(&data_load);
+    for (const auto& rec : exec.records) {
+        profiles.push_back(&rec.profile);
+    }
+    for (const KernelProfile* kp : profiles) {
+        (void)cpu.simulateKernel(*kp);  // warm-up
+    }
+
+    std::map<std::string, CpuCounters> by_type;
+    CpuCounters total;
+    for (const KernelProfile* kp : profiles) {
+        const CpuCounters c = cpu.simulateKernel(*kp);
+        by_type[kp->opType].accumulate(c);
+        total.accumulate(c);
+    }
+
+    std::printf("%s, batch %lld, %s — cycle accounting by operator "
+                "type\n\n",
+                model.name.c_str(), static_cast<long long>(batch),
+                cfg.name.c_str());
+    TextTable table({"op type", "cycles(K)", "retire%", "feLat%",
+                     "feDSB%", "feMITE%", "badspec%", "beCore%", "beL2%",
+                     "beL3%", "beDram%", "uops(K)", "misp(K)",
+                     "i$miss(K)", "FU>=3"});
+    auto add_row = [&](const std::string& name, const CpuCounters& c) {
+        const double inv = c.cycles > 0 ? 100.0 / c.cycles : 0.0;
+        table.addRow(
+            {name, TextTable::fmt(c.cycles / 1e3, 0),
+             TextTable::fmt(c.retireCycles * inv, 1),
+             TextTable::fmt(c.feLatencyCycles * inv, 1),
+             TextTable::fmt(c.feBandwidthDsbCycles * inv, 1),
+             TextTable::fmt(c.feBandwidthMiteCycles * inv, 1),
+             TextTable::fmt(c.badSpecCycles * inv, 1),
+             TextTable::fmt(c.beCoreCycles * inv, 1),
+             TextTable::fmt(c.beMemL2Cycles * inv, 1),
+             TextTable::fmt(c.beMemL3Cycles * inv, 1),
+             TextTable::fmt((c.beMemDramLatCycles + c.beMemDramBwCycles) *
+                            inv, 1),
+             TextTable::fmt(static_cast<double>(c.uopsRetired) / 1e3, 0),
+             TextTable::fmt(static_cast<double>(c.branchMispredicts) /
+                            1e3, 2),
+             TextTable::fmt(static_cast<double>(c.icacheMisses) / 1e3,
+                            2),
+             TextTable::fmtPercent(c.portsBusyAtLeast[3])});
+    };
+    for (const auto& [type, counters] : by_type) {
+        add_row(type, counters);
+    }
+    add_row("TOTAL", total);
+    std::printf("%s", table.render().c_str());
+
+    const TopDownResult td = deriveTopDown(total, cfg);
+    std::printf("\nTopDown L1: retiring %.1f%%  badspec %.1f%%  "
+                "frontend %.1f%%  backend %.1f%% (core %.1f%% / mem "
+                "%.1f%%)\nIPC %.2f  AVX %.1f%%  i-MPKI %.2f  "
+                "misp/kuop %.2f\n",
+                100 * td.l1.retiring, 100 * td.l1.badSpeculation,
+                100 * td.l1.frontendBound, 100 * td.l1.backendBound,
+                100 * td.l2.beCore, 100 * td.l2.beMemory, td.ipc,
+                100 * td.avxFraction, td.imspki, td.mispredictsPerKuop);
+    return 0;
+}

@@ -1,0 +1,143 @@
+#include "analysis/linreg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace recstack {
+
+double
+LinearFit::predict(const std::vector<double>& x) const
+{
+    RECSTACK_CHECK(x.size() == weights.size(),
+                   "feature count mismatch in predict");
+    double y = intercept;
+    for (size_t j = 0; j < weights.size(); ++j) {
+        const double sd = featureStd[j];
+        const double z = sd > 0.0 ? (x[j] - featureMean[j]) / sd : 0.0;
+        y += weights[j] * z;
+    }
+    return y;
+}
+
+bool
+solveLinearSystem(std::vector<std::vector<double>>& a,
+                  std::vector<double>& b)
+{
+    const size_t n = a.size();
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        size_t pivot = col;
+        for (size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) {
+                pivot = row;
+            }
+        }
+        if (std::fabs(a[pivot][col]) < 1e-12) {
+            return false;
+        }
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+
+        const double diag = a[col][col];
+        for (size_t row = 0; row < n; ++row) {
+            if (row == col) {
+                continue;
+            }
+            const double factor = a[row][col] / diag;
+            if (factor == 0.0) {
+                continue;
+            }
+            for (size_t k = col; k < n; ++k) {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for (size_t i = 0; i < n; ++i) {
+        b[i] /= a[i][i];
+    }
+    return true;
+}
+
+LinearFit
+fitLinear(const std::vector<std::vector<double>>& x,
+          const std::vector<double>& y)
+{
+    RECSTACK_CHECK(!x.empty() && x.size() == y.size(),
+                   "regression needs matching, non-empty X and y");
+    const size_t n = x.size();
+    const size_t d = x[0].size();
+
+    LinearFit fit;
+    fit.featureMean.assign(d, 0.0);
+    fit.featureStd.assign(d, 0.0);
+
+    // z-score features.
+    for (size_t j = 0; j < d; ++j) {
+        double mean = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            mean += x[i][j];
+        }
+        mean /= static_cast<double>(n);
+        double var = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double dxi = x[i][j] - mean;
+            var += dxi * dxi;
+        }
+        var /= static_cast<double>(n);
+        fit.featureMean[j] = mean;
+        fit.featureStd[j] = std::sqrt(var);
+    }
+
+    auto zval = [&fit](const std::vector<double>& row, size_t j) {
+        const double sd = fit.featureStd[j];
+        return sd > 0.0 ? (row[j] - fit.featureMean[j]) / sd : 0.0;
+    };
+
+    // Normal equations over [z-features, 1].
+    const size_t m = d + 1;
+    std::vector<std::vector<double>> ata(m, std::vector<double>(m, 0.0));
+    std::vector<double> atb(m, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> row(m, 1.0);
+        for (size_t j = 0; j < d; ++j) {
+            row[j] = zval(x[i], j);
+        }
+        for (size_t a = 0; a < m; ++a) {
+            for (size_t b = 0; b < m; ++b) {
+                ata[a][b] += row[a] * row[b];
+            }
+            atb[a] += row[a] * y[i];
+        }
+    }
+    // Ridge epsilon keeps collinear feature sets solvable.
+    for (size_t a = 0; a < m; ++a) {
+        ata[a][a] += 1e-9;
+    }
+    const bool ok = solveLinearSystem(ata, atb);
+    RECSTACK_CHECK(ok, "normal equations singular");
+
+    fit.weights.assign(atb.begin(), atb.begin() +
+                       static_cast<long>(d));
+    fit.intercept = atb[d];
+
+    // R^2.
+    double ymean = 0.0;
+    for (double v : y) {
+        ymean += v;
+    }
+    ymean /= static_cast<double>(n);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double pred = fit.predict(x[i]);
+        ss_res += (y[i] - pred) * (y[i] - pred);
+        ss_tot += (y[i] - ymean) * (y[i] - ymean);
+    }
+    fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+}  // namespace recstack

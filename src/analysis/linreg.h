@@ -1,0 +1,46 @@
+#ifndef RECSTACK_ANALYSIS_LINREG_H_
+#define RECSTACK_ANALYSIS_LINREG_H_
+
+/**
+ * @file
+ * Ordinary-least-squares linear regression with z-scored features,
+ * the modeling tool of the paper's Section VI-C (Fig. 16): input
+ * features are normalized so weight magnitudes are directly
+ * comparable as "degree of impact".
+ */
+
+#include <string>
+#include <vector>
+
+namespace recstack {
+
+/** A fitted linear model over normalized features. */
+struct LinearFit {
+    std::vector<double> weights;      ///< per normalized feature
+    double intercept = 0.0;
+    double r2 = 0.0;
+    std::vector<double> featureMean;
+    std::vector<double> featureStd;
+
+    /** Predict on a raw (unnormalized) feature vector. */
+    double predict(const std::vector<double>& x) const;
+};
+
+/**
+ * Fit y ~ X. Rows of X are observations. Features with zero variance
+ * get weight 0. Uses the normal equations with partial-pivot
+ * Gaussian elimination (feature counts here are tiny).
+ */
+LinearFit fitLinear(const std::vector<std::vector<double>>& x,
+                    const std::vector<double>& y);
+
+/**
+ * Solve the square system a * x = b in place (partial pivoting).
+ * Returns false if the matrix is singular to working precision.
+ */
+bool solveLinearSystem(std::vector<std::vector<double>>& a,
+                       std::vector<double>& b);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_ANALYSIS_LINREG_H_

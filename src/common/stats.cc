@@ -1,0 +1,95 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace recstack {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    double logsum = 0.0;
+    for (double v : values) {
+        RECSTACK_CHECK(v > 0.0, "geomean requires positive values, got " << v);
+        logsum += std::log(v);
+    }
+    return std::exp(logsum / static_cast<double>(values.size()));
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0.0)
+{
+    RECSTACK_CHECK(hi > lo && buckets > 0, "bad histogram geometry");
+}
+
+void
+Histogram::add(double x, double weight)
+{
+    auto idx = static_cast<long>((x - lo_) / width_);
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    counts_[static_cast<size_t>(idx)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::bucketLo(size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHi(size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double
+Histogram::fractionAtLeast(double x) const
+{
+    if (total_ <= 0.0) {
+        return 0.0;
+    }
+    auto idx = static_cast<long>((x - lo_) / width_);
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()));
+    double mass = 0.0;
+    for (size_t i = static_cast<size_t>(idx); i < counts_.size(); ++i) {
+        mass += counts_[i];
+    }
+    return mass / total_;
+}
+
+}  // namespace recstack

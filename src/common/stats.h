@@ -1,0 +1,72 @@
+#ifndef RECSTACK_COMMON_STATS_H_
+#define RECSTACK_COMMON_STATS_H_
+
+/**
+ * @file
+ * Small numeric helpers shared across the characterization pipeline:
+ * running summaries, geometric means, and fixed-bucket histograms.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace recstack {
+
+/** Online mean / variance / min / max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Geometric mean of a sequence of positive values. */
+double geomean(const std::vector<double>& values);
+
+/**
+ * Fixed-width histogram over [lo, hi); out-of-range samples clamp to
+ * the edge buckets. Used e.g. for functional-unit-usage distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t buckets);
+
+    void add(double x, double weight = 1.0);
+
+    size_t buckets() const { return counts_.size(); }
+    double bucketLo(size_t i) const;
+    double bucketHi(size_t i) const;
+    double count(size_t i) const { return counts_[i]; }
+    double total() const { return total_; }
+
+    /** Fraction of mass at or above the bucket containing x. */
+    double fractionAtLeast(double x) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<double> counts_;
+    double total_ = 0.0;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_COMMON_STATS_H_

@@ -1,0 +1,52 @@
+#include "core/breakdown.h"
+
+#include <algorithm>
+
+namespace recstack {
+
+void
+OperatorBreakdown::add(const std::string& op_type, double seconds)
+{
+    byType_[op_type] += seconds;
+    total_ += seconds;
+}
+
+double
+OperatorBreakdown::fraction(const std::string& op_type) const
+{
+    if (total_ <= 0.0) {
+        return 0.0;
+    }
+    auto it = byType_.find(op_type);
+    return it == byType_.end() ? 0.0 : it->second / total_;
+}
+
+std::string
+OperatorBreakdown::dominantType() const
+{
+    std::string best;
+    double best_seconds = -1.0;
+    for (const auto& [type, seconds] : byType_) {
+        if (seconds > best_seconds) {
+            best_seconds = seconds;
+            best = type;
+        }
+    }
+    return best;
+}
+
+std::vector<std::pair<std::string, double>>
+OperatorBreakdown::fractions() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(byType_.size());
+    for (const auto& [type, seconds] : byType_) {
+        out.emplace_back(type, total_ > 0.0 ? seconds / total_ : 0.0);
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        return a.second > b.second;
+    });
+    return out;
+}
+
+}  // namespace recstack

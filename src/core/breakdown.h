@@ -1,0 +1,43 @@
+#ifndef RECSTACK_CORE_BREAKDOWN_H_
+#define RECSTACK_CORE_BREAKDOWN_H_
+
+/**
+ * @file
+ * OperatorBreakdown: execution time aggregated by operator type, the
+ * unit of the paper's algorithms-and-software characterization
+ * (Figs. 6 and 7).
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace recstack {
+
+/** Seconds-by-operator-type aggregation. */
+class OperatorBreakdown
+{
+  public:
+    void add(const std::string& op_type, double seconds);
+
+    double total() const { return total_; }
+
+    /** Fraction of total time for one type (0 if absent). */
+    double fraction(const std::string& op_type) const;
+
+    /** The type consuming the most time ("" when empty). */
+    std::string dominantType() const;
+
+    /** {type, fraction} pairs sorted by descending share. */
+    std::vector<std::pair<std::string, double>> fractions() const;
+
+    const std::map<std::string, double>& byType() const { return byType_; }
+
+  private:
+    std::map<std::string, double> byType_;
+    double total_ = 0.0;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_CORE_BREAKDOWN_H_

@@ -1,0 +1,126 @@
+#include "core/characterizer.h"
+
+#include "graph/executor.h"
+
+namespace recstack {
+
+RunResult
+simulateProfiles(const std::vector<KernelProfile>& profiles,
+                 const Platform& platform, ModelId model, int64_t batch,
+                 uint64_t input_bytes, size_t input_blobs, uint64_t seed)
+{
+    RunResult result;
+    result.model = model;
+    result.platformName = platform.name();
+    result.kind = platform.kind;
+    result.batch = batch;
+
+    if (platform.kind == PlatformKind::kCpu) {
+        CpuModel cpu(platform.cpu, seed);
+        // Warm-up pass: populate caches, DSB regions, predictor.
+        for (const KernelProfile& kp : profiles) {
+            (void)cpu.simulateKernel(kp);
+        }
+        // Measured pass.
+        const double hz = platform.cpu.freqGHz * 1e9;
+        for (const KernelProfile& kp : profiles) {
+            const CpuCounters c = cpu.simulateKernel(kp);
+            result.breakdown.add(kp.opType, c.cycles / hz);
+            result.counters.accumulate(c);
+        }
+        result.seconds = result.counters.cycles / hz;
+        result.topdown = deriveTopDown(result.counters, platform.cpu);
+        return result;
+    }
+
+    GpuModel gpu(platform.gpu);
+    // The device does not run host-side data loading; inputs cross
+    // PCIe instead.
+    std::vector<KernelProfile> kernels;
+    kernels.reserve(profiles.size());
+    for (const KernelProfile& kp : profiles) {
+        if (kp.opType != "DataLoad") {
+            kernels.push_back(kp);
+        }
+    }
+    result.gpu = gpu.simulateNet(kernels, input_bytes, input_blobs);
+    for (const auto& t : result.gpu.opTimes) {
+        result.breakdown.add(t.opType, t.seconds);
+    }
+    result.breakdown.add("DataTransfer", result.gpu.transferSeconds);
+    result.seconds = result.gpu.totalSeconds;
+    return result;
+}
+
+Characterizer::ModelCtx::ModelCtx(Model m) : model(std::move(m))
+{
+    ws.setShapeOnly(true);
+    model.declareParams(ws);
+    gen = std::make_unique<BatchGenerator>(model.workload);
+}
+
+Characterizer::Characterizer(ModelOptions opts, uint64_t seed,
+                             FrameworkId framework)
+    : opts_(std::move(opts)), seed_(seed), framework_(framework)
+{
+}
+
+Characterizer::ModelCtx&
+Characterizer::ctx(ModelId id)
+{
+    auto it = ctxs_.find(id);
+    if (it == ctxs_.end()) {
+        it = ctxs_.emplace(
+            id, std::make_unique<ModelCtx>(
+                    buildModelInFramework(id, framework_, opts_)))
+                 .first;
+    }
+    return *it->second;
+}
+
+const Model&
+Characterizer::model(ModelId id)
+{
+    return ctx(id).model;
+}
+
+std::vector<KernelProfile>
+Characterizer::profiles(ModelId id, int64_t batch, uint64_t* input_bytes,
+                        size_t* input_blobs)
+{
+    ModelCtx& mc = ctx(id);
+    mc.gen->declare(mc.ws, batch);
+    const NetExecResult exec =
+        Executor::run(mc.model.net, mc.ws, ExecMode::kProfileOnly);
+
+    std::vector<KernelProfile> out;
+    out.reserve(exec.records.size() + 1);
+    out.push_back(mc.gen->dataLoadProfile(batch));
+    for (const auto& rec : exec.records) {
+        out.push_back(rec.profile);
+    }
+    if (input_bytes != nullptr) {
+        *input_bytes = mc.gen->inputBytes(batch);
+    }
+    if (input_blobs != nullptr) {
+        size_t blobs = mc.model.workload.continuous.size();
+        for (const auto& cat : mc.model.workload.categorical) {
+            blobs += cat.weightsBlob.empty() ? 2 : 3;
+        }
+        *input_blobs = blobs;
+    }
+    return out;
+}
+
+RunResult
+Characterizer::run(ModelId id, const Platform& platform, int64_t batch)
+{
+    uint64_t input_bytes = 0;
+    size_t input_blobs = 0;
+    const std::vector<KernelProfile> kernel_profiles =
+        profiles(id, batch, &input_bytes, &input_blobs);
+    return simulateProfiles(kernel_profiles, platform, id, batch,
+                            input_bytes, input_blobs, seed_);
+}
+
+}  // namespace recstack

@@ -1,0 +1,101 @@
+#ifndef RECSTACK_CORE_CHARACTERIZER_H_
+#define RECSTACK_CORE_CHARACTERIZER_H_
+
+/**
+ * @file
+ * Characterizer: the cross-stack measurement engine. Runs one of the
+ * eight models at a given batch size on a platform model and returns
+ * everything the paper's three characterization layers report:
+ * end-to-end latency (systems), operator breakdown (software), and
+ * counters/TopDown (microarchitecture).
+ */
+
+#include <map>
+#include <memory>
+
+#include "core/breakdown.h"
+#include "framework/frameworks.h"
+#include "gpu/gpu_model.h"
+#include "models/model.h"
+#include "platform/platform.h"
+#include "topdown/topdown.h"
+#include "uarch/cpu_model.h"
+#include "workload/batch_generator.h"
+
+namespace recstack {
+
+/** One (model, platform, batch) characterization. */
+struct RunResult {
+    ModelId model;
+    std::string platformName;
+    PlatformKind kind = PlatformKind::kCpu;
+    int64_t batch = 0;
+
+    /// End-to-end inference seconds (data loading included, as in the
+    /// paper's methodology).
+    double seconds = 0.0;
+    OperatorBreakdown breakdown;
+
+    // CPU-only payloads.
+    CpuCounters counters;
+    TopDownResult topdown;
+
+    // GPU-only payloads.
+    GpuRunResult gpu;
+};
+
+/**
+ * Simulate an explicit kernel-profile sequence on a platform —
+ * the platform half of a characterization run, also used to replay
+ * recorded traces. Profiles with opType "DataLoad" are host-side
+ * work: simulated on CPUs, replaced by the PCIe transfer on GPUs.
+ */
+RunResult simulateProfiles(const std::vector<KernelProfile>& profiles,
+                           const Platform& platform, ModelId model,
+                           int64_t batch, uint64_t input_bytes,
+                           size_t input_blobs, uint64_t seed = 42);
+
+/** Cross-stack measurement engine with per-model caching. */
+class Characterizer
+{
+  public:
+    explicit Characterizer(ModelOptions opts = {}, uint64_t seed = 42,
+                           FrameworkId framework = FrameworkId::kCaffe2);
+
+    /** Characterize one use case. */
+    RunResult run(ModelId id, const Platform& platform, int64_t batch);
+
+    /**
+     * The platform-independent kernel-profile sequence of one use
+     * case (data-loading first, then the operators) plus the wire
+     * geometry a GPU replay needs.
+     */
+    std::vector<KernelProfile> profiles(ModelId id, int64_t batch,
+                                        uint64_t* input_bytes = nullptr,
+                                        size_t* input_blobs = nullptr);
+
+    /** The (cached) built model. */
+    const Model& model(ModelId id);
+
+    const ModelOptions& options() const { return opts_; }
+
+  private:
+    struct ModelCtx {
+        Model model;
+        Workspace ws;
+        std::unique_ptr<BatchGenerator> gen;
+
+        explicit ModelCtx(Model m);
+    };
+
+    ModelCtx& ctx(ModelId id);
+
+    ModelOptions opts_;
+    uint64_t seed_;
+    FrameworkId framework_;
+    std::map<ModelId, std::unique_ptr<ModelCtx>> ctxs_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_CORE_CHARACTERIZER_H_

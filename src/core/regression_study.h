@@ -1,0 +1,46 @@
+#ifndef RECSTACK_CORE_REGRESSION_STUDY_H_
+#define RECSTACK_CORE_REGRESSION_STUDY_H_
+
+/**
+ * @file
+ * Fig. 16: linear-regression modeling of how algorithmic
+ * model-architecture features correlate with pipeline bottlenecks.
+ * Observations are the 8 models x the paper's batch sizes on a CPU
+ * platform; features are normalized so weight magnitude reads as
+ * degree of impact.
+ */
+
+#include <string>
+#include <vector>
+
+#include "analysis/linreg.h"
+#include "core/sweep.h"
+
+namespace recstack {
+
+/** The fitted feature -> bottleneck models. */
+struct RegressionStudy {
+    std::vector<std::string> featureNames;
+    std::vector<std::string> targetNames;
+    std::vector<LinearFit> fits;   ///< one per target
+    size_t observations = 0;
+};
+
+/** Extract the Fig. 16 feature vector of one model at one batch. */
+std::vector<double> regressionFeatures(const ModelFeatures& f,
+                                       int64_t batch);
+
+/** Names matching regressionFeatures() order. */
+std::vector<std::string> regressionFeatureNames();
+
+/**
+ * Run the study: characterize every model at every batch size on the
+ * given platform (index into the sweep's platform list; must be a
+ * CPU) and fit one regression per pipeline bottleneck.
+ */
+RegressionStudy runRegressionStudy(SweepCache& sweep, size_t platform_idx,
+                                   const std::vector<int64_t>& batches);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_CORE_REGRESSION_STUDY_H_

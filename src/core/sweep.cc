@@ -1,0 +1,63 @@
+#include "core/sweep.h"
+
+namespace recstack {
+
+std::vector<int64_t>
+paperBatchSizes()
+{
+    return {1, 4, 16, 64, 256, 1024, 4096, 16384};
+}
+
+std::vector<int64_t>
+breakdownBatchSizes()
+{
+    return {4, 64, 1024, 16384};
+}
+
+SweepCache::SweepCache(std::vector<Platform> platforms, ModelOptions opts,
+                       uint64_t seed)
+    : platforms_(std::move(platforms)), char_(std::move(opts), seed)
+{
+    RECSTACK_CHECK(!platforms_.empty(), "sweep needs platforms");
+}
+
+const RunResult&
+SweepCache::get(ModelId model, size_t platform_idx, int64_t batch)
+{
+    RECSTACK_CHECK(platform_idx < platforms_.size(),
+                   "platform index out of range");
+    const auto key = std::make_tuple(model, platform_idx, batch);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_.emplace(
+            key, char_.run(model, platforms_[platform_idx], batch))
+                 .first;
+    }
+    return it->second;
+}
+
+double
+SweepCache::speedupOverBaseline(ModelId model, size_t platform_idx,
+                                int64_t batch)
+{
+    const double base = get(model, 0, batch).seconds;
+    const double other = get(model, platform_idx, batch).seconds;
+    return other > 0.0 ? base / other : 0.0;
+}
+
+size_t
+SweepCache::optimalPlatform(ModelId model, int64_t batch)
+{
+    size_t best = 0;
+    double best_seconds = get(model, 0, batch).seconds;
+    for (size_t p = 1; p < platforms_.size(); ++p) {
+        const double s = get(model, p, batch).seconds;
+        if (s < best_seconds) {
+            best_seconds = s;
+            best = p;
+        }
+    }
+    return best;
+}
+
+}  // namespace recstack

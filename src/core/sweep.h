@@ -1,0 +1,52 @@
+#ifndef RECSTACK_CORE_SWEEP_H_
+#define RECSTACK_CORE_SWEEP_H_
+
+/**
+ * @file
+ * Sweep utilities: memoized model x platform x batch-size grids, the
+ * paper's batch-size axes, and the optimal-platform summary (Fig. 5).
+ */
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/characterizer.h"
+
+namespace recstack {
+
+/** Batch sizes 1..16384 as plotted in Figs. 3-5 (powers of four). */
+std::vector<int64_t> paperBatchSizes();
+
+/** The four batch sizes of the Fig. 6 operator-breakdown panels. */
+std::vector<int64_t> breakdownBatchSizes();
+
+/** Memoized characterization grid over a fixed platform list. */
+class SweepCache
+{
+  public:
+    SweepCache(std::vector<Platform> platforms, ModelOptions opts = {},
+               uint64_t seed = 42);
+
+    const RunResult& get(ModelId model, size_t platform_idx,
+                         int64_t batch);
+
+    const std::vector<Platform>& platforms() const { return platforms_; }
+    Characterizer& characterizer() { return char_; }
+
+    /** Speedup of platform_idx over the baseline (index 0). */
+    double speedupOverBaseline(ModelId model, size_t platform_idx,
+                               int64_t batch);
+
+    /** Index of the fastest platform for this use case. */
+    size_t optimalPlatform(ModelId model, int64_t batch);
+
+  private:
+    std::vector<Platform> platforms_;
+    Characterizer char_;
+    std::map<std::tuple<ModelId, size_t, int64_t>, RunResult> cache_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_CORE_SWEEP_H_

@@ -1,0 +1,49 @@
+#include "core/trace_runner.h"
+
+namespace recstack {
+
+RecordedTrace
+recordTrace(Characterizer& characterizer, ModelId id, int64_t batch)
+{
+    RecordedTrace trace;
+    uint64_t input_bytes = 0;
+    size_t input_blobs = 0;
+    trace.kernels =
+        characterizer.profiles(id, batch, &input_bytes, &input_blobs);
+    trace.meta.model = modelName(id);
+    trace.meta.batch = batch;
+    trace.meta.inputBytes = input_bytes;
+    trace.meta.inputBlobs = input_blobs;
+    return trace;
+}
+
+RunResult
+replayTrace(const RecordedTrace& trace, const Platform& platform,
+            uint64_t seed)
+{
+    // Model identity is advisory on replay; default to NCF when the
+    // trace's name is not one of the stock eight.
+    ModelId id = ModelId::kNCF;
+    for (ModelId candidate : allModels()) {
+        if (trace.meta.model == modelName(candidate)) {
+            id = candidate;
+        }
+    }
+    return simulateProfiles(trace.kernels, platform, id,
+                            trace.meta.batch, trace.meta.inputBytes,
+                            trace.meta.inputBlobs, seed);
+}
+
+RunResult
+replayTraceFile(const std::string& path, const Platform& platform,
+                uint64_t seed)
+{
+    RecordedTrace trace;
+    std::string error;
+    if (!loadTrace(path, &trace.meta, &trace.kernels, &error)) {
+        RECSTACK_FATAL("cannot replay '" << path << "': " << error);
+    }
+    return replayTrace(trace, platform, seed);
+}
+
+}  // namespace recstack

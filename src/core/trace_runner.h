@@ -1,0 +1,42 @@
+#ifndef RECSTACK_CORE_TRACE_RUNNER_H_
+#define RECSTACK_CORE_TRACE_RUNNER_H_
+
+/**
+ * @file
+ * Record/replay glue between the Characterizer and the trace format:
+ * capture a use case's kernel profiles once, then re-simulate them on
+ * any platform model without rebuilding the model.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "trace/trace.h"
+
+namespace recstack {
+
+/** A captured use case. */
+struct RecordedTrace {
+    TraceMeta meta;
+    std::vector<KernelProfile> kernels;
+};
+
+/** Capture (model, batch) as a portable trace. */
+RecordedTrace recordTrace(Characterizer& characterizer, ModelId id,
+                          int64_t batch);
+
+/** Re-simulate a trace on one platform. */
+RunResult replayTrace(const RecordedTrace& trace,
+                      const Platform& platform, uint64_t seed = 42);
+
+/**
+ * Load a trace file and replay it; panics (fatal) on malformed
+ * files — CLI convenience.
+ */
+RunResult replayTraceFile(const std::string& path,
+                          const Platform& platform, uint64_t seed = 42);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_CORE_TRACE_RUNNER_H_

@@ -1,0 +1,106 @@
+#include "framework/frameworks.h"
+
+#include <algorithm>
+
+#include "models/builder_util.h"
+#include "models/builders_internal.h"
+
+namespace recstack {
+
+const char*
+frameworkName(FrameworkId id)
+{
+    switch (id) {
+      case FrameworkId::kCaffe2: return "Caffe2";
+      case FrameworkId::kTensorFlow: return "TensorFlow";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Rename the most recently added op to a TF-granularity label. */
+void
+aliasLast(Model* model, const char* tf_name)
+{
+    model->net.ops().back()->setDisplayType(tf_name);
+}
+
+/**
+ * DLRM in TensorFlow operator granularity: embedding bags become
+ * ResourceGather -> Reshape -> Sum chains with an explicit [B, P, D]
+ * intermediate (extra memory traffic TF really pays), and dense
+ * layers report as FusedMatMul.
+ */
+Model
+buildDlrmTensorFlow(const builders::DlrmConfig& cfg,
+                    const ModelOptions& opts)
+{
+    Model model(cfg.id, std::string(modelName(cfg.id)) + "-tf");
+    GraphBuilder g(&model);
+    model.features.latentDim = static_cast<int>(cfg.embDim);
+
+    auto tf_mlp = [&](const std::string& x, int64_t in_dim,
+                      const std::vector<int64_t>& widths, bool top) {
+        std::string cur = x;
+        int64_t cur_dim = in_dim;
+        for (size_t i = 0; i < widths.size(); ++i) {
+            cur = g.fc(cur, cur_dim, widths[i], top);
+            aliasLast(&model, "FusedMatMul");
+            if (i + 1 < widths.size()) {
+                cur = g.relu(cur);
+            }
+            cur_dim = widths[i];
+        }
+        return cur;
+    };
+
+    const std::string dense = g.denseInput("dense", cfg.denseDim);
+    std::string bottom_out = tf_mlp(dense, cfg.denseDim, cfg.bottom,
+                                    /*top=*/false);
+    bottom_out = g.relu(bottom_out);
+
+    std::vector<std::string> pooled;
+    pooled.push_back(bottom_out);
+    const int64_t rows = builders::scaledRows(cfg.tableRows, opts);
+    for (int t = 0; t < cfg.numTables; ++t) {
+        const std::string prefix = "emb" + std::to_string(t);
+        // ResourceGather: [B * P, D] rows...
+        const std::string gathered = g.embeddingGather(
+            prefix, rows, cfg.embDim, cfg.lookups, opts.zipfExponent);
+        aliasLast(&model, "ResourceGather");
+        // ...reshaped to [B, P, D]...
+        const std::string shaped =
+            g.reshape(gathered, {-1, cfg.lookups, cfg.embDim});
+        // ...pooled with an explicit Sum reduction.
+        const std::string stem = g.uniq("tfsum");
+        model.net.addOp(makeReduceSum(stem, shaped, stem + "_y"));
+        aliasLast(&model, "Sum");
+        pooled.push_back(stem + "_y");
+    }
+
+    const std::string interact = g.concat(pooled);
+    aliasLast(&model, "ConcatV2");
+    const int64_t interact_dim =
+        cfg.bottom.back() + cfg.numTables * cfg.embDim;
+    const std::string top_out =
+        tf_mlp(interact, interact_dim, cfg.top, /*top=*/true);
+    g.finish(top_out);
+    model.features.lookupsPerTable /=
+        std::max(1, model.features.numTables);
+    model.net.validate();
+    return model;
+}
+
+}  // namespace
+
+Model
+buildModelInFramework(ModelId id, FrameworkId fw, const ModelOptions& opts)
+{
+    if (fw == FrameworkId::kCaffe2) {
+        return buildModel(id, opts);
+    }
+    return buildDlrmTensorFlow(builders::dlrmConfig(id), opts);
+}
+
+}  // namespace recstack

@@ -1,0 +1,37 @@
+#ifndef RECSTACK_FRAMEWORK_FRAMEWORKS_H_
+#define RECSTACK_FRAMEWORK_FRAMEWORKS_H_
+
+/**
+ * @file
+ * Deep-learning framework frontends (Fig. 7).
+ *
+ * The paper compares Caffe2 and TensorFlow operator breakdowns for
+ * the DLRM-based models and shows the same bottlenecks at different
+ * operator granularity: Caffe2's fused SparseLengthsSum equals
+ * TensorFlow's ResourceGather + Sum pair, and FC maps to FusedMatMul.
+ *
+ * The Caffe2 frontend is recstack's native model zoo; the TensorFlow
+ * frontend rebuilds the same DLRM architectures with TF operator
+ * granularity (separate gather, explicit [B, P, D] intermediate,
+ * separate pooling reduction) and TF type names.
+ */
+
+#include "models/model.h"
+
+namespace recstack {
+
+/** Supported framework frontends. */
+enum class FrameworkId { kCaffe2, kTensorFlow };
+
+const char* frameworkName(FrameworkId id);
+
+/**
+ * Build a DLRM-family model (RM1/RM2/RM3) in the given framework's
+ * operator granularity. Caffe2 delegates to buildModel().
+ */
+Model buildModelInFramework(ModelId id, FrameworkId fw,
+                            const ModelOptions& opts = {});
+
+}  // namespace recstack
+
+#endif  // RECSTACK_FRAMEWORK_FRAMEWORKS_H_

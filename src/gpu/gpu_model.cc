@@ -1,0 +1,109 @@
+#include "gpu/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recstack {
+namespace {
+
+/// Threads worth of independent output work needed per SM before the
+/// GEMM pipeline approaches its sustained throughput.
+constexpr double kElemsPerSmForFullOccupancy = 1024.0;
+
+/// Floor on the occupancy factor: even a batch-1 kernel keeps a few
+/// warps busy.
+constexpr double kOccupancyFloor = 0.02;
+
+/// Memory-side underutilization: a partially occupied SM array cannot
+/// keep enough loads in flight to saturate GDDR, but degrades more
+/// gently than compute (sub-linear exponent).
+constexpr double kMemOccupancyExponent = 0.7;
+
+}  // namespace
+
+GpuModel::GpuModel(const GpuConfig& cfg) : cfg_(cfg) {}
+
+GpuOpTime
+GpuModel::kernelTime(const KernelProfile& kp) const
+{
+    GpuOpTime t;
+    t.opType = kp.opType;
+    t.opName = kp.opName;
+
+    // --- Occupancy from the kernel's independent output elements ---
+    const double out_elems =
+        static_cast<double>(kp.bytesWritten()) / 4.0;
+    const double occupancy = std::clamp(
+        out_elems / (kElemsPerSmForFullOccupancy *
+                     static_cast<double>(cfg_.smCount)),
+        kOccupancyFloor, 1.0);
+
+    // --- Compute roofline ---
+    // Narrow GEMM outputs (DIN's 36-wide local activation units)
+    // cannot use full-width MMA tiles regardless of batch size.
+    double width_factor = 1.0;
+    if (kp.gemmWidth > 0) {
+        width_factor = std::clamp(
+            static_cast<double>(kp.gemmWidth) / 128.0, 1.0 / 128.0, 1.0);
+    }
+    const double flops = static_cast<double>(kp.fmaFlops);
+    double compute = 0.0;
+    if (flops > 0.0) {
+        compute =
+            flops / (cfg_.effTflops * 1e12 * occupancy * width_factor);
+    }
+
+    // --- Memory roofline: split traffic by access pattern ---
+    uint64_t random_bytes = 0;
+    uint64_t stream_bytes = 0;
+    for (const auto& s : kp.streams) {
+        // Strided chunk traffic (concat/slice data movement) loses
+        // coalescing on GPUs just like true gathers.
+        if (s.pattern != AccessPattern::kSequential) {
+            random_bytes += s.totalBytes();
+        } else {
+            stream_bytes += s.totalBytes();
+        }
+    }
+    const double mem_derate = std::pow(occupancy, kMemOccupancyExponent);
+    const double memory =
+        (static_cast<double>(stream_bytes) /
+             (cfg_.memGBs * 1e9 * cfg_.streamEfficiency) +
+         static_cast<double>(random_bytes) /
+             (cfg_.memGBs * 1e9 * cfg_.gatherEfficiency)) /
+        std::max(mem_derate, 1e-3);
+
+    // --- Serialized phases (fused recurrent kernels) ---
+    const double steps =
+        static_cast<double>(std::max<uint64_t>(1, kp.serialSteps));
+    const double body = std::max(compute, memory);
+    const double serialization =
+        steps > 1.0 ? (steps - 1.0) * cfg_.smallKernelFloorSec : 0.0;
+
+    t.launchSeconds = cfg_.kernelLaunchSec + cfg_.hostDispatchSec;
+    t.computeSeconds = compute;
+    t.memorySeconds = memory;
+    t.seconds = t.launchSeconds + body + serialization;
+    return t;
+}
+
+GpuRunResult
+GpuModel::simulateNet(const std::vector<KernelProfile>& kernels,
+                      uint64_t input_bytes, size_t input_blobs) const
+{
+    GpuRunResult r;
+    r.opTimes.reserve(kernels.size());
+    for (const auto& kp : kernels) {
+        GpuOpTime t = kernelTime(kp);
+        r.kernelSeconds += t.seconds;
+        r.opTimes.push_back(std::move(t));
+    }
+    r.transferSeconds =
+        cfg_.pcieLatencySec * static_cast<double>(
+                                  std::max<size_t>(1, input_blobs)) +
+        static_cast<double>(input_bytes) / (cfg_.pcieGBs * 1e9);
+    r.totalSeconds = r.kernelSeconds + r.transferSeconds;
+    return r;
+}
+
+}  // namespace recstack

@@ -1,0 +1,78 @@
+#ifndef RECSTACK_GPU_GPU_MODEL_H_
+#define RECSTACK_GPU_GPU_MODEL_H_
+
+/**
+ * @file
+ * Analytical GPU inference model (GTX 1080 Ti / T4).
+ *
+ * The paper's GPU findings are first-order consequences of three
+ * mechanisms, all modeled here per kernel:
+ *  - roofline: max(compute time, memory time) with an occupancy
+ *    factor (small batches underfill the SM array);
+ *  - per-kernel launch/driver overhead (concat-heavy attention
+ *    models pay it thousands of times);
+ *  - PCIe input transfer per batch (Fig. 4's data-communication
+ *    fraction, which grows with batch size because compute
+ *    accelerates sub-linearly while transfer is linear).
+ */
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+#include "profile/kernel_profile.h"
+
+namespace recstack {
+
+/** Per-kernel timing detail. */
+struct GpuOpTime {
+    std::string opType;
+    std::string opName;
+    double seconds = 0.0;
+    double launchSeconds = 0.0;
+    double computeSeconds = 0.0;
+    double memorySeconds = 0.0;
+};
+
+/** One net execution on the GPU. */
+struct GpuRunResult {
+    double kernelSeconds = 0.0;     ///< sum of kernel times
+    double transferSeconds = 0.0;   ///< PCIe input movement
+    double totalSeconds = 0.0;
+    std::vector<GpuOpTime> opTimes;
+
+    /** Fig. 4 metric: data-communication share of end-to-end time. */
+    double dataCommFraction() const
+    {
+        return totalSeconds > 0.0 ? transferSeconds / totalSeconds : 0.0;
+    }
+};
+
+/** Roofline + overhead GPU model. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuConfig& cfg);
+
+    /** Time one kernel (launch + max(compute, memory)). */
+    GpuOpTime kernelTime(const KernelProfile& kp) const;
+
+    /**
+     * Time a whole net: all kernels plus the host-to-device input
+     * transfer of @c input_bytes spread over @c input_blobs separate
+     * copies (frameworks stage one cudaMemcpy per input tensor, so
+     * the per-copy latency multiplies).
+     */
+    GpuRunResult simulateNet(const std::vector<KernelProfile>& kernels,
+                             uint64_t input_bytes,
+                             size_t input_blobs = 1) const;
+
+    const GpuConfig& config() const { return cfg_; }
+
+  private:
+    GpuConfig cfg_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_GPU_GPU_MODEL_H_

@@ -1,0 +1,39 @@
+#include "graph/executor.h"
+
+#include <chrono>
+
+namespace recstack {
+
+NetExecResult
+Executor::run(const NetDef& net, Workspace& ws, ExecMode mode)
+{
+    using Clock = std::chrono::steady_clock;
+
+    NetExecResult result;
+    result.records.reserve(net.opCount());
+    const auto net_start = Clock::now();
+
+    for (const auto& op : net.ops()) {
+        op->inferShapes(ws);
+        OpExecRecord record;
+        if (mode == ExecMode::kFull) {
+            const auto start = Clock::now();
+            op->run(ws);
+            const auto end = Clock::now();
+            record.hostSeconds =
+                std::chrono::duration<double>(end - start).count();
+        }
+        record.profile = op->profile(ws);
+        if (op->uniqueCodeBytes() > 0) {
+            record.profile.codeRegion = "op:" + op->name();
+            record.profile.codeFootprintBytes = op->uniqueCodeBytes();
+        }
+        result.records.push_back(std::move(record));
+    }
+
+    result.hostSeconds =
+        std::chrono::duration<double>(Clock::now() - net_start).count();
+    return result;
+}
+
+}  // namespace recstack

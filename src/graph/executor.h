@@ -1,0 +1,53 @@
+#ifndef RECSTACK_GRAPH_EXECUTOR_H_
+#define RECSTACK_GRAPH_EXECUTOR_H_
+
+/**
+ * @file
+ * Executor: runs a NetDef against a Workspace.
+ *
+ * Two modes:
+ *  - kFull:        shape inference + real numerics + profiles. Used by
+ *                  tests and small-batch runs.
+ *  - kProfileOnly: shape inference + profiles only. Used by the
+ *                  platform sweeps at batch sizes where the numerics
+ *                  would dominate wall-clock without affecting any
+ *                  reported metric (the platform models consume only
+ *                  the profiles).
+ */
+
+#include <vector>
+
+#include "graph/net.h"
+
+namespace recstack {
+
+/** Execution mode of a net run. */
+enum class ExecMode { kFull, kProfileOnly };
+
+/** Per-operator record produced by a net run. */
+struct OpExecRecord {
+    KernelProfile profile;
+    double hostSeconds = 0.0;  ///< wall time of the numeric kernel (kFull)
+};
+
+/** Result of one net run. */
+struct NetExecResult {
+    std::vector<OpExecRecord> records;
+    double hostSeconds = 0.0;
+};
+
+/** Stateless net runner. */
+class Executor
+{
+  public:
+    /**
+     * Execute @c net against @c ws. External inputs (including
+     * weights) must already be present in the workspace.
+     */
+    static NetExecResult run(const NetDef& net, Workspace& ws,
+                             ExecMode mode = ExecMode::kFull);
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_GRAPH_EXECUTOR_H_

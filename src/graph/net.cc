@@ -1,0 +1,66 @@
+#include "graph/net.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace recstack {
+
+void
+NetDef::addOp(OperatorPtr op)
+{
+    RECSTACK_CHECK(op != nullptr, "null operator added to net " << name_);
+    ops_.push_back(std::move(op));
+}
+
+void
+NetDef::addExternalInput(std::string name)
+{
+    externalInputs_.push_back(std::move(name));
+}
+
+void
+NetDef::addExternalOutput(std::string name)
+{
+    externalOutputs_.push_back(std::move(name));
+}
+
+void
+NetDef::validate() const
+{
+    std::set<std::string> available(externalInputs_.begin(),
+                                    externalInputs_.end());
+    for (const auto& op : ops_) {
+        for (const auto& input : op->inputs()) {
+            RECSTACK_CHECK(available.count(input),
+                           "net '" << name_ << "': op '" << op->name()
+                                   << "' reads undefined blob '" << input
+                                   << "'");
+        }
+        for (const auto& output : op->outputs()) {
+            available.insert(output);
+        }
+    }
+    for (const auto& output : externalOutputs_) {
+        RECSTACK_CHECK(available.count(output),
+                       "net '" << name_ << "': external output '" << output
+                               << "' is never produced");
+    }
+}
+
+std::string
+NetDef::summary() const
+{
+    std::map<std::string, int> by_type;
+    for (const auto& op : ops_) {
+        ++by_type[op->type()];
+    }
+    std::ostringstream oss;
+    oss << "net '" << name_ << "': " << ops_.size() << " ops";
+    for (const auto& [type, count] : by_type) {
+        oss << "\n  " << type << ": " << count;
+    }
+    return oss.str();
+}
+
+}  // namespace recstack

@@ -1,0 +1,69 @@
+#ifndef RECSTACK_GRAPH_NET_H_
+#define RECSTACK_GRAPH_NET_H_
+
+/**
+ * @file
+ * NetDef: an ordered operator graph, mirroring Caffe2's NetDef. The
+ * model builders emit nets in topological order; NetDef validates
+ * that ordering against declared external inputs.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+
+namespace recstack {
+
+/** An ordered list of operators plus its external interface. */
+class NetDef
+{
+  public:
+    explicit NetDef(std::string name) : name_(std::move(name)) {}
+
+    NetDef(NetDef&&) = default;
+    NetDef& operator=(NetDef&&) = default;
+
+    const std::string& name() const { return name_; }
+
+    /** Append an operator (must respect topological order). */
+    void addOp(OperatorPtr op);
+
+    /** Declare a blob produced outside the net (weights, inputs). */
+    void addExternalInput(std::string name);
+    /** Declare a blob consumed by the caller. */
+    void addExternalOutput(std::string name);
+
+    const std::vector<OperatorPtr>& ops() const { return ops_; }
+    const std::vector<std::string>& externalInputs() const
+    {
+        return externalInputs_;
+    }
+    const std::vector<std::string>& externalOutputs() const
+    {
+        return externalOutputs_;
+    }
+
+    size_t opCount() const { return ops_.size(); }
+
+    /**
+     * Check that every operator input is either an external input or
+     * produced by an earlier operator, and that external outputs are
+     * produced. Panics with a diagnostic on violation.
+     */
+    void validate() const;
+
+    /** Multi-line human-readable summary (op counts per type). */
+    std::string summary() const;
+
+  private:
+    std::string name_;
+    std::vector<OperatorPtr> ops_;
+    std::vector<std::string> externalInputs_;
+    std::vector<std::string> externalOutputs_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_GRAPH_NET_H_

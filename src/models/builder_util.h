@@ -1,0 +1,112 @@
+#ifndef RECSTACK_MODELS_BUILDER_UTIL_H_
+#define RECSTACK_MODELS_BUILDER_UTIL_H_
+
+/**
+ * @file
+ * GraphBuilder: shared plumbing for the eight model builders —
+ * declares weights, wires operators with unique names, registers
+ * workload input specs, and accumulates ModelFeatures.
+ */
+
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "ops/concat.h"
+#include "ops/elementwise.h"
+#include "ops/embedding.h"
+#include "ops/fc.h"
+#include "ops/gru.h"
+#include "ops/matmul.h"
+#include "ops/reshape.h"
+
+namespace recstack {
+
+/** Fluent helper the model builders compose nets with. */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(Model* model) : model_(model) {}
+
+    /** Fresh blob/op name with the given stem. */
+    std::string uniq(const std::string& stem);
+
+    /** Declare a dense input feature and return its blob name. */
+    std::string denseInput(const std::string& blob, int64_t dim);
+
+    /**
+     * Declare an embedding table plus its index/length inputs and add
+     * a SparseLengthsSum. Returns the pooled [B, dim] blob.
+     */
+    std::string embeddingBag(const std::string& prefix, int64_t rows,
+                             int64_t dim, int64_t lookups, double zipf,
+                             bool weighted = false);
+
+    /**
+     * Declare an embedding table and gather @c lookups rows per sample
+     * without pooling: returns the [B * lookups, dim] blob.
+     */
+    std::string embeddingGather(const std::string& prefix, int64_t rows,
+                                int64_t dim, int64_t lookups, double zipf);
+
+    /** FC layer; registers W/b weights. @c top marks post-interaction. */
+    std::string fc(const std::string& x, int64_t in_dim, int64_t out_dim,
+                   bool top);
+
+    /** FC + ReLU chain over the given layer widths. */
+    std::string mlp(const std::string& x, int64_t in_dim,
+                    const std::vector<int64_t>& widths, bool top);
+
+    /**
+     * Declare FC weights without adding an op (for layers whose
+     * weights are shared across many op instances, e.g. DIN's local
+     * activation units). Returns {w, b} blob names.
+     */
+    std::pair<std::string, std::string> fcWeights(const std::string& stem,
+                                                  int64_t in_dim,
+                                                  int64_t out_dim, bool top);
+
+    /** FC op over previously declared weights. */
+    std::string fcWith(const std::string& x, const std::string& w,
+                       const std::string& b);
+
+    std::string relu(const std::string& x);
+    std::string sigmoid(const std::string& x);
+    std::string tanhAct(const std::string& x);
+    std::string concat(const std::vector<std::string>& xs);
+    std::string add(const std::string& a, const std::string& b);
+    std::string sub(const std::string& a, const std::string& b);
+    std::string mul(const std::string& a, const std::string& b);
+    std::string softmax(const std::string& x);
+    std::string reshape(const std::string& x, std::vector<int64_t> shape);
+    std::string transpose(const std::string& x);
+    std::string batchMatMul(const std::string& a, const std::string& b);
+
+    /**
+     * GRU layer over [T, B, I]; registers weight matrices and an
+     * all-zero initial state. Returns {hseq, hlast} blob names.
+     */
+    std::pair<std::string, std::string> gru(const std::string& x,
+                                            int64_t in_dim, int64_t hidden,
+                                            const std::string& att = "");
+
+    /** Sigmoid the blob into "output" and close the net. */
+    void finish(const std::string& blob);
+
+    /** Mark the most recently added op as a unique code region. */
+    void markUniqueCode(uint64_t bytes);
+
+    ModelFeatures& features() { return model_->features; }
+
+  private:
+    std::string addOp(OperatorPtr op, std::string out_blob);
+    void addWeight(const std::string& name, std::vector<int64_t> shape,
+                   bool embedding);
+
+    Model* model_;
+    int counter_ = 0;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_MODELS_BUILDER_UTIL_H_

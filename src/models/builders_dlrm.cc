@@ -1,0 +1,151 @@
+#include <algorithm>
+
+#include "models/builder_util.h"
+#include "models/builders_internal.h"
+
+/**
+ * @file
+ * DLRM-family builders (RM1, RM2, RM3): Facebook's social-media
+ * ranking models. Continuous features flow through a bottom MLP,
+ * categorical features through SparseLengthsSum embedding bags, and
+ * everything is concatenated into a top MLP [4], [15], [22].
+ *
+ * Configurations follow the paper: RM1 is a small model with 8 tables
+ * x 80 lookups; RM2 a large model with 32 tables x 120 lookups; RM3
+ * shifts the weight budget into large FC stacks over continuous
+ * inputs with only 20 lookups per table.
+ */
+
+namespace recstack {
+namespace builders {
+
+int64_t
+scaledRows(int64_t rows, const ModelOptions& opts)
+{
+    const auto scaled = static_cast<int64_t>(
+        static_cast<double>(rows) * opts.tableScale);
+    return std::max<int64_t>(64, scaled);
+}
+
+DlrmConfig
+dlrmConfig(ModelId id)
+{
+    DlrmConfig cfg;
+    cfg.id = id;
+    switch (id) {
+      case ModelId::kRM1:
+        cfg.denseDim = 13;
+        cfg.bottom = {256, 128, 32};
+        cfg.numTables = 8;
+        cfg.tableRows = 1000000;
+        cfg.embDim = 32;
+        cfg.lookups = 80;
+        cfg.top = {128, 64, 1};
+        break;
+      case ModelId::kRM2:
+        cfg.denseDim = 13;
+        cfg.bottom = {256, 128, 64};
+        cfg.numTables = 32;
+        cfg.tableRows = 250000;
+        cfg.embDim = 64;
+        cfg.lookups = 120;
+        cfg.top = {512, 256, 1};
+        break;
+      case ModelId::kRM3:
+        cfg.denseDim = 256;
+        cfg.bottom = {2048, 1024, 512, 256};
+        cfg.numTables = 10;
+        cfg.tableRows = 100000;
+        cfg.embDim = 32;
+        cfg.lookups = 20;
+        cfg.top = {1024, 512, 256, 1};
+        break;
+      default:
+        RECSTACK_PANIC("dlrmConfig: " << modelName(id)
+                       << " is not a DLRM-family model");
+    }
+    return cfg;
+}
+
+namespace {
+
+Model
+buildDLRM(const DlrmConfig& cfg, const ModelOptions& opts)
+{
+    Model model(cfg.id, modelName(cfg.id));
+    GraphBuilder g(&model);
+    model.features.latentDim = static_cast<int>(cfg.embDim);
+
+    // Bottom MLP over continuous features; its final width matches
+    // the embedding latent dimension (DLRM convention).
+    const std::string dense = g.denseInput("dense", cfg.denseDim);
+    std::string bottom_out =
+        g.mlp(dense, cfg.denseDim, cfg.bottom, /*top=*/false);
+    bottom_out = g.relu(bottom_out);
+
+    // Embedding bags: one SparseLengthsSum per table.
+    std::vector<std::string> pooled;
+    pooled.push_back(bottom_out);
+    const int64_t rows = scaledRows(cfg.tableRows, opts);
+    for (int t = 0; t < cfg.numTables; ++t) {
+        pooled.push_back(g.embeddingBag("emb" + std::to_string(t), rows,
+                                        cfg.embDim, cfg.lookups,
+                                        opts.zipfExponent,
+                                        opts.positionWeighted));
+    }
+
+    // Feature interaction: concatenation (the DeepRecSys RM flavor).
+    const std::string interact = g.concat(pooled);
+    const int64_t interact_dim =
+        cfg.bottom.back() + cfg.numTables * cfg.embDim;
+
+    const std::string top_out =
+        g.mlp(interact, interact_dim, cfg.top, /*top=*/true);
+    g.finish(top_out);
+    model.features.lookupsPerTable /= std::max(1, model.features.numTables);
+    model.net.validate();
+    return model;
+}
+
+}  // namespace
+
+Model
+buildRM1(const ModelOptions& opts)
+{
+    return buildDLRM(dlrmConfig(ModelId::kRM1), opts);
+}
+
+Model
+buildRM2(const ModelOptions& opts)
+{
+    return buildDLRM(dlrmConfig(ModelId::kRM2), opts);
+}
+
+Model
+buildRM3(const ModelOptions& opts)
+{
+    return buildDLRM(dlrmConfig(ModelId::kRM3), opts);
+}
+
+}  // namespace builders
+
+Model
+buildModel(ModelId id, const ModelOptions& opts)
+{
+    switch (id) {
+      case ModelId::kNCF: return builders::buildNCF(opts);
+      case ModelId::kRM1: return builders::buildRM1(opts);
+      case ModelId::kRM2: return builders::buildRM2(opts);
+      case ModelId::kRM3: return builders::buildRM3(opts);
+      case ModelId::kWnD: return builders::buildWnD(opts);
+      case ModelId::kMTWnD: return builders::buildMTWnD(opts);
+      case ModelId::kDIN: return builders::buildDIN(opts);
+      case ModelId::kDIEN: return builders::buildDIEN(opts);
+      case ModelId::kCustom:
+        RECSTACK_FATAL("kCustom has no stock builder; use "
+                       "buildCustomModel (models/custom.h)");
+    }
+    RECSTACK_PANIC("unknown model id");
+}
+
+}  // namespace recstack

@@ -1,0 +1,45 @@
+#ifndef RECSTACK_MODELS_BUILDERS_INTERNAL_H_
+#define RECSTACK_MODELS_BUILDERS_INTERNAL_H_
+
+/**
+ * @file
+ * Internal declarations of the per-model builder functions; the public
+ * entry point is buildModel() in model.h.
+ */
+
+#include "models/model.h"
+
+namespace recstack {
+namespace builders {
+
+Model buildNCF(const ModelOptions& opts);
+Model buildRM1(const ModelOptions& opts);
+Model buildRM2(const ModelOptions& opts);
+Model buildRM3(const ModelOptions& opts);
+Model buildWnD(const ModelOptions& opts);
+Model buildMTWnD(const ModelOptions& opts);
+Model buildDIN(const ModelOptions& opts);
+Model buildDIEN(const ModelOptions& opts);
+
+/** Scale a table row count by opts.tableScale with a sane floor. */
+int64_t scaledRows(int64_t rows, const ModelOptions& opts);
+
+/** Shared parameterization of the DLRM-family models. */
+struct DlrmConfig {
+    ModelId id;
+    int64_t denseDim;
+    std::vector<int64_t> bottom;
+    int numTables;
+    int64_t tableRows;
+    int64_t embDim;
+    int64_t lookups;
+    std::vector<int64_t> top;
+};
+
+/** Config of RM1 / RM2 / RM3 (panics on other ids). */
+DlrmConfig dlrmConfig(ModelId id);
+
+}  // namespace builders
+}  // namespace recstack
+
+#endif  // RECSTACK_MODELS_BUILDERS_INTERNAL_H_

@@ -1,0 +1,130 @@
+#include <algorithm>
+
+#include "models/builder_util.h"
+#include "models/builders_internal.h"
+
+/**
+ * @file
+ * NCF, WnD and MT-WnD builders.
+ *
+ * NCF (He et al., WWW'17): matrix factorization generalized with an
+ * MLP branch; four embedding tables, single lookups (MovieLens-scale).
+ *
+ * WnD (Cheng et al., 2016): one-hot wide embeddings concatenated with
+ * continuous inputs, processed by a deep FC stack (Play Store).
+ *
+ * MT-WnD (Zhao et al., RecSys'19): WnD trunk with parallel per-
+ * objective FC heads (YouTube multi-objective ranking).
+ */
+
+namespace recstack {
+namespace builders {
+
+Model
+buildNCF(const ModelOptions& opts)
+{
+    Model model(ModelId::kNCF, modelName(ModelId::kNCF));
+    GraphBuilder g(&model);
+    const int64_t dim = 64;
+    model.features.latentDim = static_cast<int>(dim);
+
+    // MovieLens-scale populations: ~140k users, ~28k items.
+    const int64_t users = scaledRows(140000, opts);
+    const int64_t items = scaledRows(28000, opts);
+
+    // GMF branch: elementwise product of user/item factors.
+    const std::string u_mf =
+        g.embeddingBag("user_mf", users, dim, 1, opts.zipfExponent);
+    const std::string v_mf =
+        g.embeddingBag("item_mf", items, dim, 1, opts.zipfExponent);
+    const std::string gmf = g.mul(u_mf, v_mf);
+
+    // MLP branch over concatenated factors.
+    const std::string u_mlp =
+        g.embeddingBag("user_mlp", users, dim, 1, opts.zipfExponent);
+    const std::string v_mlp =
+        g.embeddingBag("item_mlp", items, dim, 1, opts.zipfExponent);
+    const std::string both = g.concat({u_mlp, v_mlp});
+    std::string mlp_out = g.mlp(both, 2 * dim, {256, 256, 128},
+                                /*top=*/false);
+    mlp_out = g.relu(mlp_out);
+
+    // NeuMF head: concat(GMF, MLP) -> score.
+    const std::string fused = g.concat({gmf, mlp_out});
+    const std::string score = g.fc(fused, dim + 128, 1, /*top=*/true);
+    g.finish(score);
+    model.features.lookupsPerTable /= std::max(1, model.features.numTables);
+    model.net.validate();
+    return model;
+}
+
+namespace {
+
+/** Shared WnD trunk: wide one-hot embeddings + dense -> deep stack. */
+std::string
+wndTrunk(GraphBuilder& g, const ModelOptions& opts, int64_t* trunk_dim)
+{
+    const int64_t dim = 64;
+    const int num_tables = 20;
+    const int64_t dense_dim = 50;
+    const int64_t rows = scaledRows(50000, opts);
+
+    std::vector<std::string> parts;
+    for (int t = 0; t < num_tables; ++t) {
+        parts.push_back(g.embeddingBag("wide" + std::to_string(t), rows,
+                                       dim, 1, opts.zipfExponent));
+    }
+    parts.push_back(g.denseInput("dense", dense_dim));
+
+    const std::string wide = g.concat(parts);
+    const int64_t wide_dim = num_tables * dim + dense_dim;
+    std::string deep = g.mlp(wide, wide_dim, {1024, 512, 256},
+                             /*top=*/false);
+    deep = g.relu(deep);
+    *trunk_dim = 256;
+    return deep;
+}
+
+}  // namespace
+
+Model
+buildWnD(const ModelOptions& opts)
+{
+    Model model(ModelId::kWnD, modelName(ModelId::kWnD));
+    GraphBuilder g(&model);
+    model.features.latentDim = 64;
+
+    int64_t trunk_dim = 0;
+    const std::string trunk = wndTrunk(g, opts, &trunk_dim);
+    const std::string score = g.fc(trunk, trunk_dim, 1, /*top=*/true);
+    g.finish(score);
+    model.features.lookupsPerTable /= std::max(1, model.features.numTables);
+    model.net.validate();
+    return model;
+}
+
+Model
+buildMTWnD(const ModelOptions& opts)
+{
+    Model model(ModelId::kMTWnD, modelName(ModelId::kMTWnD));
+    GraphBuilder g(&model);
+    model.features.latentDim = 64;
+
+    int64_t trunk_dim = 0;
+    const std::string trunk = wndTrunk(g, opts, &trunk_dim);
+
+    // Parallel per-objective towers (likes, ratings, shares, ...).
+    std::vector<std::string> heads;
+    for (int task = 0; task < opts.mtwndTasks; ++task) {
+        heads.push_back(g.mlp(trunk, trunk_dim, {512, 256, 1},
+                              /*top=*/true));
+    }
+    const std::string scores = g.concat(heads);
+    g.finish(scores);
+    model.features.lookupsPerTable /= std::max(1, model.features.numTables);
+    model.net.validate();
+    return model;
+}
+
+}  // namespace builders
+}  // namespace recstack

@@ -1,0 +1,170 @@
+#include "models/custom.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "models/builder_util.h"
+
+namespace recstack {
+namespace {
+
+bool
+parseDims(std::istringstream& iss, std::vector<int64_t>* dims)
+{
+    int64_t v = 0;
+    while (iss >> v) {
+        if (v <= 0) {
+            return false;
+        }
+        dims->push_back(v);
+    }
+    return !dims->empty();
+}
+
+}  // namespace
+
+bool
+parseCustomModelConfig(std::istream& in, CustomModelConfig* config,
+                       std::string* error)
+{
+    auto fail = [error](const std::string& msg) {
+        if (error != nullptr) {
+            *error = msg;
+        }
+        return false;
+    };
+
+    *config = CustomModelConfig{};
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line = line.substr(0, hash);
+        }
+        std::istringstream iss(line);
+        std::string keyword;
+        if (!(iss >> keyword)) {
+            continue;  // blank / comment-only line
+        }
+        const std::string at_line =
+            " at line " + std::to_string(line_no);
+
+        if (keyword == "name") {
+            if (!(iss >> config->name)) {
+                return fail("missing model name" + at_line);
+            }
+        } else if (keyword == "dense") {
+            if (!(iss >> config->denseDim) || config->denseDim <= 0) {
+                return fail("bad dense dimension" + at_line);
+            }
+        } else if (keyword == "bottom") {
+            if (!parseDims(iss, &config->bottom)) {
+                return fail("bad bottom widths" + at_line);
+            }
+        } else if (keyword == "top") {
+            if (!parseDims(iss, &config->top)) {
+                return fail("bad top widths" + at_line);
+            }
+        } else if (keyword == "table") {
+            CustomModelConfig::Table table;
+            std::string token;
+            while (iss >> token) {
+                const size_t eq = token.find('=');
+                const std::string key =
+                    eq == std::string::npos ? token
+                                            : token.substr(0, eq);
+                const std::string value =
+                    eq == std::string::npos ? "" : token.substr(eq + 1);
+                if (key == "rows") {
+                    table.rows = std::atoll(value.c_str());
+                } else if (key == "dim") {
+                    table.dim = std::atoll(value.c_str());
+                } else if (key == "lookups") {
+                    table.lookups = std::atoll(value.c_str());
+                } else if (key == "zipf") {
+                    table.zipf = std::atof(value.c_str());
+                } else if (key == "weighted") {
+                    table.weighted = true;
+                } else {
+                    return fail("unknown table attribute '" + key +
+                                "'" + at_line);
+                }
+            }
+            if (table.rows <= 0 || table.dim <= 0 ||
+                table.lookups <= 0) {
+                return fail("table needs positive rows/dim/lookups" +
+                            at_line);
+            }
+            config->tables.push_back(table);
+        } else {
+            return fail("unknown keyword '" + keyword + "'" + at_line);
+        }
+    }
+
+    if (config->denseDim <= 0) {
+        return fail("config must declare 'dense <dim>'");
+    }
+    if (config->bottom.empty()) {
+        return fail("config must declare 'bottom <widths...>'");
+    }
+    if (config->top.empty()) {
+        return fail("config must declare 'top <widths...>'");
+    }
+    if (config->tables.empty()) {
+        return fail("config must declare at least one 'table'");
+    }
+    return true;
+}
+
+bool
+loadCustomModelConfig(const std::string& path, CustomModelConfig* config,
+                      std::string* error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr) {
+            *error = "cannot open '" + path + "'";
+        }
+        return false;
+    }
+    return parseCustomModelConfig(in, config, error);
+}
+
+Model
+buildCustomModel(const CustomModelConfig& config)
+{
+    Model model(ModelId::kCustom, config.name);
+    GraphBuilder g(&model);
+    model.features.latentDim = static_cast<int>(config.tables[0].dim);
+
+    const std::string dense = g.denseInput("dense", config.denseDim);
+    std::string bottom_out =
+        g.mlp(dense, config.denseDim, config.bottom, /*top=*/false);
+    bottom_out = g.relu(bottom_out);
+
+    std::vector<std::string> pooled;
+    pooled.push_back(bottom_out);
+    int64_t interact_dim = config.bottom.back();
+    for (size_t t = 0; t < config.tables.size(); ++t) {
+        const auto& table = config.tables[t];
+        pooled.push_back(g.embeddingBag("emb" + std::to_string(t),
+                                        table.rows, table.dim,
+                                        table.lookups, table.zipf,
+                                        table.weighted));
+        interact_dim += table.dim;
+    }
+
+    const std::string interact = g.concat(pooled);
+    const std::string top_out =
+        g.mlp(interact, interact_dim, config.top, /*top=*/true);
+    g.finish(top_out);
+    model.features.lookupsPerTable /=
+        std::max(1, model.features.numTables);
+    model.net.validate();
+    return model;
+}
+
+}  // namespace recstack

@@ -1,0 +1,164 @@
+#include "models/model.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace recstack {
+
+const char*
+modelName(ModelId id)
+{
+    switch (id) {
+      case ModelId::kNCF: return "NCF";
+      case ModelId::kRM1: return "RM1";
+      case ModelId::kRM2: return "RM2";
+      case ModelId::kRM3: return "RM3";
+      case ModelId::kWnD: return "WnD";
+      case ModelId::kMTWnD: return "MT-WnD";
+      case ModelId::kDIN: return "DIN";
+      case ModelId::kDIEN: return "DIEN";
+      case ModelId::kCustom: return "Custom";
+    }
+    return "?";
+}
+
+const char*
+modelDomain(ModelId id)
+{
+    switch (id) {
+      case ModelId::kNCF: return "Movies (MovieLens)";
+      case ModelId::kRM1: return "Social Media (early-stage filtering)";
+      case ModelId::kRM2: return "Social Media (late-stage ranking, "
+                                 "categorical)";
+      case ModelId::kRM3: return "Social Media (late-stage ranking, "
+                                 "continuous)";
+      case ModelId::kWnD: return "Smartphone Applications (Play Store)";
+      case ModelId::kMTWnD: return "Video (YouTube, multi-objective)";
+      case ModelId::kDIN: return "E-Commerce (Alibaba)";
+      case ModelId::kDIEN: return "E-Commerce (Alibaba - Taobao)";
+      case ModelId::kCustom: return "User-defined";
+    }
+    return "?";
+}
+
+const char*
+modelInsight(ModelId id)
+{
+    switch (id) {
+      case ModelId::kNCF:
+        return "Small model with only four embedding tables";
+      case ModelId::kRM1:
+        return "Small model with medium (80) lookups per table";
+      case ModelId::kRM2:
+        return "Large model with large (120) lookups per table";
+      case ModelId::kRM3:
+        return "Large model with large FC stacks on continuous inputs";
+      case ModelId::kWnD:
+        return "Medium model with large FC stacks";
+      case ModelId::kMTWnD:
+        return "Large model with multiple parallel FC stacks over WnD";
+      case ModelId::kDIN:
+        return "Local activation weights over ~750 behavior lookups";
+      case ModelId::kDIEN:
+        return "Interaction GRUs replacing DIN's lookup volume";
+      case ModelId::kCustom:
+        return "User-defined DLRM-style architecture";
+    }
+    return "?";
+}
+
+std::vector<ModelId>
+allModels()
+{
+    return {ModelId::kNCF, ModelId::kRM1, ModelId::kRM2, ModelId::kRM3,
+            ModelId::kWnD, ModelId::kMTWnD, ModelId::kDIN, ModelId::kDIEN};
+}
+
+ModelId
+modelFromName(const std::string& name)
+{
+    for (ModelId id : allModels()) {
+        if (name == modelName(id)) {
+            return id;
+        }
+    }
+    RECSTACK_FATAL("unknown model name '" << name << "'");
+}
+
+ModelOptions
+tinyOptions()
+{
+    ModelOptions opts;
+    opts.tableScale = 0.002;
+    opts.dinBehaviors = 6;
+    opts.dienSteps = 5;
+    opts.mtwndTasks = 2;
+    return opts;
+}
+
+double
+ModelFeatures::fcToEmbRatio() const
+{
+    if (embParams == 0) {
+        return static_cast<double>(fcParams);
+    }
+    return static_cast<double>(fcParams) / static_cast<double>(embParams);
+}
+
+double
+ModelFeatures::fcTopHeaviness() const
+{
+    if (fcParams == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(fcTopParams) / static_cast<double>(fcParams);
+}
+
+void
+Model::initParams(Workspace& ws, uint64_t seed) const
+{
+    Rng rng(seed);
+    for (const auto& spec : weights) {
+        Tensor t(spec.shape);
+        float* data = t.data<float>();
+        const int64_t n = t.numel();
+        // Embedding rows are kept small so pooled sums stay O(1);
+        // FC weights use a fan-in style scale so activations do not
+        // blow up through deep stacks.
+        float scale = 0.1f;
+        if (!spec.embedding && spec.shape.size() == 2) {
+            scale = 1.0f /
+                    std::max(1.0f, std::sqrt(
+                        static_cast<float>(spec.shape[1])));
+        }
+        for (int64_t i = 0; i < n; ++i) {
+            data[i] = rng.nextFloat(-scale, scale);
+        }
+        ws.set(spec.name, std::move(t));
+    }
+}
+
+void
+Model::declareParams(Workspace& ws) const
+{
+    for (const auto& spec : weights) {
+        ws.set(spec.name, Tensor::shapeOnly(spec.shape));
+    }
+}
+
+uint64_t
+Model::paramBytes() const
+{
+    uint64_t n = 0;
+    for (const auto& spec : weights) {
+        uint64_t elems = 1;
+        for (int64_t d : spec.shape) {
+            elems *= static_cast<uint64_t>(d);
+        }
+        n += elems * 4;
+    }
+    return n;
+}
+
+}  // namespace recstack

@@ -1,0 +1,129 @@
+#ifndef RECSTACK_MODELS_MODEL_H_
+#define RECSTACK_MODELS_MODEL_H_
+
+/**
+ * @file
+ * The eight industry-representative deep recommendation models of
+ * Table I, expressed as recstack operator graphs.
+ *
+ * Model parameters follow the paper and the DeepRecSys suite it
+ * characterizes: RM1/RM2 are embedding-dominated DLRM configurations
+ * (80 / 120 lookups per table), RM3/WnD/MT-WnD are FC-dominated,
+ * DIN/DIEN implement attention with local activation units / GRUs.
+ * Embedding-table row counts are scaled to simulator-tractable sizes
+ * while keeping every table footprint far beyond last-level cache,
+ * preserving the paper's irregular-DRAM-access regime (see DESIGN.md).
+ */
+
+#include <string>
+#include <vector>
+
+#include "graph/net.h"
+#include "workload/batch_generator.h"
+
+namespace recstack {
+
+/** Identifiers of the Table I model suite. */
+enum class ModelId {
+    kNCF, kRM1, kRM2, kRM3, kWnD, kMTWnD, kDIN, kDIEN,
+    kCustom  ///< user-defined architecture (models/custom.h)
+};
+
+/** Canonical short name ("NCF", "RM1", ...). */
+const char* modelName(ModelId id);
+
+/** One-line application-domain description (Table I). */
+const char* modelDomain(ModelId id);
+
+/** One-line model-architecture insight (Table I). */
+const char* modelInsight(ModelId id);
+
+/** All eight models in the paper's presentation order. */
+std::vector<ModelId> allModels();
+
+/** Parse "RM1" etc.; panics on unknown names. */
+ModelId modelFromName(const std::string& name);
+
+/** Build-time knobs (defaults reproduce the paper's configurations). */
+struct ModelOptions {
+    /// Multiplier on embedding-table row counts (tests use << 1).
+    double tableScale = 1.0;
+    /// DIN user-behavior lookups ("large amount (750) of lookups").
+    int dinBehaviors = 750;
+    /// DIEN behavior-sequence length processed by the GRU stack.
+    int dienSteps = 64;
+    /// MT-WnD parallel objective heads (likes, ratings, ...).
+    int mtwndTasks = 5;
+    /// Embedding index skew. Production recommendation traffic is
+    /// heavily skewed (hot users/items); 0 degenerates to uniform.
+    double zipfExponent = 0.75;
+    /// Position-weighted embedding pooling for the DLRM models
+    /// (SparseLengthsWeightedSum instead of SparseLengthsSum), as
+    /// production ranking models use.
+    bool positionWeighted = false;
+    /// Use a single fused GRU operator for DIEN instead of the
+    /// Caffe2-RecurrentNetwork-style per-timestep unrolling (ablation
+    /// of operator granularity; the paper characterizes the unrolled
+    /// framework behaviour).
+    bool dienFusedGru = false;
+};
+
+/** Reduced-size options for unit tests. */
+ModelOptions tinyOptions();
+
+/** A learned parameter blob the model needs materialized. */
+struct WeightSpec {
+    std::string name;
+    std::vector<int64_t> shape;
+    bool embedding = false;
+};
+
+/**
+ * Algorithmic architecture features used by the Fig. 16 regression
+ * (model-architecture components vs pipeline bottlenecks).
+ */
+struct ModelFeatures {
+    int numTables = 0;
+    double lookupsPerTable = 0.0;
+    int latentDim = 0;
+    uint64_t embParams = 0;    ///< total embedding-table elements
+    uint64_t fcParams = 0;     ///< total FC weights (incl. GRU matrices)
+    uint64_t fcTopParams = 0;  ///< FC weights above the interaction
+    bool attention = false;
+    bool gru = false;
+
+    double fcToEmbRatio() const;
+    double fcTopHeaviness() const;
+};
+
+/** A fully-specified model: graph + input schema + parameters. */
+struct Model {
+    ModelId id;
+    std::string name;
+    NetDef net;
+    WorkloadSpec workload;
+    std::vector<WeightSpec> weights;
+    ModelFeatures features;
+    std::string outputBlob;
+
+    Model(ModelId mid, std::string mname)
+        : id(mid), name(mname), net(std::move(mname))
+    {
+    }
+
+    /** Materialize all weight blobs with deterministic random values. */
+    void initParams(Workspace& ws, uint64_t seed = 7) const;
+
+    /** Declare all weights as shape-only blobs (profile-only runs). */
+    void declareParams(Workspace& ws) const;
+
+    /** Total parameter bytes (fp32). */
+    uint64_t paramBytes() const;
+};
+
+/** Build one of the eight models. */
+Model buildModel(ModelId id, const ModelOptions& opts = {});
+
+}  // namespace recstack
+
+#endif  // RECSTACK_MODELS_MODEL_H_

@@ -1,0 +1,98 @@
+#include "ops/concat.h"
+
+#include "ops/op_costs.h"
+
+namespace recstack {
+
+ConcatOp::ConcatOp(std::string name, std::vector<std::string> xs,
+                   std::string y)
+    : Operator("Concat", std::move(name), std::move(xs), {std::move(y)})
+{
+    RECSTACK_CHECK(!inputs().empty(), "Concat needs at least one input");
+}
+
+void
+ConcatOp::inferShapes(Workspace& ws)
+{
+    const Tensor& first = in(ws, 0);
+    RECSTACK_CHECK(first.rank() == 2,
+                   "Concat '" << name() << "': inputs must be 2-D");
+    const int64_t batch = first.dim(0);
+    int64_t width = 0;
+    for (size_t i = 0; i < inputs().size(); ++i) {
+        const Tensor& x = in(ws, i);
+        RECSTACK_CHECK(x.rank() == 2 && x.dim(0) == batch,
+                       "Concat '" << name() << "': input " << i
+                                  << " batch mismatch");
+        width += x.dim(1);
+    }
+    ws.ensure(outputs()[0], {batch, width});
+}
+
+void
+ConcatOp::run(Workspace& ws)
+{
+    Tensor& yt = out(ws, 0);
+    float* y = yt.data<float>();
+    const int64_t batch = yt.dim(0);
+    const int64_t width = yt.dim(1);
+    int64_t col = 0;
+    for (size_t s = 0; s < inputs().size(); ++s) {
+        const Tensor& xt = in(ws, s);
+        const float* x = xt.data<float>();
+        const int64_t k = xt.dim(1);
+        for (int64_t b = 0; b < batch; ++b) {
+            for (int64_t j = 0; j < k; ++j) {
+                y[b * width + col + j] = x[b * k + j];
+            }
+        }
+        col += k;
+    }
+}
+
+KernelProfile
+ConcatOp::profile(const Workspace& ws) const
+{
+    KernelProfile kp = baseProfile();
+    const Tensor& y = outConst(ws, 0);
+    const uint64_t n = static_cast<uint64_t>(y.numel());
+    kp.vecElemOps = n;  // pure copy
+    // Per-input row bookkeeping: offset math per (input, row).
+    kp.scalarOps = inputs().size() *
+                   static_cast<uint64_t>(y.dim(0)) * 6;
+    for (size_t i = 0; i < inputs().size(); ++i) {
+        addSeqStream(kp, inputs()[i], in(ws, i), false);
+    }
+    // Output writes are strided per input (row-interleaved).
+    MemStream w;
+    w.region = outputs()[0];
+    w.pattern = AccessPattern::kStrided;
+    w.chunkBytes = 64;
+    w.accesses = (y.byteSize() + 63) / 64;
+    w.footprintBytes = y.byteSize();
+    w.strideBytes = static_cast<uint64_t>(y.dim(1)) * 4;
+    w.isWrite = true;
+    w.mlp = opcost::kMlpSequential;
+    kp.streams.push_back(w);
+
+    BranchStream loops;
+    loops.count = std::max<uint64_t>(
+        1, inputs().size() * static_cast<uint64_t>(y.dim(0)));
+    loops.takenProbability = 0.9;
+    loops.randomness = 0.1;
+    kp.branches.push_back(loops);
+
+    kp.codeFootprintBytes = opcost::kConcatCodeBytes;
+    kp.codeRegion = "kernel:Concat";
+    kp.codeIterations = std::max<uint64_t>(1, n / 16);
+    return kp;
+}
+
+OperatorPtr
+makeConcat(std::string name, std::vector<std::string> xs, std::string y)
+{
+    return std::make_unique<ConcatOp>(std::move(name), std::move(xs),
+                                      std::move(y));
+}
+
+}  // namespace recstack

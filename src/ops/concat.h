@@ -1,0 +1,33 @@
+#ifndef RECSTACK_OPS_CONCAT_H_
+#define RECSTACK_OPS_CONCAT_H_
+
+/**
+ * @file
+ * Concat: concatenation along axis 1 of 2-D tensors. The paper calls
+ * out concatenation as the operator class that makes DIN's attention
+ * implementation perform poorly on GPUs (launch-bound data movement).
+ */
+
+#include "ops/operator.h"
+
+namespace recstack {
+
+/**
+ * Concatenate 2-D inputs [B, Ki] along axis 1 into [B, sum(Ki)].
+ */
+class ConcatOp : public Operator
+{
+  public:
+    ConcatOp(std::string name, std::vector<std::string> xs, std::string y);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+};
+
+OperatorPtr makeConcat(std::string name, std::vector<std::string> xs,
+                       std::string y);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_OPS_CONCAT_H_

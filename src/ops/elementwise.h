@@ -1,0 +1,84 @@
+#ifndef RECSTACK_OPS_ELEMENTWISE_H_
+#define RECSTACK_OPS_ELEMENTWISE_H_
+
+/**
+ * @file
+ * Elementwise operators: activations (Relu/Sigmoid/Tanh) and
+ * arithmetic (Add/Sub/Mul/Sum). These are the glue operators whose
+ * per-op dispatch overhead dominates the small-operator models (NCF,
+ * DIN) in the paper's characterization.
+ */
+
+#include "ops/operator.h"
+
+namespace recstack {
+
+/** Supported unary elementwise functions. */
+enum class UnaryFn { kRelu, kSigmoid, kTanh };
+
+/** Unary elementwise operator: Y = fn(X), same shape. */
+class UnaryOp : public Operator
+{
+  public:
+    UnaryOp(UnaryFn fn, std::string name, std::string x, std::string y);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+
+    UnaryFn fn() const { return fn_; }
+
+  private:
+    UnaryFn fn_;
+};
+
+/** Supported binary elementwise functions. */
+enum class BinaryFn { kAdd, kSub, kMul };
+
+/**
+ * Binary elementwise operator: Y = fn(A, B). Shapes must match, or B
+ * may be [rows, 1] and is broadcast across A's columns (the AUGRU
+ * attention-scalar update uses this).
+ */
+class BinaryOp : public Operator
+{
+  public:
+    BinaryOp(BinaryFn fn, std::string name, std::string a, std::string b,
+             std::string y);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+
+    BinaryFn fn() const { return fn_; }
+
+  private:
+    BinaryFn fn_;
+};
+
+/** N-ary elementwise sum (Caffe2 Sum): Y = X0 + X1 + ... */
+class SumOp : public Operator
+{
+  public:
+    SumOp(std::string name, std::vector<std::string> xs, std::string y);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+};
+
+OperatorPtr makeRelu(std::string name, std::string x, std::string y);
+OperatorPtr makeSigmoid(std::string name, std::string x, std::string y);
+OperatorPtr makeTanh(std::string name, std::string x, std::string y);
+OperatorPtr makeAdd(std::string name, std::string a, std::string b,
+                    std::string y);
+OperatorPtr makeSub(std::string name, std::string a, std::string b,
+                    std::string y);
+OperatorPtr makeMul(std::string name, std::string a, std::string b,
+                    std::string y);
+OperatorPtr makeSum(std::string name, std::vector<std::string> xs,
+                    std::string y);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_OPS_ELEMENTWISE_H_

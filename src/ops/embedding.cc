@@ -1,0 +1,510 @@
+#include "ops/embedding.h"
+
+#include "ops/op_costs.h"
+
+namespace recstack {
+namespace {
+
+/** Random-gather stream over an embedding table. */
+MemStream
+tableStream(const std::string& region, uint64_t accesses,
+            uint64_t row_bytes, uint64_t table_bytes, double zipf)
+{
+    MemStream s;
+    s.region = region;
+    s.pattern = AccessPattern::kRandom;
+    s.accesses = accesses;
+    s.chunkBytes = row_bytes;
+    s.footprintBytes = table_bytes;
+    s.zipfExponent = zipf;
+    s.mlp = opcost::kMlpGather;
+    return s;
+}
+
+}  // namespace
+
+SparseLengthsSumOp::SparseLengthsSumOp(std::string name, std::string data,
+                                       std::string indices,
+                                       std::string lengths, std::string out,
+                                       double zipf_exponent)
+    : Operator("SparseLengthsSum", std::move(name),
+               {std::move(data), std::move(indices), std::move(lengths)},
+               {std::move(out)}),
+      zipfExponent_(zipf_exponent)
+{
+}
+
+void
+SparseLengthsSumOp::inferShapes(Workspace& ws)
+{
+    const Tensor& data = in(ws, 0);
+    const Tensor& indices = in(ws, 1);
+    const Tensor& lengths = in(ws, 2);
+    RECSTACK_CHECK(data.rank() == 2, "SLS '" << name()
+                   << "': data must be 2-D");
+    RECSTACK_CHECK(indices.dtype() == DType::kInt64,
+                   "SLS '" << name() << "': indices must be int64");
+    RECSTACK_CHECK(lengths.dtype() == DType::kInt32,
+                   "SLS '" << name() << "': lengths must be int32");
+    ws.ensure(outputs()[0], {lengths.numel(), data.dim(1)});
+}
+
+void
+SparseLengthsSumOp::run(Workspace& ws)
+{
+    const Tensor& data_t = in(ws, 0);
+    const Tensor& idx_t = in(ws, 1);
+    const Tensor& len_t = in(ws, 2);
+    Tensor& out_t = out(ws, 0);
+
+    const float* data = data_t.data<float>();
+    const int64_t* indices = idx_t.data<int64_t>();
+    const int32_t* lengths = len_t.data<int32_t>();
+    float* y = out_t.data<float>();
+
+    const int64_t rows = data_t.dim(0);
+    const int64_t dim = data_t.dim(1);
+    const int64_t batch = len_t.numel();
+
+    int64_t cursor = 0;
+    for (int64_t b = 0; b < batch; ++b) {
+        float* yrow = y + b * dim;
+        for (int64_t d = 0; d < dim; ++d) {
+            yrow[d] = 0.0f;
+        }
+        for (int32_t p = 0; p < lengths[b]; ++p) {
+            const int64_t row = indices[cursor++];
+            RECSTACK_CHECK(row >= 0 && row < rows,
+                           "SLS '" << name() << "': index " << row
+                                   << " out of range");
+            const float* src = data + row * dim;
+            for (int64_t d = 0; d < dim; ++d) {
+                yrow[d] += src[d];
+            }
+        }
+    }
+    RECSTACK_CHECK(cursor == idx_t.numel(),
+                   "SLS '" << name() << "': lengths do not cover indices");
+}
+
+KernelProfile
+SparseLengthsSumOp::profile(const Workspace& ws) const
+{
+    const Tensor& data = in(ws, 0);
+    const Tensor& indices = in(ws, 1);
+    const Tensor& out_t = outConst(ws, 0);
+
+    const uint64_t lookups = static_cast<uint64_t>(indices.numel());
+    const uint64_t dim = static_cast<uint64_t>(data.dim(1));
+
+    KernelProfile kp = baseProfile();
+    kp.vecElemOps = lookups * dim;  // the pooling adds
+    // Index decode, bounds checks and address generation per lookup.
+    kp.scalarOps = lookups * 8;
+
+    addSeqStream(kp, inputs()[1], indices, false);
+    addSeqStream(kp, inputs()[2], in(ws, 2), false);
+    kp.streams.push_back(tableStream(inputs()[0], lookups, dim * 4,
+                                     data.byteSize(), zipfExponent_));
+    addSeqStream(kp, outputs()[0], out_t, true);
+
+    // Per-lookup segment/bounds branches: trip counts and row targets
+    // are data dependent, which is the bad-speculation source the
+    // paper attributes to RM1/RM2.
+    BranchStream seg;
+    seg.count = 3 * lookups + static_cast<uint64_t>(out_t.dim(0));
+    seg.takenProbability = 0.85;
+    seg.randomness = 0.75;
+    kp.branches.push_back(seg);
+
+    kp.codeFootprintBytes = opcost::kSlsCodeBytes;
+    kp.codeRegion = "kernel:SparseLengthsSum";
+    kp.codeIterations = std::max<uint64_t>(1, lookups);
+    return kp;
+}
+
+SparseLengthsWeightedSumOp::SparseLengthsWeightedSumOp(
+    std::string name, std::string data, std::string weights,
+    std::string indices, std::string lengths, std::string out,
+    double zipf_exponent)
+    : Operator("SparseLengthsWeightedSum", std::move(name),
+               {std::move(data), std::move(weights), std::move(indices),
+                std::move(lengths)},
+               {std::move(out)}),
+      zipfExponent_(zipf_exponent)
+{
+}
+
+void
+SparseLengthsWeightedSumOp::inferShapes(Workspace& ws)
+{
+    const Tensor& data = in(ws, 0);
+    const Tensor& weights = in(ws, 1);
+    const Tensor& indices = in(ws, 2);
+    const Tensor& lengths = in(ws, 3);
+    RECSTACK_CHECK(data.rank() == 2, "SLWS '" << name()
+                   << "': data must be 2-D");
+    RECSTACK_CHECK(weights.numel() == indices.numel(),
+                   "SLWS '" << name()
+                            << "': one weight per lookup required");
+    RECSTACK_CHECK(indices.dtype() == DType::kInt64 &&
+                   lengths.dtype() == DType::kInt32,
+                   "SLWS '" << name() << "': index dtype mismatch");
+    ws.ensure(outputs()[0], {lengths.numel(), data.dim(1)});
+}
+
+void
+SparseLengthsWeightedSumOp::run(Workspace& ws)
+{
+    const Tensor& data_t = in(ws, 0);
+    const Tensor& w_t = in(ws, 1);
+    const Tensor& idx_t = in(ws, 2);
+    const Tensor& len_t = in(ws, 3);
+    Tensor& out_t = out(ws, 0);
+
+    const float* data = data_t.data<float>();
+    const float* w = w_t.data<float>();
+    const int64_t* indices = idx_t.data<int64_t>();
+    const int32_t* lengths = len_t.data<int32_t>();
+    float* y = out_t.data<float>();
+    const int64_t rows = data_t.dim(0);
+    const int64_t dim = data_t.dim(1);
+
+    int64_t cursor = 0;
+    for (int64_t b = 0; b < len_t.numel(); ++b) {
+        float* yrow = y + b * dim;
+        for (int64_t d = 0; d < dim; ++d) {
+            yrow[d] = 0.0f;
+        }
+        for (int32_t p = 0; p < lengths[b]; ++p, ++cursor) {
+            const int64_t row = indices[cursor];
+            RECSTACK_CHECK(row >= 0 && row < rows,
+                           "SLWS '" << name() << "': index out of range");
+            const float scale = w[cursor];
+            const float* src = data + row * dim;
+            for (int64_t d = 0; d < dim; ++d) {
+                yrow[d] += scale * src[d];
+            }
+        }
+    }
+    RECSTACK_CHECK(cursor == idx_t.numel(),
+                   "SLWS '" << name() << "': lengths do not cover indices");
+}
+
+KernelProfile
+SparseLengthsWeightedSumOp::profile(const Workspace& ws) const
+{
+    const Tensor& data = in(ws, 0);
+    const Tensor& indices = in(ws, 2);
+    const Tensor& out_t = outConst(ws, 0);
+    const uint64_t lookups = static_cast<uint64_t>(indices.numel());
+    const uint64_t dim = static_cast<uint64_t>(data.dim(1));
+
+    KernelProfile kp = baseProfile();
+    // Multiply-accumulate instead of plain add.
+    kp.fmaFlops = 2 * lookups * dim;
+    kp.scalarOps = lookups * 9;
+    addSeqStream(kp, inputs()[1], in(ws, 1), false);
+    addSeqStream(kp, inputs()[2], indices, false);
+    addSeqStream(kp, inputs()[3], in(ws, 3), false);
+    kp.streams.push_back(tableStream(inputs()[0], lookups, dim * 4,
+                                     data.byteSize(), zipfExponent_));
+    addSeqStream(kp, outputs()[0], out_t, true);
+
+    BranchStream seg;
+    seg.count = 3 * lookups + static_cast<uint64_t>(out_t.dim(0));
+    seg.takenProbability = 0.85;
+    seg.randomness = 0.75;
+    kp.branches.push_back(seg);
+
+    kp.codeFootprintBytes = opcost::kSlsCodeBytes;
+    kp.codeRegion = "kernel:SparseLengthsWeightedSum";
+    kp.codeIterations = std::max<uint64_t>(1, lookups);
+    return kp;
+}
+
+SparseLengthsMeanOp::SparseLengthsMeanOp(std::string name,
+                                         std::string data,
+                                         std::string indices,
+                                         std::string lengths,
+                                         std::string out,
+                                         double zipf_exponent)
+    : Operator("SparseLengthsMean", std::move(name),
+               {std::move(data), std::move(indices), std::move(lengths)},
+               {std::move(out)}),
+      zipfExponent_(zipf_exponent)
+{
+}
+
+void
+SparseLengthsMeanOp::inferShapes(Workspace& ws)
+{
+    const Tensor& data = in(ws, 0);
+    const Tensor& lengths = in(ws, 2);
+    RECSTACK_CHECK(data.rank() == 2, "SLMean '" << name()
+                   << "': data must be 2-D");
+    RECSTACK_CHECK(in(ws, 1).dtype() == DType::kInt64 &&
+                   lengths.dtype() == DType::kInt32,
+                   "SLMean '" << name() << "': index dtype mismatch");
+    ws.ensure(outputs()[0], {lengths.numel(), data.dim(1)});
+}
+
+void
+SparseLengthsMeanOp::run(Workspace& ws)
+{
+    const Tensor& data_t = in(ws, 0);
+    const Tensor& idx_t = in(ws, 1);
+    const Tensor& len_t = in(ws, 2);
+    Tensor& out_t = out(ws, 0);
+
+    const float* data = data_t.data<float>();
+    const int64_t* indices = idx_t.data<int64_t>();
+    const int32_t* lengths = len_t.data<int32_t>();
+    float* y = out_t.data<float>();
+    const int64_t rows = data_t.dim(0);
+    const int64_t dim = data_t.dim(1);
+
+    int64_t cursor = 0;
+    for (int64_t b = 0; b < len_t.numel(); ++b) {
+        float* yrow = y + b * dim;
+        for (int64_t d = 0; d < dim; ++d) {
+            yrow[d] = 0.0f;
+        }
+        for (int32_t p = 0; p < lengths[b]; ++p, ++cursor) {
+            const int64_t row = indices[cursor];
+            RECSTACK_CHECK(row >= 0 && row < rows,
+                           "SLMean '" << name()
+                                      << "': index out of range");
+            const float* src = data + row * dim;
+            for (int64_t d = 0; d < dim; ++d) {
+                yrow[d] += src[d];
+            }
+        }
+        if (lengths[b] > 0) {
+            const float inv = 1.0f / static_cast<float>(lengths[b]);
+            for (int64_t d = 0; d < dim; ++d) {
+                yrow[d] *= inv;
+            }
+        }
+    }
+    RECSTACK_CHECK(cursor == idx_t.numel(),
+                   "SLMean '" << name()
+                              << "': lengths do not cover indices");
+}
+
+KernelProfile
+SparseLengthsMeanOp::profile(const Workspace& ws) const
+{
+    const Tensor& data = in(ws, 0);
+    const Tensor& indices = in(ws, 1);
+    const Tensor& out_t = outConst(ws, 0);
+    const uint64_t lookups = static_cast<uint64_t>(indices.numel());
+    const uint64_t dim = static_cast<uint64_t>(data.dim(1));
+
+    KernelProfile kp = baseProfile();
+    kp.vecElemOps = lookups * dim +
+                    static_cast<uint64_t>(out_t.numel());  // + divide
+    kp.scalarOps = lookups * 8;
+    addSeqStream(kp, inputs()[1], indices, false);
+    addSeqStream(kp, inputs()[2], in(ws, 2), false);
+    kp.streams.push_back(tableStream(inputs()[0], lookups, dim * 4,
+                                     data.byteSize(), zipfExponent_));
+    addSeqStream(kp, outputs()[0], out_t, true);
+
+    BranchStream seg;
+    seg.count = 3 * lookups + static_cast<uint64_t>(out_t.dim(0));
+    seg.takenProbability = 0.85;
+    seg.randomness = 0.75;
+    kp.branches.push_back(seg);
+
+    kp.codeFootprintBytes = opcost::kSlsCodeBytes;
+    kp.codeRegion = "kernel:SparseLengthsMean";
+    kp.codeIterations = std::max<uint64_t>(1, lookups);
+    return kp;
+}
+
+GatherOp::GatherOp(std::string name, std::string data, std::string indices,
+                   std::string out, double zipf_exponent)
+    : Operator("Gather", std::move(name),
+               {std::move(data), std::move(indices)}, {std::move(out)}),
+      zipfExponent_(zipf_exponent)
+{
+}
+
+void
+GatherOp::inferShapes(Workspace& ws)
+{
+    const Tensor& data = in(ws, 0);
+    const Tensor& indices = in(ws, 1);
+    RECSTACK_CHECK(data.rank() == 2, "Gather '" << name()
+                   << "': data must be 2-D");
+    RECSTACK_CHECK(indices.dtype() == DType::kInt64,
+                   "Gather '" << name() << "': indices must be int64");
+    ws.ensure(outputs()[0], {indices.numel(), data.dim(1)});
+}
+
+void
+GatherOp::run(Workspace& ws)
+{
+    const Tensor& data_t = in(ws, 0);
+    const Tensor& idx_t = in(ws, 1);
+    Tensor& out_t = out(ws, 0);
+
+    const float* data = data_t.data<float>();
+    const int64_t* indices = idx_t.data<int64_t>();
+    float* y = out_t.data<float>();
+    const int64_t dim = data_t.dim(1);
+    const int64_t rows = data_t.dim(0);
+
+    for (int64_t i = 0; i < idx_t.numel(); ++i) {
+        const int64_t row = indices[i];
+        RECSTACK_CHECK(row >= 0 && row < rows,
+                       "Gather '" << name() << "': index out of range");
+        const float* src = data + row * dim;
+        float* dst = y + i * dim;
+        for (int64_t d = 0; d < dim; ++d) {
+            dst[d] = src[d];
+        }
+    }
+}
+
+KernelProfile
+GatherOp::profile(const Workspace& ws) const
+{
+    const Tensor& data = in(ws, 0);
+    const Tensor& indices = in(ws, 1);
+    const Tensor& out_t = outConst(ws, 0);
+    const uint64_t lookups = static_cast<uint64_t>(indices.numel());
+    const uint64_t dim = static_cast<uint64_t>(data.dim(1));
+
+    KernelProfile kp = baseProfile();
+    kp.vecElemOps = lookups * dim;  // copies
+    kp.scalarOps = lookups * 6;
+    addSeqStream(kp, inputs()[1], indices, false);
+    kp.streams.push_back(tableStream(inputs()[0], lookups, dim * 4,
+                                     data.byteSize(), zipfExponent_));
+    addSeqStream(kp, outputs()[0], out_t, true);
+
+    BranchStream seg;
+    seg.count = lookups;
+    seg.takenProbability = 0.9;
+    seg.randomness = 0.4;
+    kp.branches.push_back(seg);
+
+    kp.codeFootprintBytes = opcost::kSlsCodeBytes;
+    kp.codeRegion = "kernel:Gather";
+    kp.codeIterations = std::max<uint64_t>(1, lookups);
+    return kp;
+}
+
+ReduceSumOp::ReduceSumOp(std::string name, std::string x, std::string y)
+    : Operator("ReduceSum", std::move(name), {std::move(x)},
+               {std::move(y)})
+{
+}
+
+void
+ReduceSumOp::inferShapes(Workspace& ws)
+{
+    const Tensor& x = in(ws, 0);
+    RECSTACK_CHECK(x.rank() == 3, "ReduceSum '" << name()
+                   << "': input must be 3-D [B, P, D]");
+    ws.ensure(outputs()[0], {x.dim(0), x.dim(2)});
+}
+
+void
+ReduceSumOp::run(Workspace& ws)
+{
+    const Tensor& xt = in(ws, 0);
+    Tensor& yt = out(ws, 0);
+    const float* x = xt.data<float>();
+    float* y = yt.data<float>();
+    const int64_t batch = xt.dim(0);
+    const int64_t pool = xt.dim(1);
+    const int64_t dim = xt.dim(2);
+    for (int64_t b = 0; b < batch; ++b) {
+        float* yrow = y + b * dim;
+        for (int64_t d = 0; d < dim; ++d) {
+            yrow[d] = 0.0f;
+        }
+        for (int64_t p = 0; p < pool; ++p) {
+            const float* src = x + (b * pool + p) * dim;
+            for (int64_t d = 0; d < dim; ++d) {
+                yrow[d] += src[d];
+            }
+        }
+    }
+}
+
+KernelProfile
+ReduceSumOp::profile(const Workspace& ws) const
+{
+    const Tensor& x = in(ws, 0);
+    KernelProfile kp = baseProfile();
+    const uint64_t n = static_cast<uint64_t>(x.numel());
+    kp.vecElemOps = n;
+    kp.scalarOps = static_cast<uint64_t>(x.dim(0)) * 4;
+    addSeqStream(kp, inputs()[0], x, false);
+    addSeqStream(kp, outputs()[0], outConst(ws, 0), true);
+    BranchStream loops;
+    loops.count = std::max<uint64_t>(
+        1, static_cast<uint64_t>(x.dim(0) * x.dim(1)));
+    loops.takenProbability = 0.95;
+    loops.randomness = 0.05;
+    loops.scalesWithSimd = true;
+    kp.branches.push_back(loops);
+    kp.codeFootprintBytes = opcost::kEltwiseCodeBytes;
+    kp.codeRegion = "kernel:ReduceSum";
+    kp.codeIterations = std::max<uint64_t>(1, n / 16);
+    return kp;
+}
+
+OperatorPtr
+makeSparseLengthsSum(std::string name, std::string data, std::string indices,
+                     std::string lengths, std::string out,
+                     double zipf_exponent)
+{
+    return std::make_unique<SparseLengthsSumOp>(
+        std::move(name), std::move(data), std::move(indices),
+        std::move(lengths), std::move(out), zipf_exponent);
+}
+
+OperatorPtr
+makeSparseLengthsWeightedSum(std::string name, std::string data,
+                             std::string weights, std::string indices,
+                             std::string lengths, std::string out,
+                             double zipf_exponent)
+{
+    return std::make_unique<SparseLengthsWeightedSumOp>(
+        std::move(name), std::move(data), std::move(weights),
+        std::move(indices), std::move(lengths), std::move(out),
+        zipf_exponent);
+}
+
+OperatorPtr
+makeSparseLengthsMean(std::string name, std::string data,
+                      std::string indices, std::string lengths,
+                      std::string out, double zipf_exponent)
+{
+    return std::make_unique<SparseLengthsMeanOp>(
+        std::move(name), std::move(data), std::move(indices),
+        std::move(lengths), std::move(out), zipf_exponent);
+}
+
+OperatorPtr
+makeGather(std::string name, std::string data, std::string indices,
+           std::string out, double zipf_exponent)
+{
+    return std::make_unique<GatherOp>(std::move(name), std::move(data),
+                                      std::move(indices), std::move(out),
+                                      zipf_exponent);
+}
+
+OperatorPtr
+makeReduceSum(std::string name, std::string x, std::string y)
+{
+    return std::make_unique<ReduceSumOp>(std::move(name), std::move(x),
+                                         std::move(y));
+}
+
+}  // namespace recstack

@@ -1,0 +1,146 @@
+#ifndef RECSTACK_OPS_EMBEDDING_H_
+#define RECSTACK_OPS_EMBEDDING_H_
+
+/**
+ * @file
+ * Embedding-table operators.
+ *
+ * SparseLengthsSum is Caffe2's fused lookup+pool operator and the
+ * dominant operator of the embedding-heavy models (RM1, RM2) in the
+ * paper. Gather and ReduceSum are the TensorFlow-granularity
+ * equivalents (ResourceGather + Sum) used by the framework adapter
+ * for the Fig. 7 comparison.
+ */
+
+#include "ops/operator.h"
+
+namespace recstack {
+
+/**
+ * SparseLengthsSum.
+ *
+ * Inputs:  data [R, D] float, indices [L] int64, lengths [B] int32
+ *          with sum(lengths) == L.
+ * Outputs: out [B, D] where out[b] = sum of data rows selected by the
+ *          b-th segment of indices.
+ *
+ * @param zipf_exponent access skew the index stream is drawn with;
+ *        forwarded to the memory stream so the cache model sees the
+ *        same locality the numeric indices have.
+ */
+class SparseLengthsSumOp : public Operator
+{
+  public:
+    SparseLengthsSumOp(std::string name, std::string data,
+                       std::string indices, std::string lengths,
+                       std::string out, double zipf_exponent = 0.0);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+
+  private:
+    double zipfExponent_;
+};
+
+/**
+ * Gather: out[i] = data[indices[i]] (TF ResourceGather granularity).
+ *
+ * Inputs:  data [R, D] float, indices [L] int64
+ * Outputs: out [L, D]
+ */
+class GatherOp : public Operator
+{
+  public:
+    GatherOp(std::string name, std::string data, std::string indices,
+             std::string out, double zipf_exponent = 0.0);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+
+  private:
+    double zipfExponent_;
+};
+
+/**
+ * ReduceSum over axis 1 of a 3-D tensor: [B, P, D] -> [B, D].
+ * The TF-granularity pooling half of SparseLengthsSum.
+ */
+class ReduceSumOp : public Operator
+{
+  public:
+    ReduceSumOp(std::string name, std::string x, std::string y);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+};
+
+/**
+ * SparseLengthsWeightedSum: per-lookup scalar weights applied before
+ * pooling (Caffe2's weighted embedding bag, used by position-weighted
+ * production models).
+ *
+ * Inputs:  data [R, D], weights [L] float, indices [L] int64,
+ *          lengths [B] int32
+ * Outputs: out [B, D]
+ */
+class SparseLengthsWeightedSumOp : public Operator
+{
+  public:
+    SparseLengthsWeightedSumOp(std::string name, std::string data,
+                               std::string weights, std::string indices,
+                               std::string lengths, std::string out,
+                               double zipf_exponent = 0.0);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+
+  private:
+    double zipfExponent_;
+};
+
+/**
+ * SparseLengthsMean: average pooling instead of sum (identical access
+ * behaviour; divides by the segment length).
+ */
+class SparseLengthsMeanOp : public Operator
+{
+  public:
+    SparseLengthsMeanOp(std::string name, std::string data,
+                        std::string indices, std::string lengths,
+                        std::string out, double zipf_exponent = 0.0);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+
+  private:
+    double zipfExponent_;
+};
+
+OperatorPtr makeSparseLengthsSum(std::string name, std::string data,
+                                 std::string indices, std::string lengths,
+                                 std::string out,
+                                 double zipf_exponent = 0.0);
+OperatorPtr makeSparseLengthsWeightedSum(std::string name,
+                                         std::string data,
+                                         std::string weights,
+                                         std::string indices,
+                                         std::string lengths,
+                                         std::string out,
+                                         double zipf_exponent = 0.0);
+OperatorPtr makeSparseLengthsMean(std::string name, std::string data,
+                                  std::string indices,
+                                  std::string lengths, std::string out,
+                                  double zipf_exponent = 0.0);
+OperatorPtr makeGather(std::string name, std::string data,
+                       std::string indices, std::string out,
+                       double zipf_exponent = 0.0);
+OperatorPtr makeReduceSum(std::string name, std::string x, std::string y);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_OPS_EMBEDDING_H_

@@ -1,0 +1,123 @@
+#include "ops/fc.h"
+
+#include "ops/op_costs.h"
+
+namespace recstack {
+
+FCOp::FCOp(std::string name, std::string x, std::string w, std::string b,
+           std::string y)
+    : Operator("FC", std::move(name), {std::move(x), std::move(w),
+      std::move(b)}, {std::move(y)})
+{
+}
+
+void
+FCOp::inferShapes(Workspace& ws)
+{
+    const Tensor& x = in(ws, 0);
+    const Tensor& w = in(ws, 1);
+    const Tensor& b = in(ws, 2);
+    RECSTACK_CHECK(x.rank() == 2, "FC '" << name() << "': X must be 2-D, got "
+                   << x.describe());
+    RECSTACK_CHECK(w.rank() == 2, "FC '" << name() << "': W must be 2-D");
+    RECSTACK_CHECK(x.dim(1) == w.dim(1),
+                   "FC '" << name() << "': K mismatch, X " << x.describe()
+                          << " vs W " << w.describe());
+    RECSTACK_CHECK(b.numel() == w.dim(0), "FC '" << name()
+                   << "': bias length mismatch");
+    ws.ensure(outputs()[0], {x.dim(0), w.dim(0)});
+}
+
+void
+FCOp::run(Workspace& ws)
+{
+    const Tensor& xt = in(ws, 0);
+    const Tensor& wt = in(ws, 1);
+    const Tensor& bt = in(ws, 2);
+    Tensor& yt = out(ws, 0);
+
+    const int64_t m = xt.dim(0);
+    const int64_t k = xt.dim(1);
+    const int64_t n = wt.dim(0);
+    const float* x = xt.data<float>();
+    const float* w = wt.data<float>();
+    const float* b = bt.data<float>();
+    float* y = yt.data<float>();
+
+    for (int64_t i = 0; i < m; ++i) {
+        const float* xrow = x + i * k;
+        float* yrow = y + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+            const float* wrow = w + j * k;
+            float acc = b[j];
+            for (int64_t c = 0; c < k; ++c) {
+                acc += xrow[c] * wrow[c];
+            }
+            yrow[j] = acc;
+        }
+    }
+}
+
+KernelProfile
+FCOp::profile(const Workspace& ws) const
+{
+    const Tensor& x = in(ws, 0);
+    const Tensor& w = in(ws, 1);
+    const Tensor& y = outConst(ws, 0);
+    const uint64_t m = static_cast<uint64_t>(x.dim(0));
+    const uint64_t k = static_cast<uint64_t>(x.dim(1));
+    const uint64_t n = static_cast<uint64_t>(w.dim(0));
+
+    KernelProfile kp = baseProfile();
+    kp.fmaFlops = 2 * m * n * k;
+    kp.gemmWidth = n;
+    // Register-blocked GEMM reloads operand vectors from L1-resident
+    // tiles and spends extra vector ops on broadcasts/shuffles and
+    // accumulator reduction — the port pressure behind the paper's
+    // core-bound FC models.
+    kp.reloadLoadElems = m * n * k / 2;
+    kp.vecElemOps = m * n * k / 3;
+    // Row-pointer setup and accumulator handling (per vector loop
+    // iteration, so it shrinks with SIMD width).
+    kp.simdScalableOps = m * n / 2;
+    kp.scalarOps = m * 4;
+    addSeqStream(kp, inputs()[0], x, false);
+    // A blocked GEMM re-reads the weight panel once per M-tile of ~64
+    // rows; model the weight traffic accordingly so large batches see
+    // weight reuse from cache.
+    {
+        MemStream ws_stream;
+        ws_stream.region = inputs()[1];
+        ws_stream.pattern = AccessPattern::kSequential;
+        ws_stream.chunkBytes = 64;
+        const uint64_t panel_reads = std::max<uint64_t>(1, (m + 63) / 64);
+        ws_stream.footprintBytes = w.byteSize();
+        ws_stream.accesses = panel_reads * ((w.byteSize() + 63) / 64);
+        ws_stream.mlp = opcost::kMlpSequential;
+        kp.streams.push_back(ws_stream);
+    }
+    addSeqStream(kp, outputs()[0], y, true);
+
+    BranchStream loops;
+    loops.count = std::max<uint64_t>(1, kp.fmaFlops /
+                                     opcost::kFlopsPerGemmBranch);
+    loops.takenProbability = 0.97;
+    loops.randomness = 0.02;
+    loops.scalesWithSimd = true;
+    kp.branches.push_back(loops);
+
+    kp.codeFootprintBytes = opcost::kGemmCodeBytes;
+    kp.codeRegion = "kernel:FC";
+    kp.codeIterations = std::max<uint64_t>(1, m * n * k / 512);
+    return kp;
+}
+
+OperatorPtr
+makeFC(std::string name, std::string x, std::string w, std::string b,
+       std::string y)
+{
+    return std::make_unique<FCOp>(std::move(name), std::move(x),
+                                  std::move(w), std::move(b), std::move(y));
+}
+
+}  // namespace recstack

@@ -1,0 +1,38 @@
+#ifndef RECSTACK_OPS_FC_H_
+#define RECSTACK_OPS_FC_H_
+
+/**
+ * @file
+ * FC: Caffe2's fully-connected operator, Y = X * W^T + b.
+ * The central compute operator of the FC-heavy recommendation models
+ * (RM3, WnD, MT-WnD) in the paper.
+ */
+
+#include "ops/operator.h"
+
+namespace recstack {
+
+/**
+ * Fully-connected layer.
+ *
+ * Inputs:  X [M, K], W [N, K], b [N]
+ * Outputs: Y [M, N]
+ */
+class FCOp : public Operator
+{
+  public:
+    FCOp(std::string name, std::string x, std::string w, std::string b,
+         std::string y);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+};
+
+/** Convenience factory. */
+OperatorPtr makeFC(std::string name, std::string x, std::string w,
+                   std::string b, std::string y);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_OPS_FC_H_

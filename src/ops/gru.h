@@ -1,0 +1,53 @@
+#ifndef RECSTACK_OPS_GRU_H_
+#define RECSTACK_OPS_GRU_H_
+
+/**
+ * @file
+ * GRULayer: a full gated-recurrent-unit layer over a sequence, the
+ * interest-evolution machinery of DIEN. Supports the plain GRU and
+ * the attentional-update AUGRU variant DIEN stacks on top.
+ */
+
+#include "ops/operator.h"
+
+namespace recstack {
+
+/**
+ * GRU layer over a [T, B, I] input sequence.
+ *
+ * Inputs:  x [T, B, I], h0 [B, H], wx [3H, I], wh [3H, H], bias [3H]
+ *          and, when attentional, att [T, B] per-step attention scores.
+ * Outputs: hseq [T, B, H], hlast [B, H]
+ *
+ * Gate math (per step t):
+ *   r = sigmoid(Wx_r x + Wh_r h + b_r)
+ *   z = sigmoid(Wx_z x + Wh_z h + b_z)      (AUGRU: z *= att[t])
+ *   n = tanh   (Wx_n x + r * (Wh_n h) + b_n)
+ *   h = (1 - z) * n + z * h
+ */
+class GRULayerOp : public Operator
+{
+  public:
+    GRULayerOp(std::string name, std::string x, std::string h0,
+               std::string wx, std::string wh, std::string bias,
+               std::string hseq, std::string hlast,
+               std::string att = "");
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+
+    bool attentional() const { return attentional_; }
+
+  private:
+    bool attentional_;
+};
+
+OperatorPtr makeGRULayer(std::string name, std::string x, std::string h0,
+                         std::string wx, std::string wh, std::string bias,
+                         std::string hseq, std::string hlast,
+                         std::string att = "");
+
+}  // namespace recstack
+
+#endif  // RECSTACK_OPS_GRU_H_

@@ -1,0 +1,177 @@
+#include "ops/matmul.h"
+
+#include <cmath>
+
+#include "ops/op_costs.h"
+
+namespace recstack {
+
+BatchMatMulOp::BatchMatMulOp(std::string name, std::string a, std::string b,
+                             std::string c)
+    : Operator("BatchMatMul", std::move(name), {std::move(a), std::move(b)},
+               {std::move(c)})
+{
+}
+
+void
+BatchMatMulOp::inferShapes(Workspace& ws)
+{
+    const Tensor& a = in(ws, 0);
+    const Tensor& b = in(ws, 1);
+    RECSTACK_CHECK(a.rank() == 3 && b.rank() == 3,
+                   "BatchMatMul '" << name() << "': inputs must be 3-D");
+    RECSTACK_CHECK(a.dim(0) == b.dim(0),
+                   "BatchMatMul '" << name() << "': batch mismatch");
+    RECSTACK_CHECK(a.dim(2) == b.dim(1),
+                   "BatchMatMul '" << name() << "': inner dim mismatch "
+                                   << a.describe() << " vs " << b.describe());
+    ws.ensure(outputs()[0], {a.dim(0), a.dim(1), b.dim(2)});
+}
+
+void
+BatchMatMulOp::run(Workspace& ws)
+{
+    const Tensor& at = in(ws, 0);
+    const Tensor& bt = in(ws, 1);
+    Tensor& ct = out(ws, 0);
+
+    const int64_t batch = at.dim(0);
+    const int64_t m = at.dim(1);
+    const int64_t k = at.dim(2);
+    const int64_t n = bt.dim(2);
+    const float* a = at.data<float>();
+    const float* b = bt.data<float>();
+    float* c = ct.data<float>();
+
+    for (int64_t bb = 0; bb < batch; ++bb) {
+        const float* abase = a + bb * m * k;
+        const float* bbase = b + bb * k * n;
+        float* cbase = c + bb * m * n;
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+                float acc = 0.0f;
+                for (int64_t q = 0; q < k; ++q) {
+                    acc += abase[i * k + q] * bbase[q * n + j];
+                }
+                cbase[i * n + j] = acc;
+            }
+        }
+    }
+}
+
+KernelProfile
+BatchMatMulOp::profile(const Workspace& ws) const
+{
+    const Tensor& a = in(ws, 0);
+    const Tensor& b = in(ws, 1);
+    const Tensor& c = outConst(ws, 0);
+    const uint64_t batch = static_cast<uint64_t>(a.dim(0));
+    const uint64_t m = static_cast<uint64_t>(a.dim(1));
+    const uint64_t k = static_cast<uint64_t>(a.dim(2));
+    const uint64_t n = static_cast<uint64_t>(b.dim(2));
+
+    KernelProfile kp = baseProfile();
+    kp.fmaFlops = 2 * batch * m * n * k;
+    kp.gemmWidth = n * m;  // per-sample independent outputs
+    kp.reloadLoadElems = batch * m * n * k / 2;
+    kp.vecElemOps = batch * m * n * k / 3;
+    kp.simdScalableOps = batch * m * n / 2;
+    kp.scalarOps = batch * 8;
+    addSeqStream(kp, inputs()[0], a, false);
+    addSeqStream(kp, inputs()[1], b, false);
+    addSeqStream(kp, outputs()[0], c, true);
+
+    BranchStream loops;
+    loops.count = std::max<uint64_t>(1, kp.fmaFlops /
+                                     opcost::kFlopsPerGemmBranch) +
+                  batch;
+    loops.takenProbability = 0.96;
+    loops.randomness = 0.03;
+    loops.scalesWithSimd = true;
+    kp.branches.push_back(loops);
+
+    kp.codeFootprintBytes = opcost::kGemmCodeBytes;
+    kp.codeRegion = "kernel:BatchMatMul";
+    kp.codeIterations = std::max<uint64_t>(1, batch * m * n * k / 512);
+    return kp;
+}
+
+SoftmaxOp::SoftmaxOp(std::string name, std::string x, std::string y)
+    : Operator("Softmax", std::move(name), {std::move(x)}, {std::move(y)})
+{
+}
+
+void
+SoftmaxOp::inferShapes(Workspace& ws)
+{
+    const Tensor& x = in(ws, 0);
+    RECSTACK_CHECK(x.rank() == 2, "Softmax '" << name()
+                   << "': input must be 2-D");
+    ws.ensure(outputs()[0], x.shape());
+}
+
+void
+SoftmaxOp::run(Workspace& ws)
+{
+    const Tensor& xt = in(ws, 0);
+    Tensor& yt = out(ws, 0);
+    const float* x = xt.data<float>();
+    float* y = yt.data<float>();
+    const int64_t batch = xt.dim(0);
+    const int64_t n = xt.dim(1);
+    for (int64_t b = 0; b < batch; ++b) {
+        const float* row = x + b * n;
+        float* dst = y + b * n;
+        float mx = row[0];
+        for (int64_t i = 1; i < n; ++i) {
+            mx = std::max(mx, row[i]);
+        }
+        float sum = 0.0f;
+        for (int64_t i = 0; i < n; ++i) {
+            dst[i] = std::exp(row[i] - mx);
+            sum += dst[i];
+        }
+        for (int64_t i = 0; i < n; ++i) {
+            dst[i] /= sum;
+        }
+    }
+}
+
+KernelProfile
+SoftmaxOp::profile(const Workspace& ws) const
+{
+    const Tensor& x = in(ws, 0);
+    KernelProfile kp = baseProfile();
+    const uint64_t n = static_cast<uint64_t>(x.numel());
+    kp.vecElemOps = n * 10;  // max + exp + normalize passes
+    kp.scalarOps = static_cast<uint64_t>(x.dim(0)) * 8;
+    addSeqStream(kp, inputs()[0], x, false);
+    addSeqStream(kp, outputs()[0], outConst(ws, 0), true);
+    BranchStream loops;
+    loops.count = std::max<uint64_t>(1, n / 16);
+    loops.takenProbability = 0.95;
+    loops.randomness = 0.05;
+    loops.scalesWithSimd = true;
+    kp.branches.push_back(loops);
+    kp.codeFootprintBytes = opcost::kSoftmaxCodeBytes;
+    kp.codeRegion = "kernel:Softmax";
+    kp.codeIterations = std::max<uint64_t>(1, n / 8);
+    return kp;
+}
+
+OperatorPtr
+makeBatchMatMul(std::string name, std::string a, std::string b,
+                std::string c)
+{
+    return std::make_unique<BatchMatMulOp>(std::move(name), std::move(a),
+                                           std::move(b), std::move(c));
+}
+
+OperatorPtr
+makeSoftmax(std::string name, std::string x, std::string y)
+{
+    return std::make_unique<SoftmaxOp>(std::move(name), std::move(x),
+                                       std::move(y));
+}
+
+}  // namespace recstack

@@ -1,0 +1,48 @@
+#ifndef RECSTACK_OPS_MATMUL_H_
+#define RECSTACK_OPS_MATMUL_H_
+
+/**
+ * @file
+ * BatchMatMul and Softmax: the attention-math operators used by DIN's
+ * weighted pooling and DIEN's attention over GRU states.
+ */
+
+#include "ops/operator.h"
+
+namespace recstack {
+
+/**
+ * BatchMatMul: C[b] = A[b] * B[b].
+ *
+ * Inputs:  A [B, M, K], B [B, K, N]
+ * Outputs: C [B, M, N]
+ */
+class BatchMatMulOp : public Operator
+{
+  public:
+    BatchMatMulOp(std::string name, std::string a, std::string b,
+                  std::string c);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+};
+
+/** Softmax over the last axis of a 2-D tensor. */
+class SoftmaxOp : public Operator
+{
+  public:
+    SoftmaxOp(std::string name, std::string x, std::string y);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+};
+
+OperatorPtr makeBatchMatMul(std::string name, std::string a, std::string b,
+                            std::string c);
+OperatorPtr makeSoftmax(std::string name, std::string x, std::string y);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_OPS_MATMUL_H_

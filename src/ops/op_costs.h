@@ -1,0 +1,69 @@
+#ifndef RECSTACK_OPS_OP_COSTS_H_
+#define RECSTACK_OPS_OP_COSTS_H_
+
+/**
+ * @file
+ * Tunable cost-model constants used when operators lower their shapes
+ * to KernelProfiles. Centralized so calibration against the paper's
+ * qualitative results is auditable in one place.
+ *
+ * All counts are platform independent; the microarchitecture models
+ * apply SIMD width, decoder geometry, cache geometry, etc.
+ */
+
+#include <cstdint>
+
+namespace recstack {
+namespace opcost {
+
+/// Scalar micro-ops of framework per-operator dispatch (graph walk,
+/// type dispatch, shape checks, allocator). Caffe2's measured per-op
+/// CPU overhead is several microseconds, dominated by *stalls*
+/// (icache misses, indirect-branch mispredicts, metadata pointer
+/// chasing) rather than raw instruction count; the stall content is
+/// modeled by kDispatchBranches and kDispatchMeta* below.
+inline constexpr uint64_t kDispatchOps = 18000;
+
+/// Metadata pointer-chasing of the dispatch path: OperatorDef /
+/// argument-map / blob-registry lookups scattered over the framework
+/// heap. Low MLP (dependent chains).
+inline constexpr uint64_t kDispatchMetaAccesses = 150;
+inline constexpr uint64_t kDispatchMetaRegionBytes = 192 * 1024;
+inline constexpr double kDispatchMetaMlp = 3.0;
+
+/// Static code bytes of the dispatch path. It is a large, branchy
+/// region shared by every operator (virtual calls, hash lookups).
+inline constexpr uint64_t kDispatchCodeBytes = 20 * 1024;
+
+/// Dynamic branches in the dispatch path and their behaviour:
+/// virtual/indirect dispatch with data-dependent targets.
+inline constexpr uint64_t kDispatchBranches = 1000;
+inline constexpr double kDispatchBranchRandomness = 0.15;
+
+/// Code bytes of kernel hot regions. GEMM microkernels are compact;
+/// embedding-gather loops slightly smaller; per-instance attention
+/// units (DIN) each carry their own immediates/addresses so each
+/// instance reports a distinct code region of this size (the paper's
+/// i-cache pressure mechanism).
+inline constexpr uint64_t kGemmCodeBytes = 2048;
+inline constexpr uint64_t kSlsCodeBytes = 1536;
+inline constexpr uint64_t kEltwiseCodeBytes = 640;
+inline constexpr uint64_t kConcatCodeBytes = 768;
+inline constexpr uint64_t kGruCodeBytes = 3072;
+inline constexpr uint64_t kSoftmaxCodeBytes = 1024;
+
+/// Loop-branch density: one loop-control branch per this many fma
+/// flops in a GEMM inner loop (vector-unrolled).
+inline constexpr uint64_t kFlopsPerGemmBranch = 256;
+
+/// Memory-level parallelism assumptions per access class. Gather
+/// loops issue many independent loads (high MLP); sequential streams
+/// are prefetched (effectively higher still); GRU steps serialize.
+inline constexpr double kMlpSequential = 10.0;
+inline constexpr double kMlpGather = 12.0;
+inline constexpr double kMlpSerial = 2.0;
+
+}  // namespace opcost
+}  // namespace recstack
+
+#endif  // RECSTACK_OPS_OP_COSTS_H_

@@ -1,0 +1,228 @@
+#include "ops/reshape.h"
+
+#include <cstring>
+
+#include "ops/op_costs.h"
+
+namespace recstack {
+
+ReshapeOp::ReshapeOp(std::string name, std::string x, std::string y,
+                     std::vector<int64_t> shape)
+    : Operator("Reshape", std::move(name), {std::move(x)}, {std::move(y)}),
+      targetShape_(std::move(shape))
+{
+}
+
+std::vector<int64_t>
+ReshapeOp::resolve(const Tensor& x) const
+{
+    std::vector<int64_t> shape = targetShape_;
+    int64_t known = 1;
+    int wildcard = -1;
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (shape[i] == -1) {
+            RECSTACK_CHECK(wildcard < 0, "Reshape '" << name()
+                           << "': multiple -1 dims");
+            wildcard = static_cast<int>(i);
+        } else {
+            known *= shape[i];
+        }
+    }
+    if (wildcard >= 0) {
+        RECSTACK_CHECK(known > 0 && x.numel() % known == 0,
+                       "Reshape '" << name() << "': cannot infer -1");
+        shape[static_cast<size_t>(wildcard)] = x.numel() / known;
+    }
+    return shape;
+}
+
+void
+ReshapeOp::inferShapes(Workspace& ws)
+{
+    const Tensor& x = in(ws, 0);
+    auto shape = resolve(x);
+    Tensor& y = ws.ensure(outputs()[0], shape, x.dtype());
+    RECSTACK_CHECK(y.numel() == x.numel(),
+                   "Reshape '" << name() << "': element count mismatch");
+}
+
+void
+ReshapeOp::run(Workspace& ws)
+{
+    const Tensor& x = in(ws, 0);
+    Tensor& y = out(ws, 0);
+    std::memcpy(y.data<float>(), x.data<float>(), x.byteSize());
+}
+
+KernelProfile
+ReshapeOp::profile(const Workspace& ws) const
+{
+    (void)ws;
+    // Metadata-only in deployment; only dispatch cost is charged.
+    return baseProfile();
+}
+
+SliceOp::SliceOp(std::string name, std::string x, std::string y,
+                 int64_t index)
+    : Operator("Slice", std::move(name), {std::move(x)}, {std::move(y)}),
+      index_(index)
+{
+}
+
+void
+SliceOp::inferShapes(Workspace& ws)
+{
+    const Tensor& x = in(ws, 0);
+    RECSTACK_CHECK(x.rank() == 3, "Slice '" << name()
+                   << "': input must be 3-D");
+    RECSTACK_CHECK(index_ >= 0 && index_ < x.dim(1),
+                   "Slice '" << name() << "': index " << index_
+                             << " out of range");
+    ws.ensure(outputs()[0], {x.dim(0), x.dim(2)});
+}
+
+void
+SliceOp::run(Workspace& ws)
+{
+    const Tensor& xt = in(ws, 0);
+    Tensor& yt = out(ws, 0);
+    const float* x = xt.data<float>();
+    float* y = yt.data<float>();
+    const int64_t batch = xt.dim(0);
+    const int64_t planes = xt.dim(1);
+    const int64_t dim = xt.dim(2);
+    for (int64_t b = 0; b < batch; ++b) {
+        const float* src = x + (b * planes + index_) * dim;
+        std::memcpy(y + b * dim, src, static_cast<size_t>(dim) * 4);
+    }
+}
+
+KernelProfile
+SliceOp::profile(const Workspace& ws) const
+{
+    const Tensor& x = in(ws, 0);
+    const Tensor& y = outConst(ws, 0);
+    KernelProfile kp = baseProfile();
+    kp.vecElemOps = static_cast<uint64_t>(y.numel());
+    kp.scalarOps = static_cast<uint64_t>(y.dim(0)) * 4;
+
+    MemStream r;
+    r.region = inputs()[0];
+    r.pattern = AccessPattern::kStrided;
+    r.chunkBytes = static_cast<uint64_t>(x.dim(2)) * 4;
+    r.accesses = static_cast<uint64_t>(x.dim(0));
+    r.footprintBytes = x.byteSize();
+    r.strideBytes = static_cast<uint64_t>(x.dim(1) * x.dim(2)) * 4;
+    r.mlp = opcost::kMlpSequential;
+    kp.streams.push_back(r);
+    addSeqStream(kp, outputs()[0], y, true);
+
+    BranchStream loops;
+    loops.count = static_cast<uint64_t>(y.dim(0));
+    loops.takenProbability = 0.95;
+    loops.randomness = 0.05;
+    loops.scalesWithSimd = true;
+    kp.branches.push_back(loops);
+
+    kp.codeFootprintBytes = opcost::kEltwiseCodeBytes;
+    kp.codeRegion = "kernel:Slice";
+    kp.codeIterations = std::max<uint64_t>(
+        1, static_cast<uint64_t>(y.numel()) / 16);
+    return kp;
+}
+
+TransposeOp::TransposeOp(std::string name, std::string x, std::string y)
+    : Operator("Transpose", std::move(name), {std::move(x)}, {std::move(y)})
+{
+}
+
+void
+TransposeOp::inferShapes(Workspace& ws)
+{
+    const Tensor& x = in(ws, 0);
+    RECSTACK_CHECK(x.rank() == 2 || x.rank() == 3,
+                   "Transpose '" << name() << "': input must be 2-D or 3-D");
+    std::vector<int64_t> shape = x.shape();
+    std::swap(shape[0], shape[1]);
+    ws.ensure(outputs()[0], shape);
+}
+
+void
+TransposeOp::run(Workspace& ws)
+{
+    const Tensor& xt = in(ws, 0);
+    Tensor& yt = out(ws, 0);
+    const float* x = xt.data<float>();
+    float* y = yt.data<float>();
+    const int64_t a = xt.dim(0);
+    const int64_t b = xt.dim(1);
+    const int64_t d = xt.rank() == 3 ? xt.dim(2) : 1;
+    for (int64_t i = 0; i < a; ++i) {
+        for (int64_t j = 0; j < b; ++j) {
+            const float* src = x + (i * b + j) * d;
+            float* dst = y + (j * a + i) * d;
+            for (int64_t k = 0; k < d; ++k) {
+                dst[k] = src[k];
+            }
+        }
+    }
+}
+
+KernelProfile
+TransposeOp::profile(const Workspace& ws) const
+{
+    const Tensor& x = in(ws, 0);
+    KernelProfile kp = baseProfile();
+    const uint64_t n = static_cast<uint64_t>(x.numel());
+    kp.vecElemOps = n;
+    kp.scalarOps = static_cast<uint64_t>(x.dim(0) * x.dim(1)) / 2;
+    addSeqStream(kp, inputs()[0], x, false);
+    // Writes are scattered with a large stride.
+    MemStream w;
+    w.region = outputs()[0];
+    w.pattern = AccessPattern::kStrided;
+    w.chunkBytes = x.rank() == 3 ? static_cast<uint64_t>(x.dim(2)) * 4 : 4;
+    w.accesses = static_cast<uint64_t>(x.dim(0) * x.dim(1));
+    w.footprintBytes = x.byteSize();
+    w.strideBytes = static_cast<uint64_t>(x.dim(0)) * w.chunkBytes;
+    w.isWrite = true;
+    w.mlp = opcost::kMlpGather;
+    kp.streams.push_back(w);
+
+    BranchStream loops;
+    loops.count = std::max<uint64_t>(
+        1, static_cast<uint64_t>(x.dim(0) * x.dim(1)));
+    loops.takenProbability = 0.95;
+    loops.randomness = 0.05;
+    loops.scalesWithSimd = true;
+    kp.branches.push_back(loops);
+
+    kp.codeFootprintBytes = opcost::kEltwiseCodeBytes;
+    kp.codeRegion = "kernel:Transpose";
+    kp.codeIterations = std::max<uint64_t>(1, n / 16);
+    return kp;
+}
+
+OperatorPtr
+makeReshape(std::string name, std::string x, std::string y,
+            std::vector<int64_t> shape)
+{
+    return std::make_unique<ReshapeOp>(std::move(name), std::move(x),
+                                       std::move(y), std::move(shape));
+}
+
+OperatorPtr
+makeSlice(std::string name, std::string x, std::string y, int64_t index)
+{
+    return std::make_unique<SliceOp>(std::move(name), std::move(x),
+                                     std::move(y), index);
+}
+
+OperatorPtr
+makeTranspose(std::string name, std::string x, std::string y)
+{
+    return std::make_unique<TransposeOp>(std::move(name), std::move(x),
+                                         std::move(y));
+}
+
+}  // namespace recstack

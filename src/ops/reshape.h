@@ -1,0 +1,77 @@
+#ifndef RECSTACK_OPS_RESHAPE_H_
+#define RECSTACK_OPS_RESHAPE_H_
+
+/**
+ * @file
+ * Shape-manipulation operators: Reshape (metadata only) and Slice
+ * (extract one axis-1 plane of a 3-D tensor, used by DIN's
+ * per-behavior attention units).
+ */
+
+#include "ops/operator.h"
+
+namespace recstack {
+
+/**
+ * Reshape to a target shape; at most one dimension may be -1 and is
+ * inferred. Copies the payload (the real frameworks alias, but a copy
+ * keeps Workspace ownership simple); the profile reports only
+ * dispatch cost since the copy is elided in real deployments.
+ */
+class ReshapeOp : public Operator
+{
+  public:
+    ReshapeOp(std::string name, std::string x, std::string y,
+              std::vector<int64_t> shape);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+
+  private:
+    std::vector<int64_t> resolve(const Tensor& x) const;
+    std::vector<int64_t> targetShape_;
+};
+
+/**
+ * Slice plane @c index out of axis 1: [B, N, D] -> [B, D].
+ */
+class SliceOp : public Operator
+{
+  public:
+    SliceOp(std::string name, std::string x, std::string y, int64_t index);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+
+    int64_t index() const { return index_; }
+
+  private:
+    int64_t index_;
+};
+
+/**
+ * Transpose: swap the first two axes. 2-D [A, B] -> [B, A] or
+ * 3-D [A, B, D] -> [B, A, D] (the layout shuffle between time-major
+ * GRU sequences and batch-major attention math in DIEN).
+ */
+class TransposeOp : public Operator
+{
+  public:
+    TransposeOp(std::string name, std::string x, std::string y);
+
+    void inferShapes(Workspace& ws) override;
+    void run(Workspace& ws) override;
+    KernelProfile profile(const Workspace& ws) const override;
+};
+
+OperatorPtr makeReshape(std::string name, std::string x, std::string y,
+                        std::vector<int64_t> shape);
+OperatorPtr makeSlice(std::string name, std::string x, std::string y,
+                      int64_t index);
+OperatorPtr makeTranspose(std::string name, std::string x, std::string y);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_OPS_RESHAPE_H_

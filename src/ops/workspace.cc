@@ -1,0 +1,76 @@
+#include "ops/workspace.h"
+
+namespace recstack {
+
+bool
+Workspace::has(const std::string& name) const
+{
+    return blobs_.count(name) != 0;
+}
+
+Tensor&
+Workspace::get(const std::string& name)
+{
+    auto it = blobs_.find(name);
+    RECSTACK_CHECK(it != blobs_.end(), "no blob named '" << name << "'");
+    return it->second;
+}
+
+const Tensor&
+Workspace::get(const std::string& name) const
+{
+    auto it = blobs_.find(name);
+    RECSTACK_CHECK(it != blobs_.end(), "no blob named '" << name << "'");
+    return it->second;
+}
+
+Tensor&
+Workspace::set(const std::string& name, Tensor tensor)
+{
+    return blobs_.insert_or_assign(name, std::move(tensor)).first->second;
+}
+
+Tensor&
+Workspace::ensure(const std::string& name, const std::vector<int64_t>& shape,
+                  DType dtype)
+{
+    auto it = blobs_.find(name);
+    if (it != blobs_.end() && it->second.shape() == shape &&
+        it->second.dtype() == dtype &&
+        (shapeOnly_ || it->second.materialized())) {
+        return it->second;
+    }
+    if (shapeOnly_) {
+        return set(name, Tensor::shapeOnly(shape, dtype));
+    }
+    return set(name, Tensor(shape, dtype));
+}
+
+void
+Workspace::remove(const std::string& name)
+{
+    blobs_.erase(name);
+}
+
+std::vector<std::string>
+Workspace::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(blobs_.size());
+    for (const auto& [name, tensor] : blobs_) {
+        out.push_back(name);
+    }
+    return out;
+}
+
+size_t
+Workspace::totalBytes() const
+{
+    size_t n = 0;
+    for (const auto& [name, tensor] : blobs_) {
+        n += tensor.byteSize();
+    }
+    return n;
+}
+
+}  // namespace recstack

@@ -1,0 +1,66 @@
+#ifndef RECSTACK_OPS_WORKSPACE_H_
+#define RECSTACK_OPS_WORKSPACE_H_
+
+/**
+ * @file
+ * Workspace: the name → Tensor blob store an operator graph executes
+ * against, mirroring Caffe2's Workspace semantics.
+ */
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace recstack {
+
+/** Named tensor store shared by all operators of a running net. */
+class Workspace
+{
+  public:
+    /** True if a blob with this name exists. */
+    bool has(const std::string& name) const;
+
+    /** Fetch an existing blob; panics if missing. */
+    Tensor& get(const std::string& name);
+    const Tensor& get(const std::string& name) const;
+
+    /** Create-or-replace a blob. Returns the stored tensor. */
+    Tensor& set(const std::string& name, Tensor tensor);
+
+    /**
+     * Ensure a blob exists with the given shape/dtype; reallocates
+     * only when the shape differs. Returns the stored tensor.
+     * In shape-only mode the blob carries no storage.
+     */
+    Tensor& ensure(const std::string& name, const std::vector<int64_t>& shape,
+                   DType dtype = DType::kFloat32);
+
+    /**
+     * Switch the workspace to shape-only allocation: subsequent
+     * ensure() calls create metadata-only tensors. Profile-only
+     * sweeps use this so batch-16384 activations cost nothing.
+     */
+    void setShapeOnly(bool shape_only) { shapeOnly_ = shape_only; }
+    bool shapeOnly() const { return shapeOnly_; }
+
+    /** Remove a blob if present. */
+    void remove(const std::string& name);
+
+    /** Names of all blobs (unordered). */
+    std::vector<std::string> names() const;
+
+    /** Total payload bytes across all blobs. */
+    size_t totalBytes() const;
+
+    size_t size() const { return blobs_.size(); }
+
+  private:
+    std::unordered_map<std::string, Tensor> blobs_;
+    bool shapeOnly_ = false;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_OPS_WORKSPACE_H_

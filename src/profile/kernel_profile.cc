@@ -1,0 +1,57 @@
+#include "profile/kernel_profile.h"
+
+namespace recstack {
+
+uint64_t
+KernelProfile::totalBranches() const
+{
+    uint64_t n = 0;
+    for (const auto& b : branches) {
+        n += b.count;
+    }
+    return n;
+}
+
+uint64_t
+KernelProfile::bytesRead() const
+{
+    uint64_t n = 0;
+    for (const auto& s : streams) {
+        if (!s.isWrite) {
+            n += s.totalBytes();
+        }
+    }
+    return n;
+}
+
+uint64_t
+KernelProfile::bytesWritten() const
+{
+    uint64_t n = 0;
+    for (const auto& s : streams) {
+        if (s.isWrite) {
+            n += s.totalBytes();
+        }
+    }
+    return n;
+}
+
+void
+KernelProfile::accumulate(const KernelProfile& other)
+{
+    fmaFlops += other.fmaFlops;
+    vecElemOps += other.vecElemOps;
+    scalarOps += other.scalarOps;
+    simdScalableOps += other.simdScalableOps;
+    reloadLoadElems += other.reloadLoadElems;
+    dispatchOps += other.dispatchOps;
+    dispatchCodeBytes += other.dispatchCodeBytes;
+    codeFootprintBytes += other.codeFootprintBytes;
+    codeIterations += other.codeIterations;
+    streams.insert(streams.end(), other.streams.begin(),
+                   other.streams.end());
+    branches.insert(branches.end(), other.branches.begin(),
+                    other.branches.end());
+}
+
+}  // namespace recstack

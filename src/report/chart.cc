@@ -1,0 +1,79 @@
+#include "report/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace recstack {
+namespace {
+
+constexpr char kPalette[] = {'#', '=', '+', ':', '.', '%', '*', 'o'};
+
+}  // namespace
+
+std::string
+barChart(const std::vector<ChartItem>& items, int width,
+         const std::string& unit)
+{
+    double max_value = 0.0;
+    size_t max_label = 0;
+    for (const auto& item : items) {
+        max_value = std::max(max_value, item.value);
+        max_label = std::max(max_label, item.label.size());
+    }
+    std::ostringstream oss;
+    for (const auto& item : items) {
+        const int bars =
+            max_value > 0.0
+                ? static_cast<int>(std::lround(
+                      item.value / max_value * width))
+                : 0;
+        char value_buf[64];
+        std::snprintf(value_buf, sizeof(value_buf), "%10.3f%s",
+                      item.value, unit.c_str());
+        oss << item.label
+            << std::string(max_label - item.label.size(), ' ') << " |"
+            << std::string(static_cast<size_t>(bars), '#')
+            << std::string(static_cast<size_t>(width - bars), ' ') << "| "
+            << value_buf << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+stackedBar(const std::string& label, const std::vector<ChartItem>& segments,
+           int width)
+{
+    double total = 0.0;
+    for (const auto& seg : segments) {
+        total += seg.value;
+    }
+    std::ostringstream bar;
+    std::ostringstream legend;
+    int used = 0;
+    for (size_t i = 0; i < segments.size(); ++i) {
+        const char fill = kPalette[i % sizeof(kPalette)];
+        int cells = 0;
+        if (total > 0.0) {
+            cells = static_cast<int>(std::lround(
+                segments[i].value / total * width));
+            cells = std::min(cells, width - used);
+        }
+        bar << std::string(static_cast<size_t>(cells), fill);
+        used += cells;
+        char pct[32];
+        std::snprintf(pct, sizeof(pct), "%.1f%%",
+                      total > 0.0 ? 100.0 * segments[i].value / total
+                                  : 0.0);
+        legend << (i ? "  " : "") << fill << "=" << segments[i].label
+               << " " << pct;
+    }
+    bar << std::string(static_cast<size_t>(width - used), ' ');
+
+    std::ostringstream oss;
+    oss << label << " [" << bar.str() << "]\n    " << legend.str() << "\n";
+    return oss.str();
+}
+
+}  // namespace recstack

@@ -1,0 +1,40 @@
+#ifndef RECSTACK_REPORT_CHART_H_
+#define RECSTACK_REPORT_CHART_H_
+
+/**
+ * @file
+ * ASCII chart primitives: horizontal bar charts and single-row
+ * stacked bars (used for TopDown and operator-breakdown figures).
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recstack {
+
+/** Labeled value for charting. */
+struct ChartItem {
+    std::string label;
+    double value = 0.0;
+};
+
+/**
+ * Horizontal bar chart; bars scale to the max value.
+ * @param unit suffix printed after each value
+ */
+std::string barChart(const std::vector<ChartItem>& items, int width = 40,
+                     const std::string& unit = "");
+
+/**
+ * One stacked 100% bar from fraction segments; each segment is drawn
+ * with its own fill character (cycled from a fixed palette) and a
+ * legend line is appended.
+ */
+std::string stackedBar(const std::string& label,
+                       const std::vector<ChartItem>& segments,
+                       int width = 50);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_REPORT_CHART_H_

@@ -1,0 +1,64 @@
+#include "report/csv.h"
+
+#include "common/logging.h"
+
+namespace recstack {
+
+CsvWriter::CsvWriter(std::ostream* out) : out_(out)
+{
+    RECSTACK_CHECK(out_ != nullptr, "CsvWriter needs a stream");
+}
+
+std::string
+CsvWriter::escape(const std::string& field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+        return field;
+    }
+    std::string quoted = "\"";
+    for (char c : field) {
+        if (c == '"') {
+            quoted += '"';
+        }
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::emit(const std::vector<std::string>& cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i) {
+            *out_ << ',';
+        }
+        *out_ << escape(cells[i]);
+    }
+    *out_ << '\n';
+}
+
+void
+CsvWriter::header(const std::vector<std::string>& columns)
+{
+    RECSTACK_CHECK(!headerWritten_, "header already written");
+    RECSTACK_CHECK(!columns.empty(), "empty CSV header");
+    columns_ = columns.size();
+    headerWritten_ = true;
+    emit(columns);
+}
+
+void
+CsvWriter::row(const std::vector<std::string>& cells)
+{
+    RECSTACK_CHECK(headerWritten_, "write the header first");
+    RECSTACK_CHECK(cells.size() == columns_,
+                   "row width " << cells.size() << " != header width "
+                                << columns_);
+    ++rows_;
+    emit(cells);
+}
+
+}  // namespace recstack

@@ -1,0 +1,45 @@
+#ifndef RECSTACK_REPORT_CSV_H_
+#define RECSTACK_REPORT_CSV_H_
+
+/**
+ * @file
+ * Minimal CSV writer for exporting figure data to external plotting
+ * tools. Handles quoting of fields containing separators/quotes.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace recstack {
+
+/** Streaming CSV emitter. */
+class CsvWriter
+{
+  public:
+    /** @param out target stream (not owned; must outlive the writer) */
+    explicit CsvWriter(std::ostream* out);
+
+    /** Write the header row (once, first). */
+    void header(const std::vector<std::string>& columns);
+
+    /** Write one data row; width must match the header. */
+    void row(const std::vector<std::string>& cells);
+
+    size_t rowsWritten() const { return rows_; }
+
+    /** RFC-4180-style quoting when needed. */
+    static std::string escape(const std::string& field);
+
+  private:
+    void emit(const std::vector<std::string>& cells);
+
+    std::ostream* out_;
+    size_t columns_ = 0;
+    size_t rows_ = 0;
+    bool headerWritten_ = false;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_REPORT_CSV_H_

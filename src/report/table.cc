@@ -1,0 +1,96 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace recstack {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    RECSTACK_CHECK(cells.size() == headers_.size(),
+                   "row width " << cells.size() << " != header width "
+                                << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            oss << (c ? "  " : "") << cells[c]
+                << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        oss << "\n";
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c ? 2 : 0);
+    }
+    oss << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    return oss.str();
+}
+
+std::string
+TextTable::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::fmtSpeedup(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fx", value);
+    return buf;
+}
+
+std::string
+TextTable::fmtPercent(double fraction)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * fraction);
+    return buf;
+}
+
+std::string
+TextTable::fmtSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+    }
+    return buf;
+}
+
+}  // namespace recstack

@@ -1,0 +1,44 @@
+#ifndef RECSTACK_REPORT_TABLE_H_
+#define RECSTACK_REPORT_TABLE_H_
+
+/**
+ * @file
+ * Fixed-width text table renderer used by the benchmark binaries to
+ * print the paper's tables and figure series.
+ */
+
+#include <string>
+#include <vector>
+
+namespace recstack {
+
+/** Column-aligned ASCII table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a header underline and padded columns. */
+    std::string render() const;
+
+    size_t rows() const { return rows_.size(); }
+
+    /** Fixed-precision double formatting helper. */
+    static std::string fmt(double value, int precision = 2);
+    /** "12.3x" style speedup cell. */
+    static std::string fmtSpeedup(double value);
+    /** "42.1%" style percentage cell (input is a fraction). */
+    static std::string fmtPercent(double fraction);
+    /** Engineering time formatting (us / ms / s). */
+    static std::string fmtSeconds(double seconds);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_REPORT_TABLE_H_

@@ -1,0 +1,105 @@
+#include "sched/query_scheduler.h"
+
+#include <algorithm>
+
+namespace recstack {
+
+QueryScheduler::QueryScheduler(SweepCache* sweep,
+                               std::vector<int64_t> batch_grid)
+    : sweep_(sweep), batchGrid_(std::move(batch_grid))
+{
+    RECSTACK_CHECK(sweep_ != nullptr, "scheduler needs a sweep cache");
+    if (batchGrid_.empty()) {
+        batchGrid_ = paperBatchSizes();
+    }
+    RECSTACK_CHECK(std::is_sorted(batchGrid_.begin(), batchGrid_.end()),
+                   "batch grid must be ascending");
+}
+
+double
+QueryScheduler::latency(ModelId model, size_t platform_idx, int64_t batch)
+{
+    RECSTACK_CHECK(batch > 0, "batch must be positive");
+    const int64_t lo_batch = batchGrid_.front();
+    const int64_t hi_batch = batchGrid_.back();
+    if (batch <= lo_batch) {
+        return sweep_->get(model, platform_idx, lo_batch).seconds;
+    }
+    if (batch >= hi_batch) {
+        // Extrapolate linearly from the last grid segment.
+        const int64_t b0 = batchGrid_[batchGrid_.size() - 2];
+        const double s0 = sweep_->get(model, platform_idx, b0).seconds;
+        const double s1 =
+            sweep_->get(model, platform_idx, hi_batch).seconds;
+        const double slope =
+            (s1 - s0) / static_cast<double>(hi_batch - b0);
+        return s1 + slope * static_cast<double>(batch - hi_batch);
+    }
+    const auto it = std::lower_bound(batchGrid_.begin(), batchGrid_.end(),
+                                     batch);
+    const int64_t b1 = *it;
+    if (b1 == batch) {
+        return sweep_->get(model, platform_idx, batch).seconds;
+    }
+    const int64_t b0 = *(it - 1);
+    const double s0 = sweep_->get(model, platform_idx, b0).seconds;
+    const double s1 = sweep_->get(model, platform_idx, b1).seconds;
+    const double t =
+        static_cast<double>(batch - b0) / static_cast<double>(b1 - b0);
+    return s0 + t * (s1 - s0);
+}
+
+ScheduleDecision
+QueryScheduler::route(ModelId model, int64_t batch, double sla_seconds)
+{
+    ScheduleDecision best;
+    best.batch = batch;
+    best.expectedLatency = -1.0;
+    for (size_t p = 0; p < sweep_->platforms().size(); ++p) {
+        const double lat = latency(model, p, batch);
+        if (best.expectedLatency < 0.0 || lat < best.expectedLatency) {
+            best.platformIdx = p;
+            best.expectedLatency = lat;
+        }
+    }
+    best.meetsSla = best.expectedLatency <= sla_seconds;
+    return best;
+}
+
+int64_t
+QueryScheduler::maxBatchUnderSla(ModelId model, size_t platform_idx,
+                                 double sla_seconds)
+{
+    int64_t best = 0;
+    for (int64_t batch : batchGrid_) {
+        if (latency(model, platform_idx, batch) <= sla_seconds) {
+            best = batch;
+        }
+    }
+    return best;
+}
+
+ThroughputPoint
+QueryScheduler::bestThroughputUnderSla(ModelId model, double sla_seconds)
+{
+    ThroughputPoint best;
+    for (size_t p = 0; p < sweep_->platforms().size(); ++p) {
+        for (int64_t batch : batchGrid_) {
+            const double lat = latency(model, p, batch);
+            if (lat > sla_seconds) {
+                continue;
+            }
+            const double qps = static_cast<double>(batch) / lat;
+            if (!best.feasible || qps > best.samplesPerSecond) {
+                best.feasible = true;
+                best.platformIdx = p;
+                best.batch = batch;
+                best.latencySeconds = lat;
+                best.samplesPerSecond = qps;
+            }
+        }
+    }
+    return best;
+}
+
+}  // namespace recstack

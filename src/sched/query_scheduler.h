@@ -1,0 +1,91 @@
+#ifndef RECSTACK_SCHED_QUERY_SCHEDULER_H_
+#define RECSTACK_SCHED_QUERY_SCHEDULER_H_
+
+/**
+ * @file
+ * QueryScheduler: a DeepRecSys-style heterogeneity-aware inference
+ * router built on top of the characterization engine.
+ *
+ * The paper's Section III-B notes that "exploiting hardware
+ * heterogeneity to schedule inferences on optimum platforms based on
+ * use cases (i.e., model architecture, inference batch-size)
+ * significantly improves recommendation performance". This module
+ * operationalizes the Fig. 5 optimal-platform grid: given a latency
+ * SLA, it picks the platform and batch size that maximize throughput
+ * while honoring the tail budget.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+
+namespace recstack {
+
+/** Routing decision for one (model, batch) query. */
+struct ScheduleDecision {
+    size_t platformIdx = 0;
+    int64_t batch = 0;
+    double expectedLatency = 0.0;
+    bool meetsSla = false;
+};
+
+/** Best sustainable operating point under an SLA. */
+struct ThroughputPoint {
+    size_t platformIdx = 0;
+    int64_t batch = 0;
+    double latencySeconds = 0.0;
+    double samplesPerSecond = 0.0;
+    bool feasible = false;
+};
+
+/**
+ * Heterogeneity-aware router over a SweepCache's platform set.
+ * Latencies between the cached batch grid points are interpolated
+ * linearly in batch size (latency is convex and near-affine in batch
+ * across the grid the paper uses).
+ */
+class QueryScheduler
+{
+  public:
+    /**
+     * @param sweep  characterization grid (not owned; must outlive
+     *               the scheduler)
+     * @param batch_grid batch sizes used as interpolation knots;
+     *               defaults to the paper's 1..16384 axis
+     */
+    explicit QueryScheduler(SweepCache* sweep,
+                            std::vector<int64_t> batch_grid = {});
+
+    /** Expected latency of (model, batch) on one platform. */
+    double latency(ModelId model, size_t platform_idx, int64_t batch);
+
+    /** Route one query of the given batch to the fastest platform. */
+    ScheduleDecision route(ModelId model, int64_t batch,
+                           double sla_seconds);
+
+    /**
+     * Largest grid batch whose latency on the platform stays within
+     * the SLA (0 when even batch 1 misses it).
+     */
+    int64_t maxBatchUnderSla(ModelId model, size_t platform_idx,
+                             double sla_seconds);
+
+    /**
+     * The operating point (platform, batch) that maximizes
+     * samples/second subject to the SLA.
+     */
+    ThroughputPoint bestThroughputUnderSla(ModelId model,
+                                           double sla_seconds);
+
+    const std::vector<int64_t>& batchGrid() const { return batchGrid_; }
+
+  private:
+    SweepCache* sweep_;
+    std::vector<int64_t> batchGrid_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_SCHED_QUERY_SCHEDULER_H_

@@ -1,0 +1,133 @@
+#include "sched/serving_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace recstack {
+namespace {
+
+double
+percentile(std::vector<double>& sorted, double p)
+{
+    if (sorted.empty()) {
+        return 0.0;
+    }
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+ServingSimulator::ServingSimulator(QueryScheduler* scheduler,
+                                   ModelId model, size_t platform_idx)
+    : scheduler_(scheduler), model_(model), platformIdx_(platform_idx)
+{
+    RECSTACK_CHECK(scheduler_ != nullptr, "simulator needs a scheduler");
+}
+
+ServingStats
+ServingSimulator::simulate(const ServingConfig& config)
+{
+    RECSTACK_CHECK(config.arrivalQps > 0.0, "arrival rate must be > 0");
+    RECSTACK_CHECK(config.maxBatch > 0, "batch cap must be > 0");
+    RECSTACK_CHECK(config.simSeconds > 0.0, "duration must be > 0");
+
+    Rng rng(config.seed);
+    ServingStats stats;
+
+    std::deque<double> queue;       // arrival times of waiting samples
+    std::vector<double> latencies;  // completed-sample latencies
+    double now = 0.0;
+    double next_arrival =
+        -std::log(1.0 - rng.nextDouble()) / config.arrivalQps;
+    double busy_until = 0.0;
+    double busy_time = 0.0;
+
+    // Event loop: the next event is either an arrival or the point at
+    // which the server can launch a batch.
+    while (now < config.simSeconds ||
+           (!queue.empty() && now < config.simSeconds * 4)) {
+        // Admit arrivals up to `now`.
+        while (next_arrival <= now &&
+               next_arrival < config.simSeconds) {
+            queue.push_back(next_arrival);
+            ++stats.samplesArrived;
+            next_arrival +=
+                -std::log(1.0 - rng.nextDouble()) / config.arrivalQps;
+        }
+
+        const bool server_free = now >= busy_until;
+        if (server_free && !queue.empty()) {
+            const bool batch_full =
+                static_cast<int64_t>(queue.size()) >= config.maxBatch;
+            const bool window_expired =
+                now - queue.front() >= config.maxWaitSeconds;
+            const bool draining = next_arrival >= config.simSeconds;
+            if (batch_full || window_expired || draining) {
+                const int64_t batch = std::min<int64_t>(
+                    config.maxBatch,
+                    static_cast<int64_t>(queue.size()));
+                const double service = scheduler_->latency(
+                    model_, platformIdx_, batch);
+                const double done = now + service;
+                for (int64_t i = 0; i < batch; ++i) {
+                    latencies.push_back(done - queue.front());
+                    queue.pop_front();
+                }
+                ++stats.batchesServed;
+                stats.samplesServed += static_cast<uint64_t>(batch);
+                stats.meanBatch += static_cast<double>(batch);
+                busy_until = done;
+                busy_time += service;
+                now = done;
+                continue;
+            }
+        }
+
+        // Advance to the next event: arrival, server-free point, or
+        // batching-window expiry.
+        double next_event = next_arrival;
+        if (!server_free) {
+            next_event = std::min(next_event, busy_until);
+        } else if (!queue.empty()) {
+            next_event = std::min(
+                next_event, queue.front() + config.maxWaitSeconds);
+        }
+        if (next_event <= now) {
+            next_event = now + 1e-9;  // guard against stalls
+        }
+        if (queue.empty() && next_arrival >= config.simSeconds) {
+            break;  // drained
+        }
+        now = next_event;
+    }
+
+    if (!latencies.empty()) {
+        double sum = 0.0;
+        for (double lat : latencies) {
+            sum += lat;
+        }
+        stats.meanLatency = sum / static_cast<double>(latencies.size());
+        std::sort(latencies.begin(), latencies.end());
+        stats.p50Latency = percentile(latencies, 0.50);
+        stats.p95Latency = percentile(latencies, 0.95);
+        stats.p99Latency = percentile(latencies, 0.99);
+    }
+    if (stats.batchesServed > 0) {
+        stats.meanBatch /= static_cast<double>(stats.batchesServed);
+    }
+    const double horizon = std::max(now, config.simSeconds);
+    stats.utilization = std::min(1.0, busy_time / horizon);
+    stats.throughputQps =
+        static_cast<double>(stats.samplesServed) / horizon;
+    return stats;
+}
+
+}  // namespace recstack

@@ -1,0 +1,70 @@
+#ifndef RECSTACK_SCHED_SERVING_SIM_H_
+#define RECSTACK_SCHED_SERVING_SIM_H_
+
+/**
+ * @file
+ * Discrete-event serving simulator (beyond-paper extension).
+ *
+ * The paper characterizes isolated inferences; production serving
+ * (DeepRecSys) batches a Poisson query stream under a tail-latency
+ * SLA. This simulator runs one inference engine with a dynamic
+ * batcher in front of it: queries queue up, the server launches a
+ * batch when it is full or the oldest query has waited out the
+ * batching window, and the batch's service time comes from the
+ * characterization grid. The output is the latency distribution the
+ * datacenter actually cares about (p50/p95/p99), which turns Fig. 5's
+ * "optimal platform" cells into operating curves.
+ */
+
+#include <cstdint>
+
+#include "sched/query_scheduler.h"
+
+namespace recstack {
+
+/** One serving experiment. */
+struct ServingConfig {
+    double arrivalQps = 1000.0;    ///< mean sample arrival rate
+    int64_t maxBatch = 256;        ///< dynamic-batching cap
+    double maxWaitSeconds = 1e-3;  ///< batching window
+    double simSeconds = 2.0;       ///< simulated duration
+    uint64_t seed = 42;
+};
+
+/** Measured behaviour of the simulated server. */
+struct ServingStats {
+    uint64_t samplesArrived = 0;
+    uint64_t samplesServed = 0;
+    uint64_t batchesServed = 0;
+    double meanLatency = 0.0;   ///< arrival -> completion, seconds
+    double p50Latency = 0.0;
+    double p95Latency = 0.0;
+    double p99Latency = 0.0;
+    double meanBatch = 0.0;
+    double utilization = 0.0;   ///< fraction of time the engine is busy
+    double throughputQps = 0.0; ///< served samples / simulated time
+};
+
+/** Single-engine dynamic-batching server. */
+class ServingSimulator
+{
+  public:
+    /**
+     * @param scheduler  latency oracle (interpolating over the sweep)
+     * @param model      served model
+     * @param platform_idx platform in the scheduler's sweep
+     */
+    ServingSimulator(QueryScheduler* scheduler, ModelId model,
+                     size_t platform_idx);
+
+    ServingStats simulate(const ServingConfig& config);
+
+  private:
+    QueryScheduler* scheduler_;
+    ModelId model_;
+    size_t platformIdx_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_SCHED_SERVING_SIM_H_

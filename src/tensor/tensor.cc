@@ -1,0 +1,159 @@
+#include "tensor/tensor.h"
+
+#include <cstring>
+#include <numeric>
+#include <sstream>
+
+namespace recstack {
+
+size_t
+dtypeSize(DType dtype)
+{
+    switch (dtype) {
+      case DType::kFloat32: return 4;
+      case DType::kInt32: return 4;
+      case DType::kInt64: return 8;
+    }
+    RECSTACK_PANIC("unknown dtype");
+}
+
+const char*
+dtypeName(DType dtype)
+{
+    switch (dtype) {
+      case DType::kFloat32: return "float32";
+      case DType::kInt32: return "int32";
+      case DType::kInt64: return "int64";
+    }
+    return "?";
+}
+
+namespace {
+
+int64_t
+shapeNumel(const std::vector<int64_t>& shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape) {
+        RECSTACK_CHECK(d >= 0, "negative dimension " << d);
+        n *= d;
+    }
+    return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape, DType dtype)
+    : shape_(std::move(shape)), dtype_(dtype)
+{
+    storage_.assign(static_cast<size_t>(shapeNumel(shape_)) *
+                    dtypeSize(dtype_), std::byte{0});
+}
+
+Tensor
+Tensor::shapeOnly(std::vector<int64_t> shape, DType dtype)
+{
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.dtype_ = dtype;
+    t.materialized_ = false;
+    (void)shapeNumel(t.shape_);  // validates non-negative dims
+    return t;
+}
+
+Tensor
+Tensor::fromFloats(std::vector<int64_t> shape, std::vector<float> values)
+{
+    Tensor t(std::move(shape), DType::kFloat32);
+    RECSTACK_CHECK(static_cast<int64_t>(values.size()) == t.numel(),
+                   "value count " << values.size() << " != numel "
+                   << t.numel());
+    std::memcpy(t.storage_.data(), values.data(), t.byteSize());
+    return t;
+}
+
+Tensor
+Tensor::fromInt64s(std::vector<int64_t> shape, std::vector<int64_t> values)
+{
+    Tensor t(std::move(shape), DType::kInt64);
+    RECSTACK_CHECK(static_cast<int64_t>(values.size()) == t.numel(),
+                   "value count mismatch");
+    std::memcpy(t.storage_.data(), values.data(), t.byteSize());
+    return t;
+}
+
+Tensor
+Tensor::fromInt32s(std::vector<int64_t> shape, std::vector<int32_t> values)
+{
+    Tensor t(std::move(shape), DType::kInt32);
+    RECSTACK_CHECK(static_cast<int64_t>(values.size()) == t.numel(),
+                   "value count mismatch");
+    std::memcpy(t.storage_.data(), values.data(), t.byteSize());
+    return t;
+}
+
+int64_t
+Tensor::dim(int i) const
+{
+    const int r = static_cast<int>(rank());
+    if (i < 0) {
+        i += r;
+    }
+    RECSTACK_CHECK(i >= 0 && i < r, "dim " << i << " out of range for rank "
+                   << r);
+    return shape_[static_cast<size_t>(i)];
+}
+
+int64_t
+Tensor::numel() const
+{
+    return shapeNumel(shape_);
+}
+
+void
+Tensor::reshape(std::vector<int64_t> shape)
+{
+    RECSTACK_CHECK(shapeNumel(shape) == numel(),
+                   "reshape changes element count");
+    shape_ = std::move(shape);
+}
+
+int64_t
+Tensor::flatIndex(std::initializer_list<int64_t> idx) const
+{
+    RECSTACK_CHECK(idx.size() == rank(), "index rank mismatch");
+    int64_t flat = 0;
+    size_t d = 0;
+    for (int64_t i : idx) {
+        RECSTACK_CHECK(i >= 0 && i < shape_[d], "index out of bounds");
+        flat = flat * shape_[d] + i;
+        ++d;
+    }
+    return flat;
+}
+
+float
+Tensor::at(std::initializer_list<int64_t> idx) const
+{
+    return data<float>()[flatIndex(idx)];
+}
+
+void
+Tensor::set(std::initializer_list<int64_t> idx, float value)
+{
+    data<float>()[flatIndex(idx)] = value;
+}
+
+std::string
+Tensor::describe() const
+{
+    std::ostringstream oss;
+    oss << dtypeName(dtype_) << "[";
+    for (size_t i = 0; i < shape_.size(); ++i) {
+        oss << (i ? ", " : "") << shape_[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+}  // namespace recstack

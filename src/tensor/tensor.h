@@ -1,0 +1,147 @@
+#ifndef RECSTACK_TENSOR_TENSOR_H_
+#define RECSTACK_TENSOR_TENSOR_H_
+
+/**
+ * @file
+ * Dense tensor container used throughout the inference framework.
+ *
+ * recstack tensors are deliberately simple: contiguous row-major
+ * storage, three element types (the only ones recommendation inference
+ * needs: fp32 activations/weights, int32 lengths, int64 indices), and
+ * no autograd. Shape inference and operator semantics live in ops/.
+ */
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace recstack {
+
+/** Element type of a Tensor. */
+enum class DType { kFloat32, kInt32, kInt64 };
+
+/** Size of one element of the given type in bytes. */
+size_t dtypeSize(DType dtype);
+
+/** Printable name ("float32", ...). */
+const char* dtypeName(DType dtype);
+
+/**
+ * A contiguous row-major N-dimensional array.
+ *
+ * Storage is owned (std::vector<std::byte>); copies are deep. The
+ * framework moves tensors through a Workspace keyed by name, so
+ * tensors themselves carry no name.
+ */
+class Tensor
+{
+  public:
+    /** An empty 0-d float tensor. */
+    Tensor() : dtype_(DType::kFloat32) {}
+
+    /** Allocate a zero-initialized tensor of the given shape/type. */
+    explicit Tensor(std::vector<int64_t> shape,
+                    DType dtype = DType::kFloat32);
+
+    /**
+     * A metadata-only tensor: carries shape/dtype but no storage.
+     * Used by profile-only execution so huge-batch sweeps never
+     * allocate payloads. Accessing data() panics.
+     */
+    static Tensor shapeOnly(std::vector<int64_t> shape,
+                            DType dtype = DType::kFloat32);
+
+    /** True when the tensor carries real storage. */
+    bool materialized() const { return materialized_; }
+
+    /** Convenience factory from explicit float data (1-D or shaped). */
+    static Tensor fromFloats(std::vector<int64_t> shape,
+                             std::vector<float> values);
+    /** Convenience factory from explicit int64 data. */
+    static Tensor fromInt64s(std::vector<int64_t> shape,
+                             std::vector<int64_t> values);
+    /** Convenience factory from explicit int32 data. */
+    static Tensor fromInt32s(std::vector<int64_t> shape,
+                             std::vector<int32_t> values);
+
+    const std::vector<int64_t>& shape() const { return shape_; }
+    DType dtype() const { return dtype_; }
+
+    /** Number of dimensions. */
+    size_t rank() const { return shape_.size(); }
+
+    /** Extent of dimension i (supports negative axes Python-style). */
+    int64_t dim(int i) const;
+
+    /** Total element count. */
+    int64_t numel() const;
+
+    /** Total byte size of the payload (real or would-be). */
+    size_t byteSize() const
+    {
+        return static_cast<size_t>(numel()) * dtypeSize(dtype_);
+    }
+
+    /** Reinterpret with a new shape of identical numel. */
+    void reshape(std::vector<int64_t> shape);
+
+    /** Typed raw pointers; panics on dtype mismatch. */
+    template <typename T> T* data();
+    template <typename T> const T* data() const;
+
+    /** Element access for tests and builders (float tensors). */
+    float at(std::initializer_list<int64_t> idx) const;
+    void set(std::initializer_list<int64_t> idx, float value);
+
+    /** Human-readable "float32[4, 8]" description. */
+    std::string describe() const;
+
+  private:
+    int64_t flatIndex(std::initializer_list<int64_t> idx) const;
+    template <typename T> void checkDType() const;
+
+    std::vector<int64_t> shape_;
+    DType dtype_;
+    bool materialized_ = true;
+    std::vector<std::byte> storage_;
+};
+
+template <typename T>
+inline T*
+Tensor::data()
+{
+    checkDType<T>();
+    RECSTACK_CHECK(materialized_, "data() on a shape-only tensor");
+    return reinterpret_cast<T*>(storage_.data());
+}
+
+template <typename T>
+inline const T*
+Tensor::data() const
+{
+    checkDType<T>();
+    RECSTACK_CHECK(materialized_, "data() on a shape-only tensor");
+    return reinterpret_cast<const T*>(storage_.data());
+}
+
+template <typename T>
+inline void
+Tensor::checkDType() const
+{
+    bool ok = false;
+    if constexpr (std::is_same_v<T, float>) {
+        ok = dtype_ == DType::kFloat32;
+    } else if constexpr (std::is_same_v<T, int32_t>) {
+        ok = dtype_ == DType::kInt32;
+    } else if constexpr (std::is_same_v<T, int64_t>) {
+        ok = dtype_ == DType::kInt64;
+    }
+    RECSTACK_CHECK(ok, "tensor dtype mismatch: stored " << dtypeName(dtype_));
+}
+
+}  // namespace recstack
+
+#endif  // RECSTACK_TENSOR_TENSOR_H_

@@ -1,0 +1,47 @@
+#include "topdown/topdown.h"
+
+#include <algorithm>
+
+namespace recstack {
+
+TopDownResult
+deriveTopDown(const CpuCounters& c, const CpuConfig& cfg)
+{
+    TopDownResult r;
+    r.cycles = c.cycles;
+    if (c.cycles <= 0.0) {
+        return r;
+    }
+    const double inv = 1.0 / c.cycles;
+
+    r.l1.retiring = c.retireCycles * inv;
+    r.l1.badSpeculation = c.badSpecCycles * inv;
+    r.l1.frontendBound = c.feCycles() * inv;
+    r.l1.backendBound = c.beCycles() * inv;
+
+    r.l2.feLatency = c.feLatencyCycles * inv;
+    r.l2.feBandwidthDsb = c.feBandwidthDsbCycles * inv;
+    r.l2.feBandwidthMite = c.feBandwidthMiteCycles * inv;
+    r.l2.feBandwidth = r.l2.feBandwidthDsb + r.l2.feBandwidthMite;
+    r.l2.beCore = c.beCoreCycles * inv;
+    r.l2.beMemory = c.beMemCycles() * inv;
+    r.l2.memL2 = c.beMemL2Cycles * inv;
+    r.l2.memL3 = c.beMemL3Cycles * inv;
+    r.l2.memDramLatency = c.beMemDramLatCycles * inv;
+    r.l2.memDramBandwidth = c.beMemDramBwCycles * inv;
+
+    r.ipc = c.ipc(cfg.pipelineWidth);
+    r.avxFraction =
+        c.uopsRetired > 0
+            ? static_cast<double>(c.avxUopsRetired) /
+                  static_cast<double>(c.uopsRetired)
+            : 0.0;
+    r.imspki = c.imspki();
+    r.mispredictsPerKuop = c.mispredictsPerKuop();
+    r.dramCongestedFraction =
+        std::min(1.0, c.dramCongestedCycles * inv);
+    r.fuUsage3Plus = c.portsBusyAtLeast[3];
+    return r;
+}
+
+}  // namespace recstack

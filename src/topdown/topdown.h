@@ -1,0 +1,72 @@
+#ifndef RECSTACK_TOPDOWN_TOPDOWN_H_
+#define RECSTACK_TOPDOWN_TOPDOWN_H_
+
+/**
+ * @file
+ * TopDown pipeline-slot analysis (Yasin, ISPASS 2014), as applied by
+ * the paper in Section VI: level-1 split into retiring / bad
+ * speculation / frontend bound / backend bound, with the level-2
+ * drill-downs the paper reports (frontend latency vs bandwidth,
+ * backend core vs memory, DSB vs MITE, and the DRAM
+ * latency-vs-bandwidth-congestion distinction).
+ */
+
+#include "platform/platform.h"
+#include "uarch/counters.h"
+
+namespace recstack {
+
+/** Level-1 TopDown fractions (sum to 1). */
+struct TopDownL1 {
+    double retiring = 0.0;
+    double badSpeculation = 0.0;
+    double frontendBound = 0.0;
+    double backendBound = 0.0;
+};
+
+/** Level-2 drill-downs, all as fractions of total slots. */
+struct TopDownL2 {
+    double feLatency = 0.0;      ///< i-cache / resteer fetch bubbles
+    double feBandwidth = 0.0;    ///< decoder supply deficit
+    double feBandwidthDsb = 0.0; ///< Fig. 13: DSB-limited share
+    double feBandwidthMite = 0.0;///< Fig. 13: MITE-limited share
+    double beCore = 0.0;         ///< functional-unit contention
+    double beMemory = 0.0;
+    double memL2 = 0.0;
+    double memL3 = 0.0;
+    double memDramLatency = 0.0;
+    double memDramBandwidth = 0.0;
+
+    /** Fig. 10 (top): core-bound to memory-bound stall ratio. */
+    double coreToMemoryRatio() const
+    {
+        return beMemory > 0.0 ? beCore / beMemory : 0.0;
+    }
+};
+
+/** Full derivation for one measured region. */
+struct TopDownResult {
+    TopDownL1 l1;
+    TopDownL2 l2;
+    double cycles = 0.0;
+    double ipc = 0.0;
+    double avxFraction = 0.0;        ///< Fig. 9
+    double imspki = 0.0;             ///< Fig. 12
+    double mispredictsPerKuop = 0.0; ///< Fig. 15
+    double dramCongestedFraction = 0.0;  ///< Fig. 14
+    double fuUsage3Plus = 0.0;       ///< Fig. 10 (bottom): >=3 of 8 busy
+
+    /** Level-1 fractions sum (conservation check; ~1.0). */
+    double l1Sum() const
+    {
+        return l1.retiring + l1.badSpeculation + l1.frontendBound +
+               l1.backendBound;
+    }
+};
+
+/** Derive TopDown metrics from raw counters. */
+TopDownResult deriveTopDown(const CpuCounters& c, const CpuConfig& cfg);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_TOPDOWN_TOPDOWN_H_

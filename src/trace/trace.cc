@@ -1,0 +1,268 @@
+#include "trace/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace recstack {
+namespace {
+
+constexpr const char* kMagic = "recstack-trace";
+constexpr int kVersion = 1;
+
+const char*
+patternName(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::kSequential: return "seq";
+      case AccessPattern::kStrided: return "stride";
+      case AccessPattern::kRandom: return "random";
+    }
+    return "?";
+}
+
+bool
+patternFromName(const std::string& name, AccessPattern* out)
+{
+    if (name == "seq") {
+        *out = AccessPattern::kSequential;
+    } else if (name == "stride") {
+        *out = AccessPattern::kStrided;
+    } else if (name == "random") {
+        *out = AccessPattern::kRandom;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Tokenize "k=v" pairs of one record line. */
+class Fields
+{
+  public:
+    explicit Fields(const std::string& line)
+    {
+        std::istringstream iss(line);
+        std::string token;
+        iss >> token;  // record tag, dropped
+        while (iss >> token) {
+            const size_t eq = token.find('=');
+            if (eq != std::string::npos) {
+                kv_.emplace_back(token.substr(0, eq),
+                                 token.substr(eq + 1));
+            }
+        }
+    }
+
+    std::string str(const std::string& key,
+                    const std::string& fallback = "") const
+    {
+        for (const auto& [k, v] : kv_) {
+            if (k == key) {
+                return v;
+            }
+        }
+        return fallback;
+    }
+
+    uint64_t u64(const std::string& key, uint64_t fallback = 0) const
+    {
+        const std::string v = str(key);
+        return v.empty() ? fallback : std::stoull(v);
+    }
+
+    double f64(const std::string& key, double fallback = 0.0) const
+    {
+        const std::string v = str(key);
+        return v.empty() ? fallback : std::stod(v);
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+}  // namespace
+
+void
+writeTrace(std::ostream& out, const TraceMeta& meta,
+           const std::vector<KernelProfile>& kernels)
+{
+    out << kMagic << " v" << kVersion << "\n";
+    out << "meta model=" << meta.model << " framework=" << meta.framework
+        << " batch=" << meta.batch << " inputBytes=" << meta.inputBytes
+        << " inputBlobs=" << meta.inputBlobs
+        << " kernels=" << kernels.size() << "\n";
+    for (const auto& kp : kernels) {
+        out << "kernel type=" << kp.opType << " name=" << kp.opName
+            << " fma=" << kp.fmaFlops << " vec=" << kp.vecElemOps
+            << " scalar=" << kp.scalarOps
+            << " simdScalable=" << kp.simdScalableOps
+            << " reload=" << kp.reloadLoadElems
+            << " serial=" << kp.serialSteps
+            << " gemmWidth=" << kp.gemmWidth
+            << " codeBytes=" << kp.codeFootprintBytes
+            << " codeRegion=" << kp.codeRegion
+            << " codeIter=" << kp.codeIterations
+            << " dispatchOps=" << kp.dispatchOps
+            << " dispatchCode=" << kp.dispatchCodeBytes << "\n";
+        for (const auto& s : kp.streams) {
+            out << "stream region=" << s.region
+                << " pattern=" << patternName(s.pattern)
+                << " accesses=" << s.accesses
+                << " chunk=" << s.chunkBytes
+                << " footprint=" << s.footprintBytes
+                << " stride=" << s.strideBytes
+                << " write=" << (s.isWrite ? 1 : 0)
+                << " zipf=" << s.zipfExponent << " mlp=" << s.mlp
+                << "\n";
+        }
+        for (const auto& b : kp.branches) {
+            out << "branch count=" << b.count
+                << " taken=" << b.takenProbability
+                << " rand=" << b.randomness
+                << " simd=" << (b.scalesWithSimd ? 1 : 0) << "\n";
+        }
+        out << "endkernel\n";
+    }
+    out << "end\n";
+}
+
+bool
+readTrace(std::istream& in, TraceMeta* meta,
+          std::vector<KernelProfile>* kernels, std::string* error)
+{
+    auto fail = [error](const std::string& msg) {
+        if (error != nullptr) {
+            *error = msg;
+        }
+        return false;
+    };
+
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.rfind(kMagic, 0) != 0) {
+        return fail("not a recstack trace (bad magic)");
+    }
+
+    kernels->clear();
+    KernelProfile current;
+    bool in_kernel = false;
+    bool saw_end = false;
+
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        std::istringstream tag_stream(line);
+        std::string tag;
+        tag_stream >> tag;
+        const Fields f(line);
+
+        if (tag == "meta") {
+            meta->model = f.str("model");
+            meta->framework = f.str("framework", "Caffe2");
+            meta->batch = static_cast<int64_t>(f.u64("batch"));
+            meta->inputBytes = f.u64("inputBytes");
+            meta->inputBlobs = f.u64("inputBlobs");
+        } else if (tag == "kernel") {
+            if (in_kernel) {
+                return fail("nested kernel record");
+            }
+            in_kernel = true;
+            current = KernelProfile{};
+            current.opType = f.str("type");
+            current.opName = f.str("name");
+            current.fmaFlops = f.u64("fma");
+            current.vecElemOps = f.u64("vec");
+            current.scalarOps = f.u64("scalar");
+            current.simdScalableOps = f.u64("simdScalable");
+            current.reloadLoadElems = f.u64("reload");
+            current.serialSteps = f.u64("serial", 1);
+            current.gemmWidth = f.u64("gemmWidth");
+            current.codeFootprintBytes = f.u64("codeBytes");
+            current.codeRegion = f.str("codeRegion");
+            current.codeIterations = f.u64("codeIter", 1);
+            current.dispatchOps = f.u64("dispatchOps");
+            current.dispatchCodeBytes = f.u64("dispatchCode");
+        } else if (tag == "stream") {
+            if (!in_kernel) {
+                return fail("stream outside kernel");
+            }
+            MemStream s;
+            s.region = f.str("region");
+            if (!patternFromName(f.str("pattern"), &s.pattern)) {
+                return fail("unknown access pattern '" +
+                            f.str("pattern") + "'");
+            }
+            s.accesses = f.u64("accesses");
+            s.chunkBytes = f.u64("chunk", 64);
+            s.footprintBytes = f.u64("footprint");
+            s.strideBytes = f.u64("stride");
+            s.isWrite = f.u64("write") != 0;
+            s.zipfExponent = f.f64("zipf");
+            s.mlp = f.f64("mlp", 4.0);
+            current.streams.push_back(std::move(s));
+        } else if (tag == "branch") {
+            if (!in_kernel) {
+                return fail("branch outside kernel");
+            }
+            BranchStream b;
+            b.count = f.u64("count");
+            b.takenProbability = f.f64("taken", 1.0);
+            b.randomness = f.f64("rand");
+            b.scalesWithSimd = f.u64("simd") != 0;
+            current.branches.push_back(b);
+        } else if (tag == "endkernel") {
+            if (!in_kernel) {
+                return fail("endkernel without kernel");
+            }
+            kernels->push_back(std::move(current));
+            current = KernelProfile{};
+            in_kernel = false;
+        } else if (tag == "end") {
+            saw_end = true;
+            break;
+        } else {
+            return fail("unknown record '" + tag + "'");
+        }
+    }
+    if (in_kernel) {
+        return fail("truncated trace: kernel not closed");
+    }
+    if (!saw_end) {
+        return fail("truncated trace: missing end record");
+    }
+    return true;
+}
+
+bool
+saveTrace(const std::string& path, const TraceMeta& meta,
+          const std::vector<KernelProfile>& kernels, std::string* error)
+{
+    std::ofstream out(path);
+    if (!out) {
+        if (error != nullptr) {
+            *error = "cannot open '" + path + "' for writing";
+        }
+        return false;
+    }
+    writeTrace(out, meta, kernels);
+    return static_cast<bool>(out);
+}
+
+bool
+loadTrace(const std::string& path, TraceMeta* meta,
+          std::vector<KernelProfile>* kernels, std::string* error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr) {
+            *error = "cannot open '" + path + "'";
+        }
+        return false;
+    }
+    return readTrace(in, meta, kernels, error);
+}
+
+}  // namespace recstack

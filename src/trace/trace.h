@@ -1,0 +1,54 @@
+#ifndef RECSTACK_TRACE_TRACE_H_
+#define RECSTACK_TRACE_TRACE_H_
+
+/**
+ * @file
+ * Kernel-profile traces: record a net execution's workload
+ * descriptors to a portable text file and replay them later on any
+ * platform model — the "profile once, simulate everywhere" workflow
+ * that near-memory-processing studies (RecNMP et al.) use with
+ * production embedding traces.
+ *
+ * Format: line-oriented `key=value` records, versioned, human
+ * diffable. Blob/region names must not contain whitespace (recstack
+ * never generates such names).
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "profile/kernel_profile.h"
+
+namespace recstack {
+
+/** Header information carried by a trace. */
+struct TraceMeta {
+    std::string model;
+    std::string framework = "Caffe2";
+    int64_t batch = 0;
+    uint64_t inputBytes = 0;   ///< wire bytes (PCIe replay)
+    uint64_t inputBlobs = 0;   ///< staged-copy count (PCIe replay)
+};
+
+/** Serialize a trace to a stream. */
+void writeTrace(std::ostream& out, const TraceMeta& meta,
+                const std::vector<KernelProfile>& kernels);
+
+/**
+ * Parse a trace from a stream.
+ * @return false (with *error set) on malformed input.
+ */
+bool readTrace(std::istream& in, TraceMeta* meta,
+               std::vector<KernelProfile>* kernels, std::string* error);
+
+/** File-path convenience wrappers. */
+bool saveTrace(const std::string& path, const TraceMeta& meta,
+               const std::vector<KernelProfile>& kernels,
+               std::string* error);
+bool loadTrace(const std::string& path, TraceMeta* meta,
+               std::vector<KernelProfile>* kernels, std::string* error);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_TRACE_TRACE_H_

@@ -1,0 +1,156 @@
+#include "uarch/cache.h"
+
+#include "common/logging.h"
+
+namespace recstack {
+namespace {
+
+int
+log2exact(uint64_t v)
+{
+    int shift = 0;
+    while ((1ull << shift) < v) {
+        ++shift;
+    }
+    RECSTACK_CHECK((1ull << shift) == v, "value " << v
+                   << " is not a power of two");
+    return shift;
+}
+
+}  // namespace
+
+Cache::Cache(uint64_t size_bytes, int ways, int line_bytes)
+    : sizeBytes_(size_bytes), ways_(ways), lineBytes_(line_bytes)
+{
+    RECSTACK_CHECK(ways_ > 0 && lineBytes_ > 0, "bad cache geometry");
+    lineShift_ = log2exact(static_cast<uint64_t>(lineBytes_));
+    sets_ = sizeBytes_ /
+            (static_cast<uint64_t>(ways_) *
+             static_cast<uint64_t>(lineBytes_));
+    RECSTACK_CHECK(sets_ > 0, "cache smaller than one set");
+    // Non-power-of-two set counts are allowed (22 MB L3s exist); the
+    // index is taken modulo sets_.
+    lines_.assign(sets_ * static_cast<uint64_t>(ways_), Line{});
+}
+
+uint64_t
+Cache::setIndex(uint64_t addr) const
+{
+    return (addr >> lineShift_) % sets_;
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr >> lineShift_;
+}
+
+uint64_t
+Cache::lineAddr(uint64_t tag, uint64_t set) const
+{
+    (void)set;
+    return tag << lineShift_;
+}
+
+bool
+Cache::access(uint64_t addr, uint64_t* evicted)
+{
+    const uint64_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Line* base = &lines_[set * static_cast<uint64_t>(ways_)];
+    ++clock_;
+
+    Line* lru_line = base;
+    for (int w = 0; w < ways_; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = clock_;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid) {
+            lru_line = &line;  // prefer invalid victims
+        } else if (lru_line->valid && line.lru < lru_line->lru) {
+            lru_line = &line;
+        }
+    }
+    ++misses_;
+    if (evicted != nullptr) {
+        *evicted = lru_line->valid ? lineAddr(lru_line->tag, set)
+                                   : UINT64_MAX;
+    }
+    lru_line->valid = true;
+    lru_line->tag = tag;
+    lru_line->lru = clock_;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    const uint64_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    const Line* base = &lines_[set * static_cast<uint64_t>(ways_)];
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::insert(uint64_t addr, uint64_t* evicted)
+{
+    const uint64_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Line* base = &lines_[set * static_cast<uint64_t>(ways_)];
+    ++clock_;
+
+    Line* lru_line = base;
+    for (int w = 0; w < ways_; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = clock_;
+            return;  // already present
+        }
+        if (!line.valid) {
+            lru_line = &line;
+        } else if (lru_line->valid && line.lru < lru_line->lru) {
+            lru_line = &line;
+        }
+    }
+    if (evicted != nullptr) {
+        *evicted = lru_line->valid ? lineAddr(lru_line->tag, set)
+                                   : UINT64_MAX;
+    }
+    lru_line->valid = true;
+    lru_line->tag = tag;
+    lru_line->lru = clock_;
+}
+
+void
+Cache::invalidate(uint64_t addr)
+{
+    const uint64_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Line* base = &lines_[set * static_cast<uint64_t>(ways_)];
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].valid = false;
+            return;
+        }
+    }
+}
+
+void
+Cache::reset()
+{
+    for (auto& line : lines_) {
+        line = Line{};
+    }
+    hits_ = misses_ = 0;
+    clock_ = 0;
+}
+
+}  // namespace recstack

@@ -1,0 +1,44 @@
+#ifndef RECSTACK_UARCH_CACHE_HIERARCHY_H_
+#define RECSTACK_UARCH_CACHE_HIERARCHY_H_
+
+/**
+ * @file
+ * Three-level data-cache hierarchy with configurable L3 participation
+ * policy: inclusive (Broadwell: L3 evictions back-invalidate inner
+ * levels) or exclusive (Cascade Lake: L3 is a victim cache filled by
+ * L2 evictions), matching Table II's "Cache Inclusion Policy" row.
+ */
+
+#include "platform/platform.h"
+#include "uarch/cache.h"
+
+namespace recstack {
+
+/** Level at which a demand access was satisfied. */
+enum class HitLevel { kL1, kL2, kL3, kDram };
+
+/** L1D + L2 + L3 + policy glue. */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const CpuConfig& cfg);
+
+    /** Access one line-sized location; returns the serving level. */
+    HitLevel access(uint64_t addr, bool is_write);
+
+    void reset();
+
+    const Cache& l1() const { return l1_; }
+    const Cache& l2() const { return l2_; }
+    const Cache& l3() const { return l3_; }
+
+  private:
+    Cache l1_;
+    Cache l2_;
+    Cache l3_;
+    InclusionPolicy policy_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_UARCH_CACHE_HIERARCHY_H_

@@ -1,0 +1,77 @@
+#include "uarch/counters.h"
+
+namespace recstack {
+
+void
+CpuCounters::accumulate(const CpuCounters& other)
+{
+    uopsRetired += other.uopsRetired;
+    avxUopsRetired += other.avxUopsRetired;
+    scalarUopsRetired += other.scalarUopsRetired;
+    branches += other.branches;
+    branchMispredicts += other.branchMispredicts;
+    l1dAccesses += other.l1dAccesses;
+    l1dHits += other.l1dHits;
+    l2Hits += other.l2Hits;
+    l3Hits += other.l3Hits;
+    dramAccesses += other.dramAccesses;
+    dramBytes += other.dramBytes;
+    icacheAccesses += other.icacheAccesses;
+    icacheMisses += other.icacheMisses;
+    uopsFromDsb += other.uopsFromDsb;
+    uopsFromMite += other.uopsFromMite;
+    dsbSwitches += other.dsbSwitches;
+
+    // Port-busy distribution: cycle-weighted average.
+    const double total = cycles + other.cycles;
+    if (total > 0.0) {
+        for (int k = 0; k <= 8; ++k) {
+            portsBusyAtLeast[k] =
+                (portsBusyAtLeast[k] * cycles +
+                 other.portsBusyAtLeast[k] * other.cycles) / total;
+        }
+    }
+
+    cycles += other.cycles;
+    retireCycles += other.retireCycles;
+    feLatencyCycles += other.feLatencyCycles;
+    feBandwidthDsbCycles += other.feBandwidthDsbCycles;
+    feBandwidthMiteCycles += other.feBandwidthMiteCycles;
+    badSpecCycles += other.badSpecCycles;
+    beCoreCycles += other.beCoreCycles;
+    beMemL2Cycles += other.beMemL2Cycles;
+    beMemL3Cycles += other.beMemL3Cycles;
+    beMemDramLatCycles += other.beMemDramLatCycles;
+    beMemDramBwCycles += other.beMemDramBwCycles;
+    dramCongestedCycles += other.dramCongestedCycles;
+    storeCycles += other.storeCycles;
+}
+
+double
+CpuCounters::ipc(int width) const
+{
+    (void)width;
+    return cycles > 0.0 ? static_cast<double>(uopsRetired) / cycles : 0.0;
+}
+
+double
+CpuCounters::imspki() const
+{
+    if (uopsRetired == 0) {
+        return 0.0;
+    }
+    return 1000.0 * static_cast<double>(icacheMisses) /
+           static_cast<double>(uopsRetired);
+}
+
+double
+CpuCounters::mispredictsPerKuop() const
+{
+    if (uopsRetired == 0) {
+        return 0.0;
+    }
+    return 1000.0 * static_cast<double>(branchMispredicts) /
+           static_cast<double>(uopsRetired);
+}
+
+}  // namespace recstack

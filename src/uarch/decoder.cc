@@ -1,0 +1,72 @@
+#include "uarch/decoder.h"
+
+#include <algorithm>
+
+namespace recstack {
+
+DecoderModel::DecoderModel(const CpuConfig& cfg)
+    : capacityUops_(cfg.dsbCapacityUops),
+      switchPenalty_(cfg.dsbSwitchPenalty),
+      refillUopsPerFlush_(cfg.dsbRefillUopsPerFlush)
+{
+    // Delivering a uop through MITE costs 1/miteBW cycles of frontend
+    // occupancy versus 1/width when the pipeline is fully fed.
+    const double width = static_cast<double>(cfg.pipelineWidth);
+    mitePenaltyPerUop_ =
+        std::max(0.0, 1.0 / cfg.miteUopsPerCycle - 1.0 / width);
+}
+
+DecoderResult
+DecoderModel::evaluate(const DecoderInput& input) const
+{
+    DecoderResult r;
+
+    // --- Hot kernel region ---
+    uint64_t kernel_mite = 0;
+    if (input.kernelFootprintUops > capacityUops_) {
+        // The loop body does not fit the DSB: the overflowing
+        // fraction of every iteration re-decodes through MITE, and
+        // each wrap-around is a DSB<->MITE switch pair.
+        const double coverage =
+            static_cast<double>(capacityUops_) /
+            static_cast<double>(input.kernelFootprintUops);
+        kernel_mite = static_cast<uint64_t>(
+            static_cast<double>(input.kernelUops) * (1.0 - coverage));
+        r.switches += input.kernelUops /
+                      std::max<uint64_t>(1, input.kernelFootprintUops) * 2;
+    } else {
+        // Fits: only the first decode of the region goes via MITE.
+        kernel_mite = std::min(input.kernelUops,
+                               input.kernelFootprintUops);
+    }
+
+    // --- Branch-mispredict flushes ---
+    // Each flush redirects fetch; the DSB window restarts and the
+    // first uops after redirect decode through MITE.
+    const uint64_t refill_uops =
+        input.flushes * static_cast<uint64_t>(refillUopsPerFlush_);
+    r.switches += input.flushes;
+
+    // --- Dispatch path: mostly DSB-resident when the op type
+    // repeats back-to-back, mostly legacy-decoded on a switch. ---
+    const double cold_fraction = input.dispatchWarm ? 0.15 : 0.60;
+    const uint64_t cold_mite = static_cast<uint64_t>(
+        static_cast<double>(input.dispatchUops) * cold_fraction);
+    r.switches += cold_mite > 0 ? 2 : 0;
+
+    const uint64_t dsb_thrash_mite =
+        std::min(input.kernelUops, kernel_mite + refill_uops);
+    r.uopsFromMite = dsb_thrash_mite + cold_mite;
+    const uint64_t total = input.kernelUops + input.dispatchUops;
+    r.uopsFromDsb = total > r.uopsFromMite ? total - r.uopsFromMite : 0;
+
+    r.dsbLimitedCycles =
+        static_cast<double>(dsb_thrash_mite) * mitePenaltyPerUop_ +
+        static_cast<double>(r.switches) *
+            static_cast<double>(switchPenalty_);
+    r.miteLimitedCycles =
+        static_cast<double>(cold_mite) * mitePenaltyPerUop_;
+    return r;
+}
+
+}  // namespace recstack

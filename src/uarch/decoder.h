@@ -1,0 +1,66 @@
+#ifndef RECSTACK_UARCH_DECODER_H_
+#define RECSTACK_UARCH_DECODER_H_
+
+/**
+ * @file
+ * Frontend decoder model: the DSB (Decoded Stream Buffer, the decoded
+ * micro-op cache) versus the MITE legacy decode pipeline (Fig. 13).
+ *
+ * Micro-ops are delivered from the DSB at full width when the hot
+ * region fits its capacity; region overflow and branch-mispredict
+ * flushes push decode back through the slower MITE and pay a
+ * DSB<->MITE switch penalty. Cold code (the framework dispatch path)
+ * always decodes through MITE.
+ */
+
+#include <cstdint>
+
+#include "platform/platform.h"
+
+namespace recstack {
+
+/** One kernel's decoder workload. */
+struct DecoderInput {
+    uint64_t kernelUops = 0;         ///< hot-region dynamic uops
+    uint64_t kernelFootprintUops = 0;///< hot-region static uops
+    uint64_t dispatchUops = 0;       ///< framework-path uops
+    uint64_t flushes = 0;            ///< branch-mispredict pipeline flushes
+    /// True when the previous operator had the same type: the
+    /// dispatch path is then largely DSB-resident (long runs of
+    /// identical SparseLengthsSum ops), false on a type switch
+    /// (NCF/DIN-style alternating graphs decode cold).
+    bool dispatchWarm = false;
+};
+
+/** Decoder delivery accounting. */
+struct DecoderResult {
+    uint64_t uopsFromDsb = 0;
+    uint64_t uopsFromMite = 0;
+    uint64_t switches = 0;
+    /// Cycles lost because DSB thrash (capacity overflow, flush
+    /// refill) forced MITE decode — the paper's "DSB-limited" bucket.
+    double dsbLimitedCycles = 0.0;
+    /// Cycles lost to steady-state MITE decode of cold code.
+    double miteLimitedCycles = 0.0;
+};
+
+/** Analytic DSB/MITE delivery model. */
+class DecoderModel
+{
+  public:
+    explicit DecoderModel(const CpuConfig& cfg);
+
+    DecoderResult evaluate(const DecoderInput& input) const;
+
+  private:
+    /// Cycle cost per uop delivered via MITE instead of keeping the
+    /// pipeline fed at full width.
+    double mitePenaltyPerUop_;
+    uint64_t capacityUops_;
+    int switchPenalty_;
+    int refillUopsPerFlush_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_UARCH_DECODER_H_

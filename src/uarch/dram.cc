@@ -1,0 +1,44 @@
+#include "uarch/dram.h"
+
+#include "common/logging.h"
+
+namespace recstack {
+
+DramModel::DramModel(double peak_gbs, int latency_cycles, double freq_ghz)
+    : peakGBs_(peak_gbs), latencyCycles_(latency_cycles),
+      freqGHz_(freq_ghz)
+{
+    RECSTACK_CHECK(peak_gbs > 0 && freq_ghz > 0, "bad DRAM parameters");
+    // GB/s divided by Gcycles/s gives bytes per core cycle.
+    bytesPerCycle_ = peakGBs_ / freqGHz_;
+}
+
+double
+DramModel::bytesToCycles(uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / bytesPerCycle_;
+}
+
+double
+DramModel::demandGBs(uint64_t bytes, double cycles) const
+{
+    if (cycles <= 0.0) {
+        return 0.0;
+    }
+    const double seconds = cycles / (freqGHz_ * 1e9);
+    return static_cast<double>(bytes) / 1e9 / seconds;
+}
+
+double
+DramModel::occupancy(double demand_gbs) const
+{
+    return demand_gbs / peakGBs_;
+}
+
+bool
+DramModel::congested(double demand_gbs) const
+{
+    return occupancy(demand_gbs) > kCongestionThreshold;
+}
+
+}  // namespace recstack

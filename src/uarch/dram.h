@@ -1,0 +1,55 @@
+#ifndef RECSTACK_UARCH_DRAM_H_
+#define RECSTACK_UARCH_DRAM_H_
+
+/**
+ * @file
+ * DRAM channel model: peak-bandwidth/latency accounting plus Intel's
+ * bandwidth-congestion criterion (Fig. 14): the system is "bandwidth
+ * congested" when demand occupies more than 70% of what the memory
+ * controller can serve, and "latency bound" below that.
+ */
+
+#include <cstdint>
+
+namespace recstack {
+
+/** Simple bandwidth/latency DRAM model. */
+class DramModel
+{
+  public:
+    /**
+     * @param peak_gbs   peak bandwidth, GB/s
+     * @param latency_cycles loaded round-trip latency in core cycles
+     * @param freq_ghz   core frequency the cycle domain refers to
+     */
+    DramModel(double peak_gbs, int latency_cycles, double freq_ghz);
+
+    /** Core cycles to move @c bytes at peak bandwidth. */
+    double bytesToCycles(uint64_t bytes) const;
+
+    /** Bytes the channel can move per core cycle. */
+    double bytesPerCycle() const { return bytesPerCycle_; }
+
+    int latencyCycles() const { return latencyCycles_; }
+
+    /** Demand bandwidth (GB/s) given bytes moved over cycles. */
+    double demandGBs(uint64_t bytes, double cycles) const;
+
+    /** Occupancy fraction of peak for the given demand. */
+    double occupancy(double demand_gbs) const;
+
+    /** Intel's >70% read-queue-occupancy congestion criterion. */
+    bool congested(double demand_gbs) const;
+
+    static constexpr double kCongestionThreshold = 0.70;
+
+  private:
+    double peakGBs_;
+    int latencyCycles_;
+    double freqGHz_;
+    double bytesPerCycle_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_UARCH_DRAM_H_

@@ -1,0 +1,141 @@
+#include "uarch/exec_ports.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace recstack {
+namespace {
+
+/** Spread @c uops across the given ports, minimizing the max load. */
+void
+waterFill(std::array<double, 8>& load, const std::vector<int>& ports,
+          double uops)
+{
+    // Repeatedly top up the least-loaded eligible port; with a small
+    // fixed port set an exact incremental fill is cheap: sort by
+    // load and level them up one at a time.
+    while (uops > 0.0) {
+        int min_port = ports[0];
+        double min_load = load[static_cast<size_t>(min_port)];
+        double second = -1.0;
+        for (int p : ports) {
+            const double l = load[static_cast<size_t>(p)];
+            if (l < min_load) {
+                min_load = l;
+                min_port = p;
+            }
+        }
+        for (int p : ports) {
+            const double l = load[static_cast<size_t>(p)];
+            if (p != min_port && (second < 0.0 || l < second) &&
+                l > min_load) {
+                second = l;
+            }
+        }
+        if (second < 0.0) {
+            // All eligible ports level: split evenly and finish.
+            const double share = uops / static_cast<double>(ports.size());
+            for (int p : ports) {
+                load[static_cast<size_t>(p)] += share;
+            }
+            return;
+        }
+        const double gap = second - min_load;
+        const double add = std::min(uops, gap);
+        load[static_cast<size_t>(min_port)] += add;
+        uops -= add;
+    }
+}
+
+}  // namespace
+
+double
+PortResult::totalPortUops() const
+{
+    double total = 0.0;
+    for (double l : portLoad) {
+        total += l;
+    }
+    return total;
+}
+
+PortScheduler::PortScheduler(const CpuConfig& cfg)
+    : width_(cfg.pipelineWidth), fpAddPorts_(cfg.fpAddPorts)
+{
+    RECSTACK_CHECK(cfg.fmaPorts >= 1 && cfg.fmaPorts <= 2 &&
+                   cfg.loadPorts >= 1 && cfg.loadPorts <= 2 &&
+                   cfg.storePorts >= 1 && cfg.storePorts <= 2,
+                   "unsupported port configuration");
+    fmaPorts_ = cfg.fmaPorts == 2 ? std::vector<int>{0, 1}
+                                  : std::vector<int>{0};
+    loadPorts_ = cfg.loadPorts == 2 ? std::vector<int>{2, 3}
+                                    : std::vector<int>{2};
+    storePorts_ = cfg.storePorts == 2 ? std::vector<int>{4, 7}
+                                      : std::vector<int>{4};
+}
+
+PortResult
+PortScheduler::schedule(const PortInput& input) const
+{
+    PortResult r;
+    // Port map (Broadwell/Skylake-like):
+    //   0, 1       vector FMA + scalar (port 1 also FP add on BDW;
+    //              SKL+ adds FP add to port 0)
+    //   5          vector shuffle + scalar
+    //   6          scalar + branch
+    //   2, 3       loads
+    //   4, 7       stores
+    waterFill(r.portLoad, fmaPorts_, static_cast<double>(input.fmaUops));
+    // Non-FMA vector work: half FP-add class (restricted ports),
+    // half shuffle class (port 5).
+    const double fp_add = static_cast<double>(input.vecUops) * 0.5;
+    const double shuffle = static_cast<double>(input.vecUops) - fp_add;
+    if (fpAddPorts_ >= 2) {
+        waterFill(r.portLoad, {0, 1}, fp_add);
+    } else {
+        waterFill(r.portLoad, {1}, fp_add);
+    }
+    waterFill(r.portLoad, {5}, shuffle);
+    waterFill(r.portLoad, {6}, static_cast<double>(input.branchUops));
+    waterFill(r.portLoad, {0, 1, 5, 6},
+              static_cast<double>(input.scalarUops));
+    waterFill(r.portLoad, loadPorts_,
+              static_cast<double>(input.loadUops));
+    waterFill(r.portLoad, storePorts_,
+              static_cast<double>(input.storeUops));
+
+    r.computeCycles = *std::max_element(r.portLoad.begin(),
+                                        r.portLoad.end());
+    return r;
+}
+
+void
+PortScheduler::busyDistribution(const PortResult& r, double cycles,
+                                double* at_least)
+{
+    // Per-port utilization, clamped to [0, 1].
+    double rho[8];
+    for (int p = 0; p < 8; ++p) {
+        rho[p] = cycles > 0.0
+                     ? std::min(1.0, r.portLoad[static_cast<size_t>(p)] /
+                                     cycles)
+                     : 0.0;
+    }
+    // Poisson-binomial over 8 independent ports via DP.
+    double pmf[9] = {1, 0, 0, 0, 0, 0, 0, 0, 0};
+    for (int p = 0; p < 8; ++p) {
+        for (int k = p + 1; k >= 1; --k) {
+            pmf[k] = pmf[k] * (1.0 - rho[p]) + pmf[k - 1] * rho[p];
+        }
+        pmf[0] *= (1.0 - rho[p]);
+    }
+    double tail = 0.0;
+    for (int k = 8; k >= 0; --k) {
+        tail += pmf[k];
+        at_least[k] = std::min(1.0, tail);
+    }
+}
+
+}  // namespace recstack

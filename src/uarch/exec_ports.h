@@ -1,0 +1,68 @@
+#ifndef RECSTACK_UARCH_EXEC_PORTS_H_
+#define RECSTACK_UARCH_EXEC_PORTS_H_
+
+/**
+ * @file
+ * Execution-port scheduler for the 8-port backend the paper describes
+ * ("four arithmetic units, two load units, and two store units",
+ * Fig. 10). Micro-ops are water-filled onto their eligible ports;
+ * the resulting per-port loads give both the core-bound throughput
+ * limit and the functional-unit-usage distribution.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.h"
+
+namespace recstack {
+
+/** Micro-op mix of one kernel, by port class. */
+struct PortInput {
+    uint64_t fmaUops = 0;     ///< vector FMA: ports 0-1 only
+    uint64_t vecUops = 0;     ///< other vector ALU: ports 0, 1, 5
+    uint64_t scalarUops = 0;  ///< scalar ALU: ports 0, 1, 5, 6
+    uint64_t branchUops = 0;  ///< port 6 (+ port 0 on these parts)
+    uint64_t loadUops = 0;    ///< ports 2, 3
+    uint64_t storeUops = 0;   ///< ports 4, 7
+};
+
+/** Port-pressure summary. */
+struct PortResult {
+    /// Minimum cycles the port bindings allow (max per-port load).
+    double computeCycles = 0.0;
+    /// Dynamic uops bound to each of the 8 ports.
+    std::array<double, 8> portLoad{};
+
+    double totalPortUops() const;
+};
+
+/** Greedy water-filling port binder. */
+class PortScheduler
+{
+  public:
+    explicit PortScheduler(const CpuConfig& cfg);
+
+    PortResult schedule(const PortInput& input) const;
+
+    /**
+     * Fraction of cycles with at least k of the 8 ports busy,
+     * assuming independent per-port utilization (Poisson-binomial),
+     * given the actual cycle count of the kernel.
+     * @param at_least output array[9]: index k holds P(busy >= k).
+     */
+    static void busyDistribution(const PortResult& r, double cycles,
+                                 double* at_least);
+
+  private:
+    int width_;
+    int fpAddPorts_;
+    std::vector<int> fmaPorts_;
+    std::vector<int> loadPorts_;
+    std::vector<int> storePorts_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_UARCH_EXEC_PORTS_H_

@@ -1,0 +1,91 @@
+#include "uarch/multicore.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace recstack {
+
+std::vector<ScalingPoint>
+estimateMulticoreScaling(const CpuCounters& single, const CpuConfig& cfg,
+                         int max_cores)
+{
+    RECSTACK_CHECK(max_cores >= 1, "need at least one core");
+    RECSTACK_CHECK(single.cycles > 0.0, "empty single-core counters");
+
+    // Cycle components that use only private resources.
+    const double private_cycles =
+        single.retireCycles + single.feCycles() + single.badSpecCycles +
+        single.beCoreCycles + single.beMemL2Cycles;
+    const double l3_stall = single.beMemL3Cycles;
+    const double dram_stall =
+        single.beMemDramLatCycles + single.beMemDramBwCycles;
+    const double bytes_per_cycle = cfg.dramGBs / cfg.freqGHz;
+
+    // Average observed stall per L3 hit (already folds exposure and
+    // MLP); re-pricing a lost hit at DRAM scales it by the latency
+    // ratio.
+    const double per_l3_hit_stall =
+        single.l3Hits > 0
+            ? l3_stall / static_cast<double>(single.l3Hits)
+            : 0.0;
+    const double dram_per_l3_ratio =
+        static_cast<double>(cfg.dramLatencyCycles) /
+        static_cast<double>(std::max(1, cfg.l3.latencyCycles));
+
+    // Phase demand of a single engine running alone; used to
+    // normalize so n = 1 is exactly the identity even when one
+    // engine's burst demand already brushes the peak.
+    const double solo_phase_demand =
+        dram_stall > 0.0
+            ? static_cast<double>(single.dramBytes) /
+                  (bytes_per_cycle * dram_stall)
+            : 0.0;
+    const double demand_norm = std::max(1.0, solo_phase_demand);
+
+    std::vector<ScalingPoint> points;
+    points.reserve(static_cast<size_t>(max_cores));
+    for (int n = 1; n <= max_cores; ++n) {
+        // Shared-L3 partitioning: with 1/n of the capacity, roughly
+        // the hottest 1/n of the reuse survives.
+        const double survive = 1.0 / static_cast<double>(n);
+        const double lost_hits =
+            static_cast<double>(single.l3Hits) * (1.0 - survive);
+        const double kept_l3_stall = l3_stall * survive;
+        const double moved_stall =
+            lost_hits * per_l3_hit_stall * dram_per_l3_ratio;
+
+        const double dram_bytes_n =
+            static_cast<double>(single.dramBytes) + lost_hits * 64.0;
+        const double base_dram_stall = dram_stall + moved_stall;
+
+        // Bandwidth contention acts while the memory system is
+        // actively serving this engine: an engine's instantaneous
+        // demand is its DRAM bytes over its memory-stall window, not
+        // over the whole run. When the n engines' aggregate phase
+        // demand exceeds the socket peak, the memory phases stretch
+        // proportionally (bytes are conserved; service rate is
+        // capped).
+        double stretch = 1.0;
+        if (base_dram_stall > 0.0) {
+            const double phase_demand =
+                static_cast<double>(n) * dram_bytes_n /
+                (bytes_per_cycle * base_dram_stall);
+            stretch = std::max(1.0, phase_demand / demand_norm);
+        }
+        const double cycles_n = private_cycles + kept_l3_stall +
+                                base_dram_stall * stretch;
+
+        ScalingPoint p;
+        p.cores = n;
+        p.perEngineSlowdown = cycles_n / single.cycles;
+        p.throughputScaling =
+            static_cast<double>(n) * single.cycles / cycles_n;
+        p.dramDemandFraction = static_cast<double>(n) * dram_bytes_n /
+                               (bytes_per_cycle * cycles_n);
+        points.push_back(p);
+    }
+    return points;
+}
+
+}  // namespace recstack

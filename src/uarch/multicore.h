@@ -1,0 +1,59 @@
+#ifndef RECSTACK_UARCH_MULTICORE_H_
+#define RECSTACK_UARCH_MULTICORE_H_
+
+/**
+ * @file
+ * Multicore co-location model (beyond-paper extension).
+ *
+ * The paper characterizes single-threaded inference; production
+ * serving co-locates one inference engine per core (DeepRecSys).
+ * This analytical model extends a measured single-core cycle account
+ * to N co-located engines on one socket:
+ *
+ *  - private resources (frontend, ports, L1/L2, speculation) scale
+ *    perfectly — their cycle components are unchanged per engine;
+ *  - the shared L3 is effectively partitioned: each engine's L3 hits
+ *    degrade to DRAM accesses as its share of the L3 shrinks below
+ *    its single-core working set;
+ *  - DRAM bandwidth is shared: when the engines' aggregate demand
+ *    exceeds the socket's peak, memory-bandwidth stalls stretch
+ *    proportionally.
+ *
+ * The headline result mirrors the near-memory-processing motivation
+ * the paper cites: embedding-dominated models stop scaling well
+ * before FC-dominated models do.
+ */
+
+#include <vector>
+
+#include "platform/platform.h"
+#include "uarch/counters.h"
+
+namespace recstack {
+
+/** Scaling estimate for one co-location level. */
+struct ScalingPoint {
+    int cores = 1;
+    /// Per-engine slowdown vs running alone (>= 1).
+    double perEngineSlowdown = 1.0;
+    /// Socket throughput relative to one engine (<= cores).
+    double throughputScaling = 1.0;
+    /// Aggregate DRAM demand as a fraction of the socket peak.
+    double dramDemandFraction = 0.0;
+};
+
+/**
+ * Estimate throughput scaling of co-located copies of the engine
+ * whose single-core counters are given.
+ *
+ * @param single   counters of one engine running alone (one
+ *                 inference, steady state)
+ * @param cfg      socket configuration
+ * @param max_cores highest co-location level to evaluate
+ */
+std::vector<ScalingPoint> estimateMulticoreScaling(
+    const CpuCounters& single, const CpuConfig& cfg, int max_cores);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_UARCH_MULTICORE_H_

@@ -1,0 +1,82 @@
+#ifndef RECSTACK_WORKLOAD_BATCH_GENERATOR_H_
+#define RECSTACK_WORKLOAD_BATCH_GENERATOR_H_
+
+/**
+ * @file
+ * Inference input synthesis.
+ *
+ * The paper's study uses untrained models and synthetic inference
+ * inputs (only compute matters, not accuracy), with batch sizes from
+ * 1 to 16384. BatchGenerator materializes per-batch inputs for a
+ * model's declared feature schema and accounts the data-loading work
+ * that the paper's end-to-end timings include.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ops/workspace.h"
+#include "profile/kernel_profile.h"
+
+namespace recstack {
+
+/** One sparse (embedding) input feature group. */
+struct CategoricalFeatureSpec {
+    std::string indicesBlob;       ///< int64 [batch * lookups]
+    std::string lengthsBlob;       ///< int32 [batch]
+    int64_t tableRows = 0;         ///< index domain
+    int64_t lookupsPerSample = 1;  ///< pooling factor
+    double zipfExponent = 0.0;     ///< index skew
+    /// Optional per-lookup weights blob (position-weighted pooling,
+    /// SparseLengthsWeightedSum); empty when unweighted.
+    std::string weightsBlob;
+};
+
+/** One dense input feature group. */
+struct ContinuousFeatureSpec {
+    std::string blob;              ///< float [batch, dim]
+    int64_t dim = 0;
+};
+
+/** Full input schema of a model. */
+struct WorkloadSpec {
+    std::vector<CategoricalFeatureSpec> categorical;
+    std::vector<ContinuousFeatureSpec> continuous;
+};
+
+/**
+ * Materializes inference batches for a WorkloadSpec and prices the
+ * data-loading step.
+ */
+class BatchGenerator
+{
+  public:
+    BatchGenerator(WorkloadSpec spec, uint64_t seed = 42);
+
+    /** Create/fill all input blobs for the given batch size. */
+    void materialize(Workspace& ws, int64_t batch);
+
+    /** Create all input blobs as shape-only (profile-only sweeps). */
+    void declare(Workspace& ws, int64_t batch) const;
+
+    /**
+     * Abstract cost of loading one batch from the serving wire format
+     * into framework tensors (deserialize + copy); the paper includes
+     * this in end-to-end inference time.
+     */
+    KernelProfile dataLoadProfile(int64_t batch) const;
+
+    /** Bytes a batch occupies on the wire (PCIe transfer size). */
+    uint64_t inputBytes(int64_t batch) const;
+
+    const WorkloadSpec& spec() const { return spec_; }
+
+  private:
+    WorkloadSpec spec_;
+    uint64_t seed_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_WORKLOAD_BATCH_GENERATOR_H_

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for OperatorBreakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/breakdown.h"
+
+namespace recstack {
+namespace {
+
+TEST(Breakdown, AccumulatesByType)
+{
+    OperatorBreakdown b;
+    b.add("FC", 0.5);
+    b.add("FC", 0.25);
+    b.add("SparseLengthsSum", 0.25);
+    EXPECT_DOUBLE_EQ(b.total(), 1.0);
+    EXPECT_DOUBLE_EQ(b.fraction("FC"), 0.75);
+    EXPECT_DOUBLE_EQ(b.fraction("SparseLengthsSum"), 0.25);
+    EXPECT_DOUBLE_EQ(b.fraction("Missing"), 0.0);
+}
+
+TEST(Breakdown, DominantType)
+{
+    OperatorBreakdown b;
+    EXPECT_EQ(b.dominantType(), "");
+    b.add("Relu", 0.1);
+    b.add("FC", 0.6);
+    b.add("Concat", 0.3);
+    EXPECT_EQ(b.dominantType(), "FC");
+}
+
+TEST(Breakdown, FractionsSortedDescending)
+{
+    OperatorBreakdown b;
+    b.add("a", 0.2);
+    b.add("b", 0.5);
+    b.add("c", 0.3);
+    const auto fracs = b.fractions();
+    ASSERT_EQ(fracs.size(), 3u);
+    EXPECT_EQ(fracs[0].first, "b");
+    EXPECT_EQ(fracs[1].first, "c");
+    EXPECT_EQ(fracs[2].first, "a");
+    double sum = 0.0;
+    for (const auto& [type, frac] : fracs) {
+        sum += frac;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Breakdown, EmptyIsSafe)
+{
+    OperatorBreakdown b;
+    EXPECT_DOUBLE_EQ(b.total(), 0.0);
+    EXPECT_DOUBLE_EQ(b.fraction("x"), 0.0);
+    EXPECT_TRUE(b.fractions().empty());
+}
+
+}  // namespace
+}  // namespace recstack

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU cache against analytically
+ * known access traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cache.h"
+
+namespace recstack {
+namespace {
+
+TEST(Cache, Geometry)
+{
+    Cache c(32 * 1024, 8, 64);
+    EXPECT_EQ(c.sets(), 64u);
+    EXPECT_EQ(c.ways(), 8);
+    EXPECT_EQ(c.lineBytes(), 64);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1010));  // same line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way, 8 sets of 64B lines -> lines 0, 512, 1024 map to set 0.
+    Cache c(1024, 2, 64);
+    EXPECT_FALSE(c.access(0));      // fill way 0
+    EXPECT_FALSE(c.access(512));    // fill way 1
+    EXPECT_TRUE(c.access(0));       // touch 0: 512 becomes LRU
+    uint64_t victim = 0;
+    EXPECT_FALSE(c.access(1024, &victim));  // evicts 512
+    EXPECT_EQ(victim, 512u);
+    EXPECT_TRUE(c.access(0));       // 0 still resident
+    EXPECT_FALSE(c.access(512));    // 512 was evicted
+}
+
+TEST(Cache, AssociativityConflicts)
+{
+    // Direct-mapped: every same-set line evicts the previous one.
+    Cache c(512, 1, 64);  // 8 sets
+    EXPECT_FALSE(c.access(0));
+    EXPECT_FALSE(c.access(512));   // conflicts with 0
+    EXPECT_FALSE(c.access(0));     // 0 was evicted
+}
+
+TEST(Cache, FullyAssociativeHoldsWorkingSet)
+{
+    Cache c(512, 8, 64);  // 1 set, 8 ways
+    for (uint64_t i = 0; i < 8; ++i) {
+        EXPECT_FALSE(c.access(i * 64));
+    }
+    for (uint64_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(c.access(i * 64));
+    }
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(1024, 2, 64);
+    c.access(0x40);
+    EXPECT_TRUE(c.probe(0x40));
+    c.invalidate(0x40);
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.access(0x40));  // miss again
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache c(1024, 2, 64);
+    c.access(0);
+    c.access(512);
+    // Probing 0 must NOT refresh its LRU position.
+    EXPECT_TRUE(c.probe(0));
+    uint64_t victim = 0;
+    c.access(1024, &victim);
+    EXPECT_EQ(victim, 0u);  // 0 was still the LRU victim
+    EXPECT_EQ(c.hits(), 0u);  // probes don't count as hits
+}
+
+TEST(Cache, InsertWithoutLookup)
+{
+    Cache c(1024, 2, 64);
+    c.insert(0x80);
+    EXPECT_TRUE(c.probe(0x80));
+    EXPECT_EQ(c.misses(), 0u);  // insert is not a demand access
+}
+
+TEST(Cache, InsertEvictsLru)
+{
+    Cache c(512, 1, 64);
+    c.insert(0);
+    uint64_t victim = UINT64_MAX;
+    c.insert(512, &victim);
+    EXPECT_EQ(victim, 0u);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(1024, 2, 64);
+    c.access(0);
+    c.access(0);
+    c.reset();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Cache, NonPowerOfTwoSetCount)
+{
+    // 22 MB / 11 ways / 64 B = 32768 sets (power of two here), use a
+    // truly odd config: 3 KB, 3-way -> 16 sets.
+    Cache c(3 * 1024, 3, 64);
+    EXPECT_EQ(c.sets(), 16u);
+    for (uint64_t i = 0; i < 100; ++i) {
+        c.access(i * 64);
+    }
+    EXPECT_EQ(c.hits() + c.misses(), 100u);
+}
+
+TEST(Cache, RejectsNonPowerOfTwoLineSize)
+{
+    EXPECT_DEATH(Cache(1024, 2, 48), "power of two");
+}
+
+/** Parameterized sweep: streaming through 2x capacity always misses
+ *  on revisit; working set at half capacity always hits. */
+struct GeomParam {
+    uint64_t size;
+    int ways;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<GeomParam>
+{
+};
+
+TEST_P(CacheGeometry, CapacityBehaviour)
+{
+    const auto [size, ways] = GetParam();
+    Cache c(size, ways, 64);
+
+    // Working set = half capacity: second pass all hits.
+    const uint64_t half_lines = size / 64 / 2;
+    for (uint64_t i = 0; i < half_lines; ++i) {
+        c.access(i * 64);
+    }
+    uint64_t hits_before = c.hits();
+    for (uint64_t i = 0; i < half_lines; ++i) {
+        c.access(i * 64);
+    }
+    EXPECT_EQ(c.hits() - hits_before, half_lines);
+
+    // Working set = 2x capacity streamed twice: LRU guarantees the
+    // second pass misses everything (cyclic thrash).
+    c.reset();
+    const uint64_t big_lines = size / 64 * 2;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (uint64_t i = 0; i < big_lines; ++i) {
+            c.access(i * 64);
+        }
+    }
+    EXPECT_EQ(c.hits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(GeomParam{4096, 1}, GeomParam{4096, 4},
+                      GeomParam{32 * 1024, 8}, GeomParam{256 * 1024, 8},
+                      GeomParam{1024 * 1024, 16}));
+
+}  // namespace
+}  // namespace recstack

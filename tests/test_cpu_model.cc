@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests of the CpuModel trace-driven simulator: micro-op lowering,
+ * counter consistency, and the platform-delta behaviours the paper's
+ * Figs. 9, 11 depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cpu_model.h"
+
+namespace recstack {
+namespace {
+
+/** A GEMM-shaped synthetic profile. */
+KernelProfile
+gemmProfile()
+{
+    KernelProfile kp;
+    kp.opType = "FC";
+    kp.opName = "fc_test";
+    kp.fmaFlops = 1 << 20;
+    kp.vecElemOps = 1 << 18;
+    kp.reloadLoadElems = 1 << 19;
+    kp.simdScalableOps = 4096;
+    kp.scalarOps = 1024;
+    kp.codeFootprintBytes = 2048;
+    kp.codeRegion = "kernel:FC";
+    kp.codeIterations = 2048;
+    MemStream w;
+    w.region = "weights";
+    w.pattern = AccessPattern::kSequential;
+    w.accesses = 4096;
+    w.chunkBytes = 64;
+    w.footprintBytes = 4096 * 64;
+    kp.streams.push_back(w);
+    BranchStream loops;
+    loops.count = 4096;
+    loops.takenProbability = 0.97;
+    loops.randomness = 0.02;
+    loops.scalesWithSimd = true;
+    kp.branches.push_back(loops);
+    return kp;
+}
+
+/** An embedding-gather-shaped synthetic profile. */
+KernelProfile
+gatherProfile(uint64_t footprint_bytes)
+{
+    KernelProfile kp;
+    kp.opType = "SparseLengthsSum";
+    kp.opName = "sls_test";
+    kp.vecElemOps = 1 << 16;
+    kp.scalarOps = 1 << 14;
+    kp.codeFootprintBytes = 1536;
+    kp.codeRegion = "kernel:SparseLengthsSum";
+    kp.codeIterations = 2048;
+    MemStream t;
+    t.region = "table";
+    t.pattern = AccessPattern::kRandom;
+    t.accesses = 2048;
+    t.chunkBytes = 256;
+    t.footprintBytes = footprint_bytes;
+    t.mlp = 12.0;
+    kp.streams.push_back(t);
+    BranchStream seg;
+    seg.count = 6144;
+    seg.takenProbability = 0.85;
+    seg.randomness = 0.75;
+    kp.branches.push_back(seg);
+    return kp;
+}
+
+TEST(LowerUops, LaneWidthHalvesVectorWork)
+{
+    CpuModel bdw(broadwellConfig());
+    CpuModel clx(cascadeLakeConfig());
+    const KernelProfile kp = gemmProfile();
+    const UopMix mb = bdw.lowerUops(kp);
+    const UopMix mc = clx.lowerUops(kp);
+    EXPECT_EQ(mb.fma, kp.fmaFlops / 16);
+    EXPECT_EQ(mc.fma, kp.fmaFlops / 32);
+    EXPECT_EQ(mb.vec, kp.vecElemOps / 8);
+    EXPECT_EQ(mc.vec, kp.vecElemOps / 16);
+    EXPECT_LT(mc.total(), mb.total());  // Fig. 11
+}
+
+TEST(LowerUops, SimdScalableScalarAndBranches)
+{
+    CpuModel bdw(broadwellConfig());
+    CpuModel clx(cascadeLakeConfig());
+    const KernelProfile kp = gemmProfile();
+    const UopMix mb = bdw.lowerUops(kp);
+    const UopMix mc = clx.lowerUops(kp);
+    // Loop branches scale with SIMD width...
+    EXPECT_EQ(mc.branch, mb.branch / 2);
+    // ...but fixed scalar work does not.
+    EXPECT_EQ(mb.scalar - kp.simdScalableOps,
+              mc.scalar - kp.simdScalableOps / 2);
+}
+
+TEST(LowerUops, DataBranchesDoNotScale)
+{
+    CpuModel bdw(broadwellConfig());
+    CpuModel clx(cascadeLakeConfig());
+    const KernelProfile kp = gatherProfile(64 << 20);
+    EXPECT_EQ(bdw.lowerUops(kp).branch, clx.lowerUops(kp).branch);
+}
+
+TEST(LowerUops, ReloadLoadsCountAsVectorMemory)
+{
+    CpuModel bdw(broadwellConfig());
+    const KernelProfile kp = gemmProfile();
+    const UopMix m = bdw.lowerUops(kp);
+    EXPECT_GE(m.load, kp.reloadLoadElems / 8);
+    EXPECT_GE(m.vecMem, kp.reloadLoadElems / 8);
+    EXPECT_GT(m.avx(), m.fma);
+}
+
+TEST(CpuModel, CountersAreConsistent)
+{
+    CpuModel cpu(broadwellConfig());
+    const CpuCounters c = cpu.simulateKernel(gemmProfile());
+    EXPECT_GT(c.cycles, 0.0);
+    EXPECT_GT(c.uopsRetired, 0u);
+    // Cycle categories sum to the total.
+    EXPECT_NEAR(c.retireCycles + c.feCycles() + c.badSpecCycles +
+                    c.beCycles(),
+                c.cycles, c.cycles * 1e-9);
+    // L1 accounting: hits by level sum to accesses.
+    EXPECT_EQ(c.l1dHits + c.l2Hits + c.l3Hits + c.dramAccesses,
+              c.l1dAccesses);
+}
+
+TEST(CpuModel, DeterministicAcrossInstances)
+{
+    CpuModel a(broadwellConfig(), 99);
+    CpuModel b(broadwellConfig(), 99);
+    const CpuCounters ca = a.simulateKernel(gemmProfile());
+    const CpuCounters cb = b.simulateKernel(gemmProfile());
+    EXPECT_EQ(ca.uopsRetired, cb.uopsRetired);
+    EXPECT_DOUBLE_EQ(ca.cycles, cb.cycles);
+    EXPECT_EQ(ca.branchMispredicts, cb.branchMispredicts);
+}
+
+TEST(CpuModel, WarmupImprovesCacheBehaviour)
+{
+    CpuModel cpu(broadwellConfig());
+    // Small footprint fits the cache: a second run must hit more.
+    KernelProfile kp = gemmProfile();
+    const CpuCounters cold = cpu.simulateKernel(kp);
+    const CpuCounters warm = cpu.simulateKernel(kp);
+    EXPECT_GT(warm.l1dHits + warm.l2Hits + warm.l3Hits,
+              cold.l1dHits + cold.l2Hits + cold.l3Hits);
+    EXPECT_LT(warm.cycles, cold.cycles);
+}
+
+TEST(CpuModel, ResetColdsCaches)
+{
+    CpuModel cpu(broadwellConfig());
+    cpu.simulateKernel(gemmProfile());
+    const CpuCounters warm = cpu.simulateKernel(gemmProfile());
+    cpu.reset();
+    const CpuCounters cold = cpu.simulateKernel(gemmProfile());
+    EXPECT_GT(cold.dramAccesses, warm.dramAccesses);
+}
+
+TEST(CpuModel, HugeGatherFootprintMissesToDram)
+{
+    CpuModel cpu(broadwellConfig());
+    const CpuCounters c = cpu.simulateKernel(gatherProfile(1ull << 30));
+    // 1 GB random gathers: essentially everything misses.
+    EXPECT_GT(c.dramAccesses, c.l1dAccesses / 2);
+    EXPECT_GT(c.beMemCycles(), c.beCoreCycles);
+}
+
+TEST(CpuModel, SmallGatherFootprintStaysCached)
+{
+    CpuModel cpu(broadwellConfig());
+    cpu.simulateKernel(gatherProfile(1 << 16));  // 64 KB: warms L2
+    const CpuCounters c = cpu.simulateKernel(gatherProfile(1 << 16));
+    EXPECT_LT(c.dramAccesses, c.l1dAccesses / 10);
+}
+
+TEST(CpuModel, GatherBranchesCauseBadSpec)
+{
+    CpuModel cpu(broadwellConfig());
+    cpu.simulateKernel(gatherProfile(64 << 20));
+    const CpuCounters sls = cpu.simulateKernel(gatherProfile(64 << 20));
+    cpu.reset();
+    cpu.simulateKernel(gemmProfile());
+    const CpuCounters gemm = cpu.simulateKernel(gemmProfile());
+    EXPECT_GT(sls.branchMispredicts * gemm.branches,
+              gemm.branchMispredicts * sls.branches)
+        << "gathers must mispredict at a higher *rate* than GEMM loops";
+}
+
+TEST(CpuModel, UniqueCodeRegionsThrashIcache)
+{
+    CpuModel cpu(broadwellConfig());
+    // 64 distinct 1.5 KB code regions cycled twice: 96 KB of code
+    // cannot stay in a 32 KB L1I.
+    uint64_t misses_second_pass = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i < 64; ++i) {
+            KernelProfile kp = gemmProfile();
+            kp.codeRegion = "op:unique_" + std::to_string(i);
+            kp.codeFootprintBytes = 1536;
+            const CpuCounters c = cpu.simulateKernel(kp);
+            if (pass == 1) {
+                misses_second_pass += c.icacheMisses;
+            }
+        }
+    }
+
+    CpuModel shared_cpu(broadwellConfig());
+    uint64_t shared_misses_second_pass = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i < 64; ++i) {
+            const CpuCounters c = shared_cpu.simulateKernel(gemmProfile());
+            if (pass == 1) {
+                shared_misses_second_pass += c.icacheMisses;
+            }
+        }
+    }
+    EXPECT_GT(misses_second_pass, 4 * shared_misses_second_pass);
+}
+
+TEST(CpuModel, DramCongestionRequiresSustainedMisses)
+{
+    CpuModel cpu(broadwellConfig());
+    cpu.simulateKernel(gatherProfile(1ull << 30));
+    const CpuCounters hot = cpu.simulateKernel(gatherProfile(1ull << 30));
+    EXPECT_GT(hot.dramCongestedCycles, 0.0);
+
+    CpuModel idle(broadwellConfig());
+    idle.simulateKernel(gemmProfile());
+    const CpuCounters calm = idle.simulateKernel(gemmProfile());
+    EXPECT_EQ(calm.dramCongestedCycles, 0.0);
+}
+
+TEST(CpuModel, CascadeLakeFasterOnGemm)
+{
+    CpuModel bdw(broadwellConfig());
+    CpuModel clx(cascadeLakeConfig());
+    bdw.simulateKernel(gemmProfile());
+    clx.simulateKernel(gemmProfile());
+    const CpuCounters cb = bdw.simulateKernel(gemmProfile());
+    const CpuCounters cc = clx.simulateKernel(gemmProfile());
+    EXPECT_LT(cc.cycles, cb.cycles);
+    EXPECT_LT(cc.uopsRetired, cb.uopsRetired);
+}
+
+TEST(CpuModel, EmptyProfileOnlyDispatch)
+{
+    CpuModel cpu(broadwellConfig());
+    KernelProfile kp;
+    kp.opType = "Nop";
+    kp.opName = "nop";
+    const CpuCounters c = cpu.simulateKernel(kp);
+    EXPECT_EQ(c.uopsRetired, 0u);
+    EXPECT_EQ(c.cycles, 0.0);
+}
+
+
+TEST(CpuModel, PrefetchExposureKnob)
+{
+    // Disabling prefetch coverage must slow sequential streams but
+    // leave random gathers unaffected.
+    CpuConfig covered = broadwellConfig();
+    CpuConfig exposed = broadwellConfig();
+    exposed.seqMissExposure = 1.0;
+
+    CpuModel a(covered), b(exposed);
+    KernelProfile seq = gemmProfile();
+    seq.streams[0].footprintBytes = 64ull << 20;  // force misses
+    seq.streams[0].accesses = 4096;
+    const double ca = a.simulateKernel(seq).cycles;
+    const double cb = b.simulateKernel(seq).cycles;
+    EXPECT_GT(cb, ca);
+
+    CpuModel c(covered), d(exposed);
+    const KernelProfile gather = gatherProfile(1ull << 30);
+    const double cc = c.simulateKernel(gather).cycles;
+    const double cd = d.simulateKernel(gather).cycles;
+    EXPECT_NEAR(cc, cd, cc * 1e-9);
+}
+
+/** TopDown conservation across a matrix of synthetic kernels. */
+class KernelMatrix : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KernelMatrix, CycleCategoriesAlwaysSum)
+{
+    CpuModel cpu(broadwellConfig(), 7);
+    KernelProfile kp;
+    switch (GetParam()) {
+      case 0: kp = gemmProfile(); break;
+      case 1: kp = gatherProfile(1 << 22); break;
+      case 2: kp = gatherProfile(1ull << 28); break;
+      case 3:
+        kp = gemmProfile();
+        kp.dispatchOps = 18000;
+        kp.dispatchCodeBytes = 20480;
+        break;
+      case 4:
+        kp = gatherProfile(1 << 20);
+        kp.serialSteps = 16;
+        break;
+      default: FAIL();
+    }
+    for (int i = 0; i < 3; ++i) {
+        const CpuCounters c = cpu.simulateKernel(kp);
+        ASSERT_NEAR(c.retireCycles + c.feCycles() + c.badSpecCycles +
+                        c.beCycles(),
+                    c.cycles, 1e-6 + c.cycles * 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelMatrix, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace recstack

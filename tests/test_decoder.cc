@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests of the DSB/MITE frontend decoder model (Fig. 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/decoder.h"
+
+namespace recstack {
+namespace {
+
+TEST(Decoder, FittingLoopMostlyDsb)
+{
+    DecoderModel dec(broadwellConfig());
+    DecoderInput in;
+    in.kernelUops = 100000;
+    in.kernelFootprintUops = 400;  // well under 1536 DSB capacity
+    const DecoderResult r = dec.evaluate(in);
+    EXPECT_GT(r.uopsFromDsb, r.uopsFromMite * 50);
+    EXPECT_LT(r.dsbLimitedCycles, 100.0);
+}
+
+TEST(Decoder, OverflowingLoopSpillsToMite)
+{
+    DecoderModel dec(broadwellConfig());
+    DecoderInput in;
+    in.kernelUops = 100000;
+    in.kernelFootprintUops = 3072;  // 2x capacity -> ~50% coverage
+    const DecoderResult r = dec.evaluate(in);
+    EXPECT_NEAR(static_cast<double>(r.uopsFromMite),
+                static_cast<double>(in.kernelUops) * 0.5,
+                static_cast<double>(in.kernelUops) * 0.1);
+    EXPECT_GT(r.dsbLimitedCycles, 1000.0);
+}
+
+TEST(Decoder, FlushesForceRefills)
+{
+    DecoderModel dec(broadwellConfig());
+    DecoderInput fit;
+    fit.kernelUops = 50000;
+    fit.kernelFootprintUops = 400;
+    const DecoderResult calm = dec.evaluate(fit);
+
+    DecoderInput flushed = fit;
+    flushed.flushes = 500;
+    const DecoderResult stormy = dec.evaluate(flushed);
+    EXPECT_GT(stormy.uopsFromMite, calm.uopsFromMite);
+    EXPECT_GT(stormy.dsbLimitedCycles, calm.dsbLimitedCycles);
+    EXPECT_GT(stormy.switches, calm.switches);
+}
+
+TEST(Decoder, ColdDispatchGoesThroughMite)
+{
+    DecoderModel dec(broadwellConfig());
+    DecoderInput in;
+    in.dispatchUops = 10000;
+    in.dispatchWarm = false;
+    const DecoderResult cold = dec.evaluate(in);
+    EXPECT_GT(cold.miteLimitedCycles, 0.0);
+
+    in.dispatchWarm = true;
+    const DecoderResult warm = dec.evaluate(in);
+    EXPECT_LT(warm.miteLimitedCycles, cold.miteLimitedCycles * 0.5);
+    EXPECT_LT(warm.uopsFromMite, cold.uopsFromMite);
+}
+
+TEST(Decoder, UopConservation)
+{
+    DecoderModel dec(broadwellConfig());
+    DecoderInput in;
+    in.kernelUops = 20000;
+    in.kernelFootprintUops = 2000;
+    in.dispatchUops = 5000;
+    in.flushes = 50;
+    const DecoderResult r = dec.evaluate(in);
+    EXPECT_EQ(r.uopsFromDsb + r.uopsFromMite,
+              in.kernelUops + in.dispatchUops);
+}
+
+TEST(Decoder, CascadeLakeCheaperThanBroadwell)
+{
+    DecoderInput in;
+    in.kernelUops = 80000;
+    in.kernelFootprintUops = 2500;
+    in.dispatchUops = 18000;
+    in.flushes = 300;
+
+    const DecoderResult bdw = DecoderModel(broadwellConfig()).evaluate(in);
+    const DecoderResult clx =
+        DecoderModel(cascadeLakeConfig()).evaluate(in);
+    EXPECT_LT(clx.dsbLimitedCycles + clx.miteLimitedCycles,
+              bdw.dsbLimitedCycles + bdw.miteLimitedCycles);
+}
+
+TEST(Decoder, ZeroWorkZeroCost)
+{
+    DecoderModel dec(broadwellConfig());
+    const DecoderResult r = dec.evaluate(DecoderInput{});
+    EXPECT_EQ(r.uopsFromDsb, 0u);
+    EXPECT_EQ(r.uopsFromMite, 0u);
+    EXPECT_EQ(r.dsbLimitedCycles, 0.0);
+    EXPECT_EQ(r.miteLimitedCycles, 0.0);
+}
+
+/** Footprint sweep: MITE share rises monotonically past capacity. */
+class FootprintSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FootprintSweep, CoverageMonotone)
+{
+    DecoderModel dec(broadwellConfig());
+    DecoderInput in;
+    in.kernelUops = 100000;
+    in.kernelFootprintUops = GetParam();
+    const DecoderResult r = dec.evaluate(in);
+    DecoderInput bigger = in;
+    bigger.kernelFootprintUops = GetParam() * 2;
+    const DecoderResult r2 = dec.evaluate(bigger);
+    EXPECT_GE(r2.uopsFromMite, r.uopsFromMite);
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, FootprintSweep,
+                         ::testing::Values(256, 1024, 1536, 2048, 8192));
+
+}  // namespace
+}  // namespace recstack

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests of the DRAM bandwidth/latency model and the congestion
+ * criterion of Fig. 14.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.h"
+#include "uarch/dram.h"
+
+namespace recstack {
+namespace {
+
+TEST(Dram, BytesPerCycle)
+{
+    // 77 GB/s at 2.6 GHz -> 29.6 bytes per cycle.
+    DramModel dram(77.0, 230, 2.6);
+    EXPECT_NEAR(dram.bytesPerCycle(), 77.0 / 2.6, 1e-9);
+}
+
+TEST(Dram, BytesToCycles)
+{
+    DramModel dram(100.0, 200, 2.0);  // 50 B/cycle
+    EXPECT_NEAR(dram.bytesToCycles(5000), 100.0, 1e-9);
+    EXPECT_NEAR(dram.bytesToCycles(0), 0.0, 1e-12);
+}
+
+TEST(Dram, DemandComputation)
+{
+    DramModel dram(77.0, 230, 2.6);
+    // 1e9 bytes over 2.6e9 cycles = 1 second -> 1 GB/s.
+    EXPECT_NEAR(dram.demandGBs(1000000000ull, 2.6e9), 1.0, 1e-9);
+    EXPECT_EQ(dram.demandGBs(100, 0.0), 0.0);
+}
+
+TEST(Dram, OccupancyAndCongestionThreshold)
+{
+    DramModel dram(100.0, 200, 2.0);
+    EXPECT_NEAR(dram.occupancy(50.0), 0.5, 1e-12);
+    EXPECT_FALSE(dram.congested(69.9));
+    EXPECT_TRUE(dram.congested(70.1));
+}
+
+TEST(Dram, LatencyAccessor)
+{
+    DramModel dram(77.0, 230, 2.6);
+    EXPECT_EQ(dram.latencyCycles(), 230);
+}
+
+TEST(Dram, TableIIBandwidthOrdering)
+{
+    const DramModel bdw(broadwellConfig().dramGBs,
+                        broadwellConfig().dramLatencyCycles, 2.6);
+    const DramModel clx(cascadeLakeConfig().dramGBs,
+                        cascadeLakeConfig().dramLatencyCycles, 2.8);
+    // Cascade Lake: DDR4-2933 over 6 channels beats Broadwell's
+    // DDR4-2400 over 4 channels.
+    EXPECT_GT(clx.bytesPerCycle(), bdw.bytesPerCycle());
+}
+
+TEST(Dram, RejectsBadParameters)
+{
+    EXPECT_DEATH(DramModel(0.0, 200, 2.0), "bad DRAM");
+    EXPECT_DEATH(DramModel(50.0, 200, 0.0), "bad DRAM");
+}
+
+}  // namespace
+}  // namespace recstack

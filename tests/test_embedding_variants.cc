@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the weighted/mean embedding-bag variants, including
+ * algebraic equivalences against the plain SparseLengthsSum.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ops/embedding.h"
+
+namespace recstack {
+namespace {
+
+void
+runOp(Operator& op, Workspace& ws)
+{
+    op.inferShapes(ws);
+    op.run(ws);
+}
+
+Workspace
+randomBag(int64_t rows, int64_t dim, const std::vector<int64_t>& idx,
+          const std::vector<int32_t>& len, uint64_t seed = 5)
+{
+    Workspace ws;
+    Rng rng(seed);
+    Tensor table({rows, dim});
+    for (int64_t i = 0; i < table.numel(); ++i) {
+        table.data<float>()[i] = rng.nextFloat(-1.0f, 1.0f);
+    }
+    ws.set("table", std::move(table));
+    ws.set("idx", Tensor::fromInt64s(
+                      {static_cast<int64_t>(idx.size())}, idx));
+    ws.set("len", Tensor::fromInt32s(
+                      {static_cast<int64_t>(len.size())}, len));
+    return ws;
+}
+
+TEST(SparseLengthsWeightedSum, HandComputed)
+{
+    Workspace ws;
+    ws.set("table", Tensor::fromFloats({3, 2}, {1, 2, 10, 20, 100, 200}));
+    ws.set("w", Tensor::fromFloats({3}, {2.0f, 0.5f, -1.0f}));
+    ws.set("idx", Tensor::fromInt64s({3}, {0, 2, 1}));
+    ws.set("len", Tensor::fromInt32s({2}, {2, 1}));
+    SparseLengthsWeightedSumOp slws("slws", "table", "w", "idx", "len",
+                                    "y");
+    runOp(slws, ws);
+    const Tensor& y = ws.get("y");
+    EXPECT_FLOAT_EQ(y.at({0, 0}), 2 * 1 + 0.5 * 100);   // 52
+    EXPECT_FLOAT_EQ(y.at({0, 1}), 2 * 2 + 0.5 * 200);   // 104
+    EXPECT_FLOAT_EQ(y.at({1, 0}), -10);
+}
+
+TEST(SparseLengthsWeightedSum, UnitWeightsEqualPlainSum)
+{
+    const std::vector<int64_t> idx = {3, 1, 4, 1, 5, 2, 6};
+    const std::vector<int32_t> len = {3, 4};
+    Workspace ws = randomBag(8, 5, idx, len);
+    ws.set("w", Tensor::fromFloats(
+                    {7}, std::vector<float>(7, 1.0f)));
+
+    SparseLengthsWeightedSumOp slws("slws", "table", "w", "idx", "len",
+                                    "yw");
+    runOp(slws, ws);
+    SparseLengthsSumOp sls("sls", "table", "idx", "len", "ys");
+    runOp(sls, ws);
+
+    const Tensor& a = ws.get("yw");
+    const Tensor& b = ws.get("ys");
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        EXPECT_NEAR(a.data<float>()[i], b.data<float>()[i], 1e-5);
+    }
+}
+
+TEST(SparseLengthsWeightedSum, WeightCountMismatchPanics)
+{
+    Workspace ws;
+    ws.set("table", Tensor({4, 2}));
+    ws.set("w", Tensor({2}));
+    ws.set("idx", Tensor({3}, DType::kInt64));
+    ws.set("len", Tensor({1}, DType::kInt32));
+    SparseLengthsWeightedSumOp slws("slws", "table", "w", "idx", "len",
+                                    "y");
+    EXPECT_DEATH(slws.inferShapes(ws), "one weight per lookup");
+}
+
+TEST(SparseLengthsMean, AveragesSegments)
+{
+    Workspace ws;
+    ws.set("table", Tensor::fromFloats({3, 2}, {2, 4, 6, 8, 10, 12}));
+    ws.set("idx", Tensor::fromInt64s({3}, {0, 1, 2}));
+    ws.set("len", Tensor::fromInt32s({2}, {2, 1}));
+    SparseLengthsMeanOp mean("m", "table", "idx", "len", "y");
+    runOp(mean, ws);
+    const Tensor& y = ws.get("y");
+    EXPECT_FLOAT_EQ(y.at({0, 0}), 4);   // (2+6)/2
+    EXPECT_FLOAT_EQ(y.at({0, 1}), 6);   // (4+8)/2
+    EXPECT_FLOAT_EQ(y.at({1, 0}), 10);
+}
+
+TEST(SparseLengthsMean, EqualsSumDividedByLength)
+{
+    const std::vector<int64_t> idx = {0, 7, 3, 3, 2, 1};
+    const std::vector<int32_t> len = {4, 2};
+    Workspace ws = randomBag(8, 6, idx, len);
+
+    SparseLengthsMeanOp mean("m", "table", "idx", "len", "ym");
+    runOp(mean, ws);
+    SparseLengthsSumOp sum("s", "table", "idx", "len", "ys");
+    runOp(sum, ws);
+
+    const Tensor& m = ws.get("ym");
+    const Tensor& s = ws.get("ys");
+    for (int64_t b = 0; b < 2; ++b) {
+        for (int64_t d = 0; d < 6; ++d) {
+            EXPECT_NEAR(m.at({b, d}), s.at({b, d}) / len[b], 1e-5);
+        }
+    }
+}
+
+TEST(SparseLengthsMean, EmptySegmentStaysZero)
+{
+    Workspace ws;
+    ws.set("table", Tensor::fromFloats({2, 2}, {1, 2, 3, 4}));
+    ws.set("idx", Tensor::fromInt64s({1}, {1}));
+    ws.set("len", Tensor::fromInt32s({2}, {0, 1}));
+    SparseLengthsMeanOp mean("m", "table", "idx", "len", "y");
+    runOp(mean, ws);
+    EXPECT_FLOAT_EQ(ws.get("y").at({0, 0}), 0.0f);
+    EXPECT_FLOAT_EQ(ws.get("y").at({1, 0}), 3.0f);
+}
+
+TEST(EmbeddingVariants, ProfilesShareGatherShape)
+{
+    const std::vector<int64_t> idx = {0, 1, 2, 3};
+    const std::vector<int32_t> len = {4};
+    Workspace ws = randomBag(128, 16, idx, len);
+    ws.set("w", Tensor({4}));
+
+    SparseLengthsSumOp sls("a", "table", "idx", "len", "y1");
+    SparseLengthsWeightedSumOp slws("b", "table", "w", "idx", "len",
+                                    "y2");
+    SparseLengthsMeanOp mean("c", "table", "idx", "len", "y3");
+    sls.inferShapes(ws);
+    slws.inferShapes(ws);
+    mean.inferShapes(ws);
+
+    auto gather_stream = [](const KernelProfile& kp) {
+        for (const auto& s : kp.streams) {
+            if (s.pattern == AccessPattern::kRandom &&
+                s.region == "table") {
+                return s;
+            }
+        }
+        return MemStream{};
+    };
+    const MemStream a = gather_stream(sls.profile(ws));
+    const MemStream b = gather_stream(slws.profile(ws));
+    const MemStream c = gather_stream(mean.profile(ws));
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.accesses, c.accesses);
+    EXPECT_EQ(a.chunkBytes, b.chunkBytes);
+    EXPECT_EQ(a.footprintBytes, c.footprintBytes);
+    // The weighted variant does real FMA work.
+    EXPECT_GT(slws.profile(ws).fmaFlops, 0u);
+}
+
+}  // namespace
+}  // namespace recstack

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests of the execution-port scheduler (Fig. 10's functional units).
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/exec_ports.h"
+
+namespace recstack {
+namespace {
+
+TEST(Ports, FmaRestrictedToTwoPorts)
+{
+    PortScheduler sched(broadwellConfig());
+    PortInput in;
+    in.fmaUops = 1000;
+    const PortResult r = sched.schedule(in);
+    EXPECT_DOUBLE_EQ(r.portLoad[0], 500.0);
+    EXPECT_DOUBLE_EQ(r.portLoad[1], 500.0);
+    EXPECT_DOUBLE_EQ(r.computeCycles, 500.0);
+}
+
+TEST(Ports, LoadsAndStoresOnTheirPorts)
+{
+    PortScheduler sched(broadwellConfig());
+    PortInput in;
+    in.loadUops = 600;
+    in.storeUops = 200;
+    const PortResult r = sched.schedule(in);
+    EXPECT_DOUBLE_EQ(r.portLoad[2], 300.0);
+    EXPECT_DOUBLE_EQ(r.portLoad[3], 300.0);
+    EXPECT_DOUBLE_EQ(r.portLoad[4], 100.0);
+    EXPECT_DOUBLE_EQ(r.portLoad[7], 100.0);
+    EXPECT_DOUBLE_EQ(r.computeCycles, 300.0);
+}
+
+TEST(Ports, BranchesOnPortSix)
+{
+    PortScheduler sched(broadwellConfig());
+    PortInput in;
+    in.branchUops = 77;
+    const PortResult r = sched.schedule(in);
+    EXPECT_DOUBLE_EQ(r.portLoad[6], 77.0);
+}
+
+TEST(Ports, ScalarWaterFillsAroundBusyPorts)
+{
+    PortScheduler sched(broadwellConfig());
+    PortInput in;
+    in.fmaUops = 800;      // p0 = p1 = 400
+    in.scalarUops = 400;   // should prefer idle p5/p6
+    const PortResult r = sched.schedule(in);
+    EXPECT_DOUBLE_EQ(r.portLoad[5] + r.portLoad[6], 400.0);
+    EXPECT_DOUBLE_EQ(r.computeCycles, 400.0);  // still fma-bound
+}
+
+TEST(Ports, BroadwellFpAddRestriction)
+{
+    // On Broadwell FP adds pile onto port 1 only, creating the
+    // core-bound bottleneck; Cascade Lake spreads them over two
+    // ports.
+    PortInput in;
+    in.fmaUops = 1000;
+    in.vecUops = 600;  // 300 FP-add class, 300 shuffle class
+
+    const PortResult bdw =
+        PortScheduler(broadwellConfig()).schedule(in);
+    const PortResult clx =
+        PortScheduler(cascadeLakeConfig()).schedule(in);
+    EXPECT_GT(bdw.computeCycles, clx.computeCycles);
+    EXPECT_DOUBLE_EQ(bdw.portLoad[1], 500.0 + 300.0);
+    EXPECT_DOUBLE_EQ(clx.portLoad[1], 500.0 + 150.0);
+}
+
+TEST(Ports, TotalPortUopsConserved)
+{
+    PortScheduler sched(broadwellConfig());
+    PortInput in;
+    in.fmaUops = 123;
+    in.vecUops = 456;
+    in.scalarUops = 789;
+    in.branchUops = 12;
+    in.loadUops = 345;
+    in.storeUops = 67;
+    const PortResult r = sched.schedule(in);
+    EXPECT_NEAR(r.totalPortUops(), 123 + 456 + 789 + 12 + 345 + 67,
+                1e-6);
+}
+
+TEST(Ports, BusyDistributionIsValidTail)
+{
+    PortScheduler sched(broadwellConfig());
+    PortInput in;
+    in.fmaUops = 900;
+    in.loadUops = 500;
+    in.scalarUops = 300;
+    const PortResult r = sched.schedule(in);
+
+    double at_least[9];
+    PortScheduler::busyDistribution(r, 1000.0, at_least);
+    EXPECT_NEAR(at_least[0], 1.0, 1e-9);
+    for (int k = 1; k <= 8; ++k) {
+        EXPECT_LE(at_least[k], at_least[k - 1] + 1e-12);
+        EXPECT_GE(at_least[k], 0.0);
+    }
+}
+
+TEST(Ports, BusyDistributionSaturatedCore)
+{
+    PortScheduler sched(broadwellConfig());
+    PortInput in;
+    in.fmaUops = 2000;
+    in.vecUops = 1000;
+    in.loadUops = 2000;
+    in.scalarUops = 1000;
+    const PortResult r = sched.schedule(in);
+    double at_least[9];
+    // Cycles equal to the port bound: near-saturated machine.
+    PortScheduler::busyDistribution(r, r.computeCycles, at_least);
+    EXPECT_GT(at_least[3], 0.5);
+}
+
+TEST(Ports, BusyDistributionIdleMachine)
+{
+    PortScheduler sched(broadwellConfig());
+    PortInput in;
+    in.scalarUops = 10;
+    const PortResult r = sched.schedule(in);
+    double at_least[9];
+    PortScheduler::busyDistribution(r, 10000.0, at_least);
+    EXPECT_LT(at_least[3], 0.01);
+}
+
+TEST(Ports, ZeroCyclesNoNan)
+{
+    PortScheduler sched(broadwellConfig());
+    const PortResult r = sched.schedule(PortInput{});
+    double at_least[9];
+    PortScheduler::busyDistribution(r, 0.0, at_least);
+    for (int k = 1; k <= 8; ++k) {
+        EXPECT_EQ(at_least[k], 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace recstack

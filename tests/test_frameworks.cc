@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the Caffe2/TensorFlow framework frontends (Fig. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "framework/frameworks.h"
+#include "graph/executor.h"
+
+namespace recstack {
+namespace {
+
+TEST(Frameworks, Names)
+{
+    EXPECT_STREQ(frameworkName(FrameworkId::kCaffe2), "Caffe2");
+    EXPECT_STREQ(frameworkName(FrameworkId::kTensorFlow), "TensorFlow");
+}
+
+TEST(Frameworks, Caffe2DelegatesToNativeZoo)
+{
+    const Model m = buildModelInFramework(ModelId::kRM1,
+                                          FrameworkId::kCaffe2,
+                                          tinyOptions());
+    EXPECT_EQ(m.name, "RM1");
+    bool has_sls = false;
+    for (const auto& op : m.net.ops()) {
+        has_sls |= op->type() == "SparseLengthsSum";
+    }
+    EXPECT_TRUE(has_sls);
+}
+
+class TfModels : public ::testing::TestWithParam<ModelId>
+{
+};
+
+TEST_P(TfModels, UsesTfOperatorGranularity)
+{
+    const Model m = buildModelInFramework(GetParam(),
+                                          FrameworkId::kTensorFlow,
+                                          tinyOptions());
+    m.net.validate();
+    std::set<std::string> display;
+    for (const auto& op : m.net.ops()) {
+        display.insert(op->displayType());
+        EXPECT_NE(op->type(), "SparseLengthsSum")
+            << "TF graphs must not use the fused Caffe2 operator";
+    }
+    EXPECT_TRUE(display.count("ResourceGather"));
+    EXPECT_TRUE(display.count("Sum"));
+    EXPECT_TRUE(display.count("FusedMatMul"));
+    EXPECT_TRUE(display.count("ConcatV2"));
+}
+
+TEST_P(TfModels, NumericsRunEndToEnd)
+{
+    Model m = buildModelInFramework(GetParam(), FrameworkId::kTensorFlow,
+                                    tinyOptions());
+    Workspace ws;
+    m.initParams(ws, 7);
+    BatchGenerator gen(m.workload, 42);
+    gen.materialize(ws, 3);
+    Executor::run(m.net, ws, ExecMode::kFull);
+    const Tensor& out = ws.get(m.outputBlob);
+    EXPECT_EQ(out.dim(0), 3);
+    for (int64_t i = 0; i < out.numel(); ++i) {
+        const float v = out.data<float>()[i];
+        ASSERT_TRUE(std::isfinite(v));
+        ASSERT_GT(v, 0.0f);
+        ASSERT_LT(v, 1.0f);
+    }
+}
+
+TEST_P(TfModels, SameArchitecturalFeaturesAsCaffe2)
+{
+    const Model tf = buildModelInFramework(
+        GetParam(), FrameworkId::kTensorFlow, tinyOptions());
+    const Model c2 = buildModelInFramework(
+        GetParam(), FrameworkId::kCaffe2, tinyOptions());
+    EXPECT_EQ(tf.features.numTables, c2.features.numTables);
+    EXPECT_DOUBLE_EQ(tf.features.lookupsPerTable,
+                     c2.features.lookupsPerTable);
+    EXPECT_EQ(tf.features.latentDim, c2.features.latentDim);
+    EXPECT_EQ(tf.features.embParams, c2.features.embParams);
+    EXPECT_EQ(tf.features.fcParams, c2.features.fcParams);
+}
+
+TEST_P(TfModels, MoreOpsThanFusedCaffe2)
+{
+    const Model tf = buildModelInFramework(
+        GetParam(), FrameworkId::kTensorFlow, tinyOptions());
+    const Model c2 = buildModelInFramework(
+        GetParam(), FrameworkId::kCaffe2, tinyOptions());
+    // Gather + Reshape + Sum per table vs one SLS.
+    EXPECT_GT(tf.net.opCount(), c2.net.opCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dlrm, TfModels,
+                         ::testing::Values(ModelId::kRM1, ModelId::kRM2,
+                                           ModelId::kRM3),
+                         [](const ::testing::TestParamInfo<ModelId>& i) {
+                             return modelName(i.param);
+                         });
+
+TEST(Frameworks, TfRejectsNonDlrmModels)
+{
+    EXPECT_DEATH(buildModelInFramework(ModelId::kNCF,
+                                       FrameworkId::kTensorFlow,
+                                       tinyOptions()),
+                 "not a DLRM-family model");
+}
+
+}  // namespace
+}  // namespace recstack

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests of the analytical GPU model (Figs. 3 and 4 mechanisms).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.h"
+
+namespace recstack {
+namespace {
+
+KernelProfile
+bigGemm()
+{
+    KernelProfile kp;
+    kp.opType = "FC";
+    kp.opName = "fc";
+    kp.fmaFlops = 4ull << 30;  // 4 Gflop
+    kp.gemmWidth = 1024;
+    MemStream w;
+    w.region = "y";
+    w.isWrite = true;
+    w.accesses = 1 << 20;  // 64 MB of outputs -> full occupancy
+    w.chunkBytes = 64;
+    w.footprintBytes = 64 << 20;
+    kp.streams.push_back(w);
+    return kp;
+}
+
+KernelProfile
+bigGather()
+{
+    KernelProfile kp;
+    kp.opType = "SparseLengthsSum";
+    kp.opName = "sls";
+    MemStream t;
+    t.region = "table";
+    t.pattern = AccessPattern::kRandom;
+    t.accesses = 1 << 20;
+    t.chunkBytes = 256;  // 256 MB of gathered rows
+    t.footprintBytes = 1ull << 30;
+    kp.streams.push_back(t);
+    MemStream w;
+    w.region = "y";
+    w.isWrite = true;
+    w.accesses = 1 << 20;
+    w.chunkBytes = 64;
+    w.footprintBytes = 64 << 20;
+    kp.streams.push_back(w);
+    return kp;
+}
+
+TEST(GpuModel, ComputeBoundGemmMatchesRoofline)
+{
+    const GpuConfig cfg = gtx1080TiConfig();
+    GpuModel gpu(cfg);
+    const GpuOpTime t = gpu.kernelTime(bigGemm());
+    EXPECT_NEAR(t.computeSeconds,
+                static_cast<double>(4ull << 30) / (cfg.effTflops * 1e12),
+                1e-4);
+    EXPECT_GT(t.computeSeconds, t.memorySeconds);
+    EXPECT_NEAR(t.seconds,
+                t.launchSeconds + t.computeSeconds, 1e-9);
+}
+
+TEST(GpuModel, GatherBoundKernelIsMemoryLimited)
+{
+    GpuModel gpu(gtx1080TiConfig());
+    const GpuOpTime t = gpu.kernelTime(bigGather());
+    EXPECT_GT(t.memorySeconds, t.computeSeconds);
+    EXPECT_GT(t.seconds, t.launchSeconds);
+}
+
+TEST(GpuModel, GatherEfficiencyPenalty)
+{
+    // The same bytes cost much more when gathered than streamed.
+    GpuModel gpu(gtx1080TiConfig());
+    KernelProfile seq = bigGather();
+    seq.streams[0].pattern = AccessPattern::kSequential;
+    EXPECT_GT(gpu.kernelTime(bigGather()).memorySeconds,
+              3.0 * gpu.kernelTime(seq).memorySeconds);
+}
+
+TEST(GpuModel, SmallKernelIsLaunchBound)
+{
+    const GpuConfig cfg = gtx1080TiConfig();
+    GpuModel gpu(cfg);
+    KernelProfile kp;
+    kp.opType = "Concat";
+    kp.opName = "tiny";
+    MemStream w;
+    w.region = "y";
+    w.isWrite = true;
+    w.accesses = 4;
+    w.chunkBytes = 64;
+    w.footprintBytes = 256;
+    kp.streams.push_back(w);
+    const GpuOpTime t = gpu.kernelTime(kp);
+    EXPECT_GT(t.launchSeconds, 10 * (t.computeSeconds + t.memorySeconds));
+    EXPECT_NEAR(t.launchSeconds,
+                cfg.kernelLaunchSec + cfg.hostDispatchSec, 1e-12);
+}
+
+TEST(GpuModel, OccupancySlowsSmallBatches)
+{
+    GpuModel gpu(gtx1080TiConfig());
+    KernelProfile small = bigGemm();
+    small.streams[0].accesses = 16;  // tiny output -> low occupancy
+    const double small_per_flop =
+        gpu.kernelTime(small).computeSeconds /
+        static_cast<double>(small.fmaFlops);
+    const double big_per_flop =
+        gpu.kernelTime(bigGemm()).computeSeconds /
+        static_cast<double>(bigGemm().fmaFlops);
+    EXPECT_GT(small_per_flop, 5.0 * big_per_flop);
+}
+
+TEST(GpuModel, NarrowGemmUnderutilizes)
+{
+    GpuModel gpu(gtx1080TiConfig());
+    KernelProfile narrow = bigGemm();
+    narrow.gemmWidth = 16;  // DIN-style local activation unit
+    EXPECT_GT(gpu.kernelTime(narrow).computeSeconds,
+              4.0 * gpu.kernelTime(bigGemm()).computeSeconds);
+}
+
+TEST(GpuModel, SerialStepsAddOverhead)
+{
+    GpuModel gpu(gtx1080TiConfig());
+    KernelProfile fused = bigGemm();
+    fused.serialSteps = 64;
+    EXPECT_GT(gpu.kernelTime(fused).seconds,
+              gpu.kernelTime(bigGemm()).seconds);
+}
+
+TEST(GpuModel, TransferModel)
+{
+    const GpuConfig cfg = gtx1080TiConfig();
+    GpuModel gpu(cfg);
+    const GpuRunResult r =
+        gpu.simulateNet({bigGemm()}, 1000000000ull, 10);
+    EXPECT_NEAR(r.transferSeconds,
+                10 * cfg.pcieLatencySec + 1.0 / cfg.pcieGBs, 1e-6);
+    EXPECT_NEAR(r.totalSeconds, r.kernelSeconds + r.transferSeconds,
+                1e-12);
+    EXPECT_GT(r.dataCommFraction(), 0.0);
+    EXPECT_LT(r.dataCommFraction(), 1.0);
+}
+
+TEST(GpuModel, DataCommFractionGrowsWithBytes)
+{
+    GpuModel gpu(gtx1080TiConfig());
+    const auto small = gpu.simulateNet({bigGemm()}, 1 << 20, 4);
+    const auto large = gpu.simulateNet({bigGemm()}, 1ull << 30, 4);
+    EXPECT_GT(large.dataCommFraction(), small.dataCommFraction());
+}
+
+TEST(GpuModel, T4BeatsGtxOnGathers)
+{
+    // GDDR6's better random-access behaviour (Table II discussion).
+    GpuModel gtx(gtx1080TiConfig());
+    GpuModel t4(t4Config());
+    EXPECT_LT(t4.kernelTime(bigGather()).memorySeconds,
+              gtx.kernelTime(bigGather()).memorySeconds);
+}
+
+TEST(GpuModel, T4BeatsGtxOnSaturatedGemm)
+{
+    GpuModel gtx(gtx1080TiConfig());
+    GpuModel t4(t4Config());
+    EXPECT_LT(t4.kernelTime(bigGemm()).computeSeconds,
+              gtx.kernelTime(bigGemm()).computeSeconds);
+}
+
+TEST(GpuModel, OpTimesSumToKernelSeconds)
+{
+    GpuModel gpu(t4Config());
+    const auto r = gpu.simulateNet({bigGemm(), bigGather()}, 1024, 2);
+    double sum = 0.0;
+    for (const auto& t : r.opTimes) {
+        sum += t.seconds;
+    }
+    EXPECT_NEAR(sum, r.kernelSeconds, 1e-12);
+    EXPECT_EQ(r.opTimes.size(), 2u);
+    EXPECT_EQ(r.opTimes[0].opType, "FC");
+}
+
+}  // namespace
+}  // namespace recstack

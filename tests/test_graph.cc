@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for NetDef validation and the Executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/executor.h"
+#include "ops/elementwise.h"
+#include "ops/fc.h"
+
+namespace recstack {
+namespace {
+
+NetDef
+smallNet()
+{
+    NetDef net("small");
+    net.addExternalInput("x");
+    net.addExternalInput("w");
+    net.addExternalInput("b");
+    net.addOp(makeFC("fc", "x", "w", "b", "h"));
+    net.addOp(makeRelu("relu", "h", "y"));
+    net.addExternalOutput("y");
+    return net;
+}
+
+TEST(NetDef, ValidatePasses)
+{
+    NetDef net = smallNet();
+    net.validate();  // must not panic
+    EXPECT_EQ(net.opCount(), 2u);
+}
+
+TEST(NetDef, ValidateCatchesUndefinedInput)
+{
+    NetDef net("bad");
+    net.addOp(makeRelu("relu", "ghost", "y"));
+    EXPECT_DEATH(net.validate(), "undefined blob");
+}
+
+TEST(NetDef, ValidateCatchesMissingOutput)
+{
+    NetDef net("bad");
+    net.addExternalInput("x");
+    net.addOp(makeRelu("relu", "x", "y"));
+    net.addExternalOutput("z");
+    EXPECT_DEATH(net.validate(), "never produced");
+}
+
+TEST(NetDef, ValidateCatchesOrderViolation)
+{
+    NetDef net("bad");
+    net.addExternalInput("x");
+    // Consumer before producer.
+    net.addOp(makeRelu("r2", "mid", "y"));
+    net.addOp(makeRelu("r1", "x", "mid"));
+    EXPECT_DEATH(net.validate(), "undefined blob");
+}
+
+TEST(NetDef, SummaryCountsTypes)
+{
+    const std::string s = smallNet().summary();
+    EXPECT_NE(s.find("FC: 1"), std::string::npos);
+    EXPECT_NE(s.find("Relu: 1"), std::string::npos);
+    EXPECT_NE(s.find("2 ops"), std::string::npos);
+}
+
+TEST(Executor, FullModeComputesAndProfiles)
+{
+    NetDef net = smallNet();
+    Workspace ws;
+    ws.set("x", Tensor::fromFloats({1, 2}, {1, -1}));
+    ws.set("w", Tensor::fromFloats({2, 2}, {1, 1, 1, -1}));
+    ws.set("b", Tensor::fromFloats({2}, {0, 0}));
+
+    const NetExecResult result = Executor::run(net, ws, ExecMode::kFull);
+    ASSERT_EQ(result.records.size(), 2u);
+    EXPECT_EQ(result.records[0].profile.opType, "FC");
+    EXPECT_EQ(result.records[1].profile.opType, "Relu");
+    EXPECT_GE(result.hostSeconds, 0.0);
+
+    // h = [0, 2]; relu -> [0, 2].
+    EXPECT_FLOAT_EQ(ws.get("y").at({0, 0}), 0.0f);
+    EXPECT_FLOAT_EQ(ws.get("y").at({0, 1}), 2.0f);
+}
+
+TEST(Executor, ProfileOnlySkipsNumerics)
+{
+    NetDef net = smallNet();
+    Workspace ws;
+    ws.setShapeOnly(true);
+    ws.set("x", Tensor::shapeOnly({4, 2}));
+    ws.set("w", Tensor::shapeOnly({2, 2}));
+    ws.set("b", Tensor::shapeOnly({2}));
+
+    const NetExecResult result =
+        Executor::run(net, ws, ExecMode::kProfileOnly);
+    ASSERT_EQ(result.records.size(), 2u);
+    // Outputs exist as shape-only blobs.
+    EXPECT_FALSE(ws.get("y").materialized());
+    EXPECT_EQ(ws.get("y").shape(), (std::vector<int64_t>{4, 2}));
+    // Numeric timing must be zero in profile-only mode.
+    EXPECT_EQ(result.records[0].hostSeconds, 0.0);
+}
+
+TEST(Executor, ProfileOnlyMatchesFullModeProfiles)
+{
+    // The same net must yield identical workload descriptors whether
+    // or not numerics ran (the platform models depend on this).
+    NetDef net_a = smallNet();
+    Workspace full;
+    full.set("x", Tensor({4, 2}));
+    full.set("w", Tensor({2, 2}));
+    full.set("b", Tensor({2}));
+    const auto ra = Executor::run(net_a, full, ExecMode::kFull);
+
+    NetDef net_b = smallNet();
+    Workspace shape;
+    shape.setShapeOnly(true);
+    shape.set("x", Tensor::shapeOnly({4, 2}));
+    shape.set("w", Tensor::shapeOnly({2, 2}));
+    shape.set("b", Tensor::shapeOnly({2}));
+    const auto rb = Executor::run(net_b, shape, ExecMode::kProfileOnly);
+
+    ASSERT_EQ(ra.records.size(), rb.records.size());
+    for (size_t i = 0; i < ra.records.size(); ++i) {
+        const KernelProfile& a = ra.records[i].profile;
+        const KernelProfile& b = rb.records[i].profile;
+        EXPECT_EQ(a.fmaFlops, b.fmaFlops);
+        EXPECT_EQ(a.vecElemOps, b.vecElemOps);
+        EXPECT_EQ(a.scalarOps, b.scalarOps);
+        EXPECT_EQ(a.streams.size(), b.streams.size());
+        EXPECT_EQ(a.codeFootprintBytes, b.codeFootprintBytes);
+    }
+}
+
+TEST(Executor, UniqueCodeOverrideApplied)
+{
+    NetDef net("unique");
+    net.addExternalInput("x");
+    net.addOp(makeRelu("special", "x", "y"));
+    net.ops().back()->setUniqueCodeBytes(512);
+    Workspace ws;
+    ws.set("x", Tensor({2, 2}));
+    const auto result = Executor::run(net, ws, ExecMode::kFull);
+    EXPECT_EQ(result.records[0].profile.codeRegion, "op:special");
+    EXPECT_EQ(result.records[0].profile.codeFootprintBytes, 512u);
+}
+
+TEST(Executor, RepeatedRunsReuseWorkspace)
+{
+    NetDef net = smallNet();
+    Workspace ws;
+    ws.set("x", Tensor::fromFloats({1, 2}, {2, 2}));
+    ws.set("w", Tensor::fromFloats({2, 2}, {1, 0, 0, 1}));
+    ws.set("b", Tensor::fromFloats({2}, {0, 0}));
+    Executor::run(net, ws, ExecMode::kFull);
+    const float first = ws.get("y").at({0, 0});
+    Executor::run(net, ws, ExecMode::kFull);
+    EXPECT_FLOAT_EQ(ws.get("y").at({0, 0}), first);
+}
+
+}  // namespace
+}  // namespace recstack

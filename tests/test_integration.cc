@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Cross-module integration tests: full characterization pipeline
+ * invariants across models, platforms and batch sizes, using
+ * scaled-down but architecture-faithful model instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/sweep.h"
+
+namespace recstack {
+namespace {
+
+ModelOptions
+itOptions()
+{
+    ModelOptions opts = tinyOptions();
+    opts.tableScale = 0.01;
+    opts.dinBehaviors = 8;
+    opts.dienSteps = 6;
+    return opts;
+}
+
+class PipelineMatrix
+    : public ::testing::TestWithParam<std::tuple<ModelId, int64_t>>
+{
+  protected:
+    static SweepCache& sweep()
+    {
+        static SweepCache instance(allPlatforms(), itOptions());
+        return instance;
+    }
+};
+
+TEST_P(PipelineMatrix, TopDownConservesSlots)
+{
+    const auto [model, batch] = GetParam();
+    for (size_t p : {size_t{0}, size_t{1}}) {
+        const RunResult& r = sweep().get(model, p, batch);
+        EXPECT_NEAR(r.topdown.l1Sum(), 1.0, 1e-9)
+            << modelName(model) << " platform " << p;
+    }
+}
+
+TEST_P(PipelineMatrix, BreakdownFractionsSumToOne)
+{
+    const auto [model, batch] = GetParam();
+    for (size_t p = 0; p < sweep().platforms().size(); ++p) {
+        const RunResult& r = sweep().get(model, p, batch);
+        double sum = 0.0;
+        for (const auto& [type, frac] : r.breakdown.fractions()) {
+            EXPECT_GE(frac, 0.0);
+            sum += frac;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST_P(PipelineMatrix, CascadeLakeNeverSlower)
+{
+    const auto [model, batch] = GetParam();
+    EXPECT_LT(sweep().get(model, 1, batch).seconds,
+              sweep().get(model, 0, batch).seconds);
+}
+
+TEST_P(PipelineMatrix, AllLatenciesFiniteAndPositive)
+{
+    const auto [model, batch] = GetParam();
+    for (size_t p = 0; p < sweep().platforms().size(); ++p) {
+        const double s = sweep().get(model, p, batch).seconds;
+        EXPECT_TRUE(std::isfinite(s));
+        EXPECT_GT(s, 0.0);
+    }
+}
+
+TEST_P(PipelineMatrix, CpuCountersPopulated)
+{
+    const auto [model, batch] = GetParam();
+    const RunResult& r = sweep().get(model, 0, batch);
+    EXPECT_GT(r.counters.uopsRetired, 0u);
+    EXPECT_GT(r.counters.branches, 0u);
+    EXPECT_GT(r.counters.icacheAccesses, 0u);
+    EXPECT_GT(r.counters.l1dAccesses, 0u);
+    EXPECT_GE(r.counters.branchMispredicts, 0u);
+    EXPECT_LE(r.counters.branchMispredicts, r.counters.branches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineMatrix,
+    ::testing::Combine(::testing::ValuesIn(allModels()),
+                       ::testing::Values<int64_t>(4, 64)),
+    [](const ::testing::TestParamInfo<std::tuple<ModelId, int64_t>>&
+           info) {
+        std::string name = modelName(std::get<0>(info.param));
+        for (auto& c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name + "_b" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Integration, FcModelsAreFcDominatedOnCpu)
+{
+    SweepCache sweep({makeCpuPlatform(broadwellConfig())}, itOptions());
+    for (ModelId id : {ModelId::kRM3, ModelId::kWnD, ModelId::kMTWnD}) {
+        EXPECT_EQ(sweep.get(id, 0, 64).breakdown.dominantType(), "FC")
+            << modelName(id);
+    }
+}
+
+TEST(Integration, EmbeddingModelsDominatedBySls)
+{
+    // Even at 1% table scale the lookup volume dominates RM2.
+    SweepCache sweep({makeCpuPlatform(broadwellConfig())},
+                     ModelOptions{.tableScale = 0.05});
+    EXPECT_EQ(sweep.get(ModelId::kRM2, 0, 64).breakdown.dominantType(),
+              "SparseLengthsSum");
+}
+
+TEST(Integration, GpuTransferShareHigherForLookupModels)
+{
+    SweepCache sweep({makeGpuPlatform(gtx1080TiConfig())},
+                     ModelOptions{.tableScale = 0.05});
+    const double rm2 =
+        sweep.get(ModelId::kRM2, 0, 1024).gpu.dataCommFraction();
+    const double rm3 =
+        sweep.get(ModelId::kRM3, 0, 1024).gpu.dataCommFraction();
+    EXPECT_GT(rm2, rm3);
+}
+
+TEST(Integration, AvxFractionHighestForFcModels)
+{
+    SweepCache sweep({makeCpuPlatform(broadwellConfig())}, itOptions());
+    const double rm3 =
+        sweep.get(ModelId::kRM3, 0, 64).topdown.avxFraction;
+    const double din =
+        sweep.get(ModelId::kDIN, 0, 64).topdown.avxFraction;
+    EXPECT_GT(rm3, din);
+}
+
+TEST(Integration, FrameworksAgreeOnBottleneck)
+{
+    const Platform bdw = makeCpuPlatform(broadwellConfig());
+    Characterizer caffe2(ModelOptions{.tableScale = 0.05}, 42,
+                         FrameworkId::kCaffe2);
+    Characterizer tf(ModelOptions{.tableScale = 0.05}, 42,
+                     FrameworkId::kTensorFlow);
+    const auto c2 = caffe2.run(ModelId::kRM2, bdw, 64);
+    const auto t2 = tf.run(ModelId::kRM2, bdw, 64);
+    const double c2_emb = c2.breakdown.fraction("SparseLengthsSum");
+    const double tf_emb = t2.breakdown.fraction("ResourceGather") +
+                          t2.breakdown.fraction("Sum");
+    EXPECT_GT(c2_emb, 0.3);
+    EXPECT_GT(tf_emb, 0.3);
+}
+
+}  // namespace
+}  // namespace recstack

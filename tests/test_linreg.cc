@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the OLS regression used by Fig. 16.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/linreg.h"
+#include "common/rng.h"
+
+namespace recstack {
+namespace {
+
+TEST(SolveLinearSystem, TwoByTwo)
+{
+    std::vector<std::vector<double>> a = {{2, 1}, {1, 3}};
+    std::vector<double> b = {5, 10};
+    ASSERT_TRUE(solveLinearSystem(a, b));
+    EXPECT_NEAR(b[0], 1.0, 1e-9);
+    EXPECT_NEAR(b[1], 3.0, 1e-9);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting)
+{
+    std::vector<std::vector<double>> a = {{0, 1}, {1, 0}};
+    std::vector<double> b = {2, 3};
+    ASSERT_TRUE(solveLinearSystem(a, b));
+    EXPECT_NEAR(b[0], 3.0, 1e-9);
+    EXPECT_NEAR(b[1], 2.0, 1e-9);
+}
+
+TEST(SolveLinearSystem, SingularReturnsFalse)
+{
+    std::vector<std::vector<double>> a = {{1, 2}, {2, 4}};
+    std::vector<double> b = {1, 2};
+    EXPECT_FALSE(solveLinearSystem(a, b));
+}
+
+TEST(FitLinear, RecoversPlantedModel)
+{
+    Rng rng(42);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.nextDouble() * 10.0;
+        const double b = rng.nextDouble() * 4.0 - 2.0;
+        x.push_back({a, b});
+        y.push_back(3.0 * a - 1.5 * b + 7.0);
+    }
+    const LinearFit fit = fitLinear(x, y);
+    EXPECT_GT(fit.r2, 0.9999);
+    // Weight signs match the planted slopes.
+    EXPECT_GT(fit.weights[0], 0.0);
+    EXPECT_LT(fit.weights[1], 0.0);
+    // Exact prediction on a fresh point.
+    EXPECT_NEAR(fit.predict({2.0, 1.0}), 3.0 * 2 - 1.5 * 1 + 7, 1e-6);
+}
+
+TEST(FitLinear, NormalizedWeightsComparable)
+{
+    // Feature 1 has 100x the scale of feature 0 but the same
+    // *standardized* influence; z-scoring must equalize the weights.
+    Rng rng(7);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 400; ++i) {
+        const double a = rng.nextGaussian();
+        const double b = rng.nextGaussian() * 100.0;
+        x.push_back({a, b});
+        y.push_back(a + b / 100.0);
+    }
+    const LinearFit fit = fitLinear(x, y);
+    EXPECT_NEAR(fit.weights[0], fit.weights[1], 0.15);
+}
+
+TEST(FitLinear, NoisyDataReasonableR2)
+{
+    Rng rng(9);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 500; ++i) {
+        const double a = rng.nextGaussian();
+        x.push_back({a});
+        y.push_back(2.0 * a + rng.nextGaussian() * 0.5);
+    }
+    const LinearFit fit = fitLinear(x, y);
+    EXPECT_GT(fit.r2, 0.85);
+    EXPECT_LT(fit.r2, 1.0);
+}
+
+TEST(FitLinear, ConstantFeatureGetsZeroWeight)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back({static_cast<double>(i), 5.0});
+        y.push_back(2.0 * i);
+    }
+    const LinearFit fit = fitLinear(x, y);
+    EXPECT_NEAR(fit.weights[1], 0.0, 1e-9);
+    EXPECT_GT(fit.r2, 0.9999);
+}
+
+TEST(FitLinear, ConstantTargetPerfectFit)
+{
+    std::vector<std::vector<double>> x = {{1}, {2}, {3}};
+    std::vector<double> y = {4, 4, 4};
+    const LinearFit fit = fitLinear(x, y);
+    EXPECT_NEAR(fit.intercept, 4.0, 1e-6);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(FitLinear, CollinearFeaturesDontExplode)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 60; ++i) {
+        const double a = i * 0.1;
+        x.push_back({a, 2 * a});  // perfectly collinear
+        y.push_back(3 * a);
+    }
+    const LinearFit fit = fitLinear(x, y);  // ridge keeps it solvable
+    EXPECT_GT(fit.r2, 0.999);
+    for (double w : fit.weights) {
+        EXPECT_LT(std::abs(w), 100.0);
+    }
+}
+
+TEST(FitLinear, PredictRejectsWrongArity)
+{
+    const LinearFit fit = fitLinear({{1, 2}, {2, 1}, {0, 0}}, {1, 2, 3});
+    EXPECT_DEATH(fit.predict({1.0}), "feature count");
+}
+
+}  // namespace
+}  // namespace recstack

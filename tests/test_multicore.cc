@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests of the multicore co-location scaling model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/multicore.h"
+
+namespace recstack {
+namespace {
+
+/**
+ * Compute-dominated single-core counters (FC-model-shaped). Byte
+ * counts are consistent with the stall windows (an engine cannot
+ * move more DRAM traffic than its memory phases allow).
+ */
+CpuCounters
+computeBound()
+{
+    CpuCounters c;
+    c.cycles = 1e6;
+    c.retireCycles = 6e5;
+    c.beCoreCycles = 2.5e5;
+    c.feLatencyCycles = 5e4;
+    c.badSpecCycles = 5e4;
+    c.beMemL2Cycles = 2e4;
+    c.beMemL3Cycles = 2e4;
+    c.beMemDramLatCycles = 1e4;
+    c.l3Hits = 5000;
+    // ~520 misses at MLP 12 over the 1e4-cycle DRAM window.
+    c.dramBytes = 64 * 520;
+    c.uopsRetired = 2400000;
+    return c;
+}
+
+/** DRAM-gather-dominated counters (RM2-shaped). */
+CpuCounters
+memoryBound()
+{
+    CpuCounters c;
+    c.cycles = 1e6;
+    c.retireCycles = 1.5e5;
+    c.beCoreCycles = 2e4;
+    c.feLatencyCycles = 3e4;
+    c.badSpecCycles = 5e4;
+    c.beMemL2Cycles = 2e4;
+    c.beMemL3Cycles = 1.3e5;
+    c.beMemDramLatCycles = 6e5;
+    c.l3Hits = 40000;
+    // 6e5 stall cycles x MLP 12 / 230-cycle latency ~ 31k misses.
+    c.dramBytes = 64 * 31000;
+    c.uopsRetired = 600000;
+    return c;
+}
+
+TEST(Multicore, SingleCoreIsIdentity)
+{
+    const auto points =
+        estimateMulticoreScaling(computeBound(), broadwellConfig(), 1);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_NEAR(points[0].perEngineSlowdown, 1.0, 1e-9);
+    EXPECT_NEAR(points[0].throughputScaling, 1.0, 1e-9);
+}
+
+TEST(Multicore, ThroughputNeverExceedsCoreCount)
+{
+    for (const auto& counters : {computeBound(), memoryBound()}) {
+        const auto points =
+            estimateMulticoreScaling(counters, broadwellConfig(), 16);
+        for (const auto& p : points) {
+            EXPECT_LE(p.throughputScaling,
+                      static_cast<double>(p.cores) + 1e-9);
+            EXPECT_GE(p.perEngineSlowdown, 1.0 - 1e-9);
+        }
+    }
+}
+
+TEST(Multicore, ThroughputMonotoneInCores)
+{
+    const auto points =
+        estimateMulticoreScaling(computeBound(), broadwellConfig(), 16);
+    for (size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GE(points[i].throughputScaling,
+                  points[i - 1].throughputScaling - 1e-9);
+    }
+}
+
+TEST(Multicore, ComputeBoundScalesNearLinearly)
+{
+    const auto points =
+        estimateMulticoreScaling(computeBound(), broadwellConfig(), 16);
+    EXPECT_GT(points.back().throughputScaling, 12.0);
+}
+
+TEST(Multicore, MemoryBoundSaturates)
+{
+    const auto points =
+        estimateMulticoreScaling(memoryBound(), broadwellConfig(), 16);
+    // The embedding-shaped engine stops scaling well short of 16x.
+    EXPECT_LT(points.back().throughputScaling, 12.0);
+    // And worse than the compute-shaped engine at every level > 1.
+    const auto fc =
+        estimateMulticoreScaling(computeBound(), broadwellConfig(), 16);
+    for (size_t i = 1; i < points.size(); ++i) {
+        EXPECT_LT(points[i].throughputScaling,
+                  fc[i].throughputScaling);
+    }
+}
+
+TEST(Multicore, DemandFractionGrowsWithCores)
+{
+    const auto points =
+        estimateMulticoreScaling(memoryBound(), broadwellConfig(), 8);
+    for (size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GE(points[i].dramDemandFraction,
+                  points[i - 1].dramDemandFraction - 1e-9);
+    }
+}
+
+TEST(Multicore, MoreBandwidthHelpsMemoryBound)
+{
+    CpuConfig more_bw = broadwellConfig();
+    more_bw.dramGBs *= 2.0;
+    const auto base =
+        estimateMulticoreScaling(memoryBound(), broadwellConfig(), 16);
+    const auto wide =
+        estimateMulticoreScaling(memoryBound(), more_bw, 16);
+    EXPECT_GT(wide.back().throughputScaling,
+              base.back().throughputScaling);
+}
+
+TEST(Multicore, RejectsBadInput)
+{
+    EXPECT_DEATH(
+        estimateMulticoreScaling(computeBound(), broadwellConfig(), 0),
+        "at least one core");
+    EXPECT_DEATH(
+        estimateMulticoreScaling(CpuCounters{}, broadwellConfig(), 2),
+        "empty single-core");
+}
+
+}  // namespace
+}  // namespace recstack

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Property-based and differential tests:
+ *  - the set-associative cache against a reference map-based LRU,
+ *  - the unrolled GRU graph against the fused GRULayer operator,
+ *  - CpuModel scaling properties across batch-like work scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/executor.h"
+#include "ops/elementwise.h"
+#include "ops/fc.h"
+#include "ops/gru.h"
+#include "ops/reshape.h"
+#include "uarch/cache.h"
+#include "uarch/cpu_model.h"
+
+namespace recstack {
+namespace {
+
+/** Reference LRU cache: per-set ordered lists, obviously correct. */
+class ReferenceLru
+{
+  public:
+    ReferenceLru(uint64_t size_bytes, int ways, int line_bytes = 64)
+        : ways_(static_cast<size_t>(ways)),
+          sets_(size_bytes /
+                (static_cast<uint64_t>(ways) *
+                 static_cast<uint64_t>(line_bytes))),
+          lineBytes_(static_cast<uint64_t>(line_bytes)),
+          lru_(sets_)
+    {
+    }
+
+    bool access(uint64_t addr)
+    {
+        const uint64_t line = addr / lineBytes_;
+        const uint64_t set = line % sets_;
+        auto& order = lru_[set];
+        for (auto it = order.begin(); it != order.end(); ++it) {
+            if (*it == line) {
+                order.erase(it);
+                order.push_front(line);
+                return true;
+            }
+        }
+        order.push_front(line);
+        if (order.size() > ways_) {
+            order.pop_back();
+        }
+        return false;
+    }
+
+  private:
+    size_t ways_;
+    uint64_t sets_;
+    uint64_t lineBytes_;
+    std::vector<std::list<uint64_t>> lru_;
+};
+
+/** Random trace: every access must agree with the reference model. */
+class CacheDifferential : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CacheDifferential, MatchesReferenceLru)
+{
+    struct Geom {
+        uint64_t size;
+        int ways;
+    };
+    const Geom geoms[] = {{1024, 1}, {2048, 2}, {8192, 4}, {32768, 8}};
+    const Geom g = geoms[GetParam() % 4];
+
+    Cache cache(g.size, g.ways);
+    ReferenceLru ref(g.size, g.ways);
+    Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+
+    // Mix of sequential runs and random jumps over a footprint ~4x
+    // the cache to exercise evictions heavily.
+    const uint64_t footprint_lines = g.size / 64 * 4;
+    uint64_t cursor = 0;
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t line;
+        if (rng.nextBool(0.5)) {
+            line = cursor++ % footprint_lines;
+        } else {
+            line = rng.nextBounded(footprint_lines);
+        }
+        const uint64_t addr = line * 64;
+        ASSERT_EQ(cache.access(addr), ref.access(addr))
+            << "divergence at access " << i << " addr " << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, CacheDifferential,
+                         ::testing::Range(0, 8));
+
+/**
+ * Build an unrolled single-sample GRU with the SAME weight blobs as a
+ * fused GRULayerOp and check both produce the same hidden states.
+ * This is the numeric guarantee behind the bench_ablate_gru_fusion
+ * comparison: the two graphs differ only in operator granularity.
+ */
+TEST(GruEquivalence, UnrolledGraphMatchesFusedOperator)
+{
+    const int64_t steps = 4, batch = 3, dim = 5, hidden = 5;
+    Rng rng(77);
+    auto rand_tensor = [&rng](std::vector<int64_t> shape) {
+        Tensor t(std::move(shape));
+        for (int64_t i = 0; i < t.numel(); ++i) {
+            t.data<float>()[i] = rng.nextFloat(-0.5f, 0.5f);
+        }
+        return t;
+    };
+
+    Workspace ws;
+    ws.set("wx", rand_tensor({3 * hidden, dim}));
+    ws.set("wh", rand_tensor({3 * hidden, hidden}));
+    ws.set("bias", rand_tensor({3 * hidden}));
+    ws.set("bias0", Tensor({3 * hidden}));  // zero bias for h-path FC
+    ws.set("h0", rand_tensor({batch, hidden}));
+    ws.set("seq_bm", rand_tensor({batch, steps, dim}));  // batch-major
+
+    // --- Fused path (time-major input). ---
+    {
+        TransposeOp tr("tr", "seq_bm", "seq_tm");
+        tr.inferShapes(ws);
+        tr.run(ws);
+        GRULayerOp gru("fused", "seq_tm", "h0", "wx", "wh", "bias",
+                       "hseq", "hlast_fused");
+        gru.inferShapes(ws);
+        gru.run(ws);
+    }
+
+    // --- Unrolled path: per-step ops over the same weights. ---
+    NetDef net("unrolled");
+    for (const char* input : {"seq_bm", "h0", "wx", "wh", "bias",
+                              "bias0"}) {
+        net.addExternalInput(input);
+    }
+    std::string h = "h0";
+    for (int64_t t = 0; t < steps; ++t) {
+        const std::string ts = "t" + std::to_string(t);
+        net.addOp(makeSlice(ts + "_x", "seq_bm", ts + "_xt", t));
+        net.addOp(makeFC(ts + "_gx", ts + "_xt", "wx", "bias",
+                         ts + "_gxf"));
+        net.addOp(makeFC(ts + "_gh", h, "wh", "bias0", ts + "_ghf"));
+        net.addOp(makeReshape(ts + "_rx", ts + "_gxf", ts + "_gx3",
+                              {-1, 3, hidden}));
+        net.addOp(makeReshape(ts + "_rh", ts + "_ghf", ts + "_gh3",
+                              {-1, 3, hidden}));
+        for (int g = 0; g < 3; ++g) {
+            net.addOp(makeSlice(ts + "_sx" + std::to_string(g),
+                                ts + "_gx3",
+                                ts + "_gx" + std::to_string(g), g));
+            net.addOp(makeSlice(ts + "_sh" + std::to_string(g),
+                                ts + "_gh3",
+                                ts + "_gh" + std::to_string(g), g));
+        }
+        net.addOp(makeAdd(ts + "_ar", ts + "_gx0", ts + "_gh0",
+                          ts + "_rsum"));
+        net.addOp(makeSigmoid(ts + "_r", ts + "_rsum", ts + "_rg"));
+        net.addOp(makeAdd(ts + "_az", ts + "_gx1", ts + "_gh1",
+                          ts + "_zsum"));
+        net.addOp(makeSigmoid(ts + "_z", ts + "_zsum", ts + "_zg"));
+        net.addOp(makeMul(ts + "_rh2", ts + "_rg", ts + "_gh2",
+                          ts + "_rgh"));
+        net.addOp(makeAdd(ts + "_an", ts + "_gx2", ts + "_rgh",
+                          ts + "_nsum"));
+        net.addOp(makeTanh(ts + "_n", ts + "_nsum", ts + "_ng"));
+        net.addOp(makeMul(ts + "_zn", ts + "_zg", ts + "_ng",
+                          ts + "_zng"));
+        net.addOp(makeSub(ts + "_nmzn", ts + "_ng", ts + "_zng",
+                          ts + "_a"));
+        net.addOp(makeMul(ts + "_zh", ts + "_zg", h, ts + "_zhv"));
+        net.addOp(makeAdd(ts + "_hnew", ts + "_a", ts + "_zhv",
+                          ts + "_h"));
+        h = ts + "_h";
+    }
+    net.addExternalOutput(h);
+    net.validate();
+    Executor::run(net, ws, ExecMode::kFull);
+
+    const Tensor& fused = ws.get("hlast_fused");
+    const Tensor& unrolled = ws.get(h);
+    ASSERT_EQ(fused.shape(), unrolled.shape());
+    for (int64_t i = 0; i < fused.numel(); ++i) {
+        EXPECT_NEAR(fused.data<float>()[i], unrolled.data<float>()[i],
+                    1e-5)
+            << "element " << i;
+    }
+}
+
+/** More simulated work must never take fewer cycles. */
+TEST(CpuModelProperty, CyclesMonotoneInWork)
+{
+    auto profile_for = [](uint64_t scale) {
+        KernelProfile kp;
+        kp.opType = "FC";
+        kp.opName = "fc";
+        kp.fmaFlops = (1 << 16) * scale;
+        kp.vecElemOps = (1 << 14) * scale;
+        kp.scalarOps = 1024 * scale;
+        kp.codeFootprintBytes = 2048;
+        kp.codeRegion = "kernel:FC";
+        MemStream s;
+        s.region = "w";
+        s.accesses = 512 * scale;
+        s.chunkBytes = 64;
+        s.footprintBytes = 512 * 64 * scale;
+        kp.streams.push_back(s);
+        return kp;
+    };
+    double prev = 0.0;
+    for (uint64_t scale : {1, 2, 4, 8, 16}) {
+        CpuModel cpu(broadwellConfig(), 3);
+        cpu.simulateKernel(profile_for(scale));
+        const double cycles =
+            cpu.simulateKernel(profile_for(scale)).cycles;
+        EXPECT_GT(cycles, prev);
+        prev = cycles;
+    }
+}
+
+/** Retired uops are exactly linear in replicated work. */
+TEST(CpuModelProperty, UopsLinearInWork)
+{
+    CpuModel cpu(broadwellConfig());
+    KernelProfile kp;
+    kp.fmaFlops = 1 << 16;
+    kp.vecElemOps = 1 << 12;
+    const uint64_t once = cpu.lowerUops(kp).total();
+    kp.fmaFlops *= 3;
+    kp.vecElemOps *= 3;
+    EXPECT_EQ(cpu.lowerUops(kp).total(), 3 * once);
+}
+
+}  // namespace
+}  // namespace recstack

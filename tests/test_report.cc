@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the ASCII table/chart renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "report/chart.h"
+#include "report/csv.h"
+#include "report/table.h"
+
+namespace recstack {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    const std::string s = t.render();
+    std::istringstream iss(s);
+    std::string header, underline, row1, row2;
+    std::getline(iss, header);
+    std::getline(iss, underline);
+    std::getline(iss, row1);
+    std::getline(iss, row2);
+    EXPECT_NE(underline.find("---"), std::string::npos);
+    // The second column starts at the same offset in every line.
+    EXPECT_EQ(header.find("value"), row1.find('1'));
+    EXPECT_EQ(header.find("value"), row2.find("22222"));
+}
+
+TEST(TextTable, RejectsRaggedRows)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+    EXPECT_EQ(TextTable::fmtSpeedup(1.5), "1.50x");
+    EXPECT_EQ(TextTable::fmtPercent(0.257), "25.7%");
+    EXPECT_EQ(TextTable::fmtSeconds(0.5e-6), "0.5us");
+    EXPECT_EQ(TextTable::fmtSeconds(2.5e-3), "2.50ms");
+    EXPECT_EQ(TextTable::fmtSeconds(3.0), "3.00s");
+}
+
+TEST(BarChart, ScalesToMax)
+{
+    const std::string s = barChart({{"big", 10.0}, {"half", 5.0}}, 20);
+    // "big" fills the full 20 columns, "half" roughly 10.
+    const size_t big_hashes =
+        static_cast<size_t>(std::count(s.begin(),
+                                       s.begin() + static_cast<long>(
+                                           s.find('\n')), '#'));
+    EXPECT_EQ(big_hashes, 20u);
+    EXPECT_NE(s.find("half"), std::string::npos);
+}
+
+TEST(BarChart, HandlesAllZero)
+{
+    const std::string s = barChart({{"a", 0.0}, {"b", 0.0}}, 10);
+    EXPECT_EQ(std::count(s.begin(), s.end(), '#'), 0);
+}
+
+TEST(StackedBar, SegmentsAndLegend)
+{
+    const std::string s =
+        stackedBar("L1", {{"x", 0.75}, {"y", 0.25}}, 40);
+    EXPECT_NE(s.find("L1"), std::string::npos);
+    EXPECT_NE(s.find("x 75.0%"), std::string::npos);
+    EXPECT_NE(s.find("y 25.0%"), std::string::npos);
+    // 75% of 40 cells = 30 '#' in the bar itself (the legend
+    // line repeats the fill character once).
+    const std::string bar_line = s.substr(0, s.find('\n'));
+    EXPECT_EQ(std::count(bar_line.begin(), bar_line.end(), '#'), 30);
+}
+
+TEST(StackedBar, NormalizesNonUnitTotals)
+{
+    const std::string s = stackedBar("L", {{"a", 3.0}, {"b", 1.0}}, 8);
+    EXPECT_NE(s.find("a 75.0%"), std::string::npos);
+}
+
+TEST(StackedBar, EmptyTotalSafe)
+{
+    const std::string s = stackedBar("L", {{"a", 0.0}}, 8);
+    EXPECT_NE(s.find("0.0%"), std::string::npos);
+}
+
+
+TEST(CsvWriter, BasicRows)
+{
+    std::ostringstream oss;
+    CsvWriter csv(&oss);
+    csv.header({"model", "batch", "seconds"});
+    csv.row({"RM1", "16", "0.001"});
+    csv.row({"RM2", "64", "0.004"});
+    EXPECT_EQ(oss.str(),
+              "model,batch,seconds\nRM1,16,0.001\nRM2,64,0.004\n");
+    EXPECT_EQ(csv.rowsWritten(), 2u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, EnforcesProtocol)
+{
+    std::ostringstream oss;
+    CsvWriter csv(&oss);
+    EXPECT_DEATH(csv.row({"x"}), "header first");
+    csv.header({"a", "b"});
+    EXPECT_DEATH(csv.row({"only-one"}), "row width");
+    EXPECT_DEATH(csv.header({"again"}), "already written");
+}
+
+TEST(CsvWriter, RejectsNullStream)
+{
+    EXPECT_DEATH(CsvWriter(nullptr), "needs a stream");
+}
+
+}  // namespace
+}  // namespace recstack

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests of the heterogeneity-aware QueryScheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/query_scheduler.h"
+
+namespace recstack {
+namespace {
+
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    SchedulerTest()
+        : sweep_(allPlatforms(),
+                 []() {
+                     ModelOptions opts = tinyOptions();
+                     opts.tableScale = 0.01;
+                     return opts;
+                 }()),
+          sched_(&sweep_, {1, 16, 256, 4096})
+    {
+    }
+
+    SweepCache sweep_;
+    QueryScheduler sched_;
+};
+
+TEST_F(SchedulerTest, LatencyAtGridPointsMatchesSweep)
+{
+    for (int64_t batch : sched_.batchGrid()) {
+        EXPECT_DOUBLE_EQ(sched_.latency(ModelId::kRM1, 0, batch),
+                         sweep_.get(ModelId::kRM1, 0, batch).seconds);
+    }
+}
+
+TEST_F(SchedulerTest, LatencyInterpolatesBetweenKnots)
+{
+    const double lo = sched_.latency(ModelId::kRM1, 0, 16);
+    const double hi = sched_.latency(ModelId::kRM1, 0, 256);
+    const double mid = sched_.latency(ModelId::kRM1, 0, 136);
+    EXPECT_GT(mid, std::min(lo, hi));
+    EXPECT_LT(mid, std::max(lo, hi));
+    EXPECT_NEAR(mid, lo + (hi - lo) * (136.0 - 16.0) / 240.0, 1e-12);
+}
+
+TEST_F(SchedulerTest, LatencyMonotoneInBatch)
+{
+    double prev = 0.0;
+    for (int64_t b : {1, 8, 32, 100, 256, 1000, 4096}) {
+        const double lat = sched_.latency(ModelId::kRM2, 0, b);
+        EXPECT_GE(lat, prev);
+        prev = lat;
+    }
+}
+
+TEST_F(SchedulerTest, ExtrapolatesBeyondGrid)
+{
+    const double at_grid_end = sched_.latency(ModelId::kRM1, 0, 4096);
+    const double beyond = sched_.latency(ModelId::kRM1, 0, 8192);
+    EXPECT_GT(beyond, at_grid_end);
+}
+
+TEST_F(SchedulerTest, RoutePicksFastestPlatform)
+{
+    const ScheduleDecision d = sched_.route(ModelId::kRM3, 256, 1.0);
+    for (size_t p = 0; p < sweep_.platforms().size(); ++p) {
+        EXPECT_LE(d.expectedLatency,
+                  sched_.latency(ModelId::kRM3, p, 256) + 1e-15);
+    }
+    EXPECT_TRUE(d.meetsSla);  // 1 second is generous
+}
+
+TEST_F(SchedulerTest, RouteFlagsSlaViolation)
+{
+    const ScheduleDecision d = sched_.route(ModelId::kRM2, 4096, 1e-9);
+    EXPECT_FALSE(d.meetsSla);
+}
+
+TEST_F(SchedulerTest, MaxBatchUnderSlaRespectsBudget)
+{
+    // Pick an SLA between the batch-16 and batch-256 latencies.
+    const double s16 = sched_.latency(ModelId::kRM1, 0, 16);
+    const double s256 = sched_.latency(ModelId::kRM1, 0, 256);
+    const double sla = (s16 + s256) / 2.0;
+    const int64_t max_batch =
+        sched_.maxBatchUnderSla(ModelId::kRM1, 0, sla);
+    EXPECT_EQ(max_batch, 16);
+    EXPECT_EQ(sched_.maxBatchUnderSla(ModelId::kRM1, 0, 1e-12), 0);
+}
+
+TEST_F(SchedulerTest, BestThroughputFeasibleAndOptimal)
+{
+    const ThroughputPoint tp =
+        sched_.bestThroughputUnderSla(ModelId::kWnD, 0.5);
+    ASSERT_TRUE(tp.feasible);
+    EXPECT_LE(tp.latencySeconds, 0.5);
+    EXPECT_GT(tp.samplesPerSecond, 0.0);
+    // No grid point under the SLA beats it.
+    for (size_t p = 0; p < sweep_.platforms().size(); ++p) {
+        for (int64_t b : sched_.batchGrid()) {
+            const double lat = sched_.latency(ModelId::kWnD, p, b);
+            if (lat <= 0.5) {
+                EXPECT_LE(static_cast<double>(b) / lat,
+                          tp.samplesPerSecond + 1e-9);
+            }
+        }
+    }
+}
+
+TEST_F(SchedulerTest, ImpossibleSlaInfeasible)
+{
+    const ThroughputPoint tp =
+        sched_.bestThroughputUnderSla(ModelId::kDIN, 1e-12);
+    EXPECT_FALSE(tp.feasible);
+    EXPECT_EQ(tp.samplesPerSecond, 0.0);
+}
+
+TEST_F(SchedulerTest, LooseSlaPrefersLargeBatchAccelerator)
+{
+    // With a loose SLA the best throughput point uses a large batch;
+    // for the FC-heavy WnD that lands on a GPU (Fig. 5's right side).
+    const ThroughputPoint tp =
+        sched_.bestThroughputUnderSla(ModelId::kWnD, 10.0);
+    ASSERT_TRUE(tp.feasible);
+    EXPECT_GE(tp.batch, 256);
+    const auto& platform = sweep_.platforms()[tp.platformIdx];
+    EXPECT_EQ(platform.kind, PlatformKind::kGpu);
+}
+
+TEST_F(SchedulerTest, RejectsBadInputs)
+{
+    EXPECT_DEATH(sched_.latency(ModelId::kRM1, 0, 0), "positive");
+    EXPECT_DEATH(QueryScheduler(nullptr), "sweep cache");
+    SweepCache local(allPlatforms(), tinyOptions());
+    EXPECT_DEATH(QueryScheduler(&local, {16, 4, 1}), "ascending");
+}
+
+}  // namespace
+}  // namespace recstack

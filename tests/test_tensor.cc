@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the Tensor container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace recstack {
+namespace {
+
+TEST(Tensor, DefaultIsEmptyFloat)
+{
+    Tensor t;
+    EXPECT_EQ(t.dtype(), DType::kFloat32);
+    EXPECT_EQ(t.numel(), 1);  // rank-0 scalar
+    EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6);
+    for (int64_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(t.data<float>()[i], 0.0f);
+    }
+}
+
+TEST(Tensor, FromFloats)
+{
+    Tensor t = Tensor::fromFloats({2, 2}, {1, 2, 3, 4});
+    EXPECT_FLOAT_EQ(t.at({0, 0}), 1.0f);
+    EXPECT_FLOAT_EQ(t.at({0, 1}), 2.0f);
+    EXPECT_FLOAT_EQ(t.at({1, 0}), 3.0f);
+    EXPECT_FLOAT_EQ(t.at({1, 1}), 4.0f);
+}
+
+TEST(Tensor, FromInt64AndInt32)
+{
+    Tensor i64 = Tensor::fromInt64s({3}, {10, 20, 30});
+    EXPECT_EQ(i64.dtype(), DType::kInt64);
+    EXPECT_EQ(i64.data<int64_t>()[2], 30);
+
+    Tensor i32 = Tensor::fromInt32s({2}, {7, 8});
+    EXPECT_EQ(i32.dtype(), DType::kInt32);
+    EXPECT_EQ(i32.data<int32_t>()[0], 7);
+}
+
+TEST(Tensor, DTypeMismatchPanics)
+{
+    Tensor t({2});
+    EXPECT_DEATH(t.data<int64_t>(), "dtype mismatch");
+}
+
+TEST(Tensor, SetAndAt)
+{
+    Tensor t({2, 2, 2});
+    t.set({1, 0, 1}, 42.0f);
+    EXPECT_FLOAT_EQ(t.at({1, 0, 1}), 42.0f);
+    EXPECT_FLOAT_EQ(t.at({1, 0, 0}), 0.0f);
+}
+
+TEST(Tensor, OutOfBoundsPanics)
+{
+    Tensor t({2, 2});
+    EXPECT_DEATH(t.at({2, 0}), "out of bounds");
+    EXPECT_DEATH(t.at({0}), "rank mismatch");
+}
+
+TEST(Tensor, Reshape)
+{
+    Tensor t = Tensor::fromFloats({2, 3}, {1, 2, 3, 4, 5, 6});
+    t.reshape({3, 2});
+    EXPECT_EQ(t.dim(0), 3);
+    EXPECT_FLOAT_EQ(t.at({2, 1}), 6.0f);
+    EXPECT_DEATH(t.reshape({4, 2}), "element count");
+}
+
+TEST(Tensor, NegativeAxis)
+{
+    Tensor t({4, 5, 6});
+    EXPECT_EQ(t.dim(-1), 6);
+    EXPECT_EQ(t.dim(-3), 4);
+    EXPECT_DEATH(t.dim(3), "out of range");
+}
+
+TEST(Tensor, ByteSize)
+{
+    EXPECT_EQ(Tensor({3, 4}).byteSize(), 48u);
+    EXPECT_EQ(Tensor({2}, DType::kInt64).byteSize(), 16u);
+    EXPECT_EQ(Tensor({2}, DType::kInt32).byteSize(), 8u);
+}
+
+TEST(Tensor, Describe)
+{
+    EXPECT_EQ(Tensor({4, 8}).describe(), "float32[4, 8]");
+    EXPECT_EQ(Tensor({3}, DType::kInt64).describe(), "int64[3]");
+}
+
+TEST(Tensor, ShapeOnlyCarriesMetadataOnly)
+{
+    Tensor t = Tensor::shapeOnly({1000, 1000});
+    EXPECT_FALSE(t.materialized());
+    EXPECT_EQ(t.numel(), 1000000);
+    EXPECT_EQ(t.byteSize(), 4000000u);
+    EXPECT_DEATH(t.data<float>(), "shape-only");
+}
+
+TEST(Tensor, MaterializedFlagTrueForAllocated)
+{
+    EXPECT_TRUE(Tensor({2, 2}).materialized());
+    EXPECT_TRUE(Tensor::fromFloats({1}, {3.0f}).materialized());
+}
+
+TEST(Tensor, DtypeSizeAndName)
+{
+    EXPECT_EQ(dtypeSize(DType::kFloat32), 4u);
+    EXPECT_EQ(dtypeSize(DType::kInt32), 4u);
+    EXPECT_EQ(dtypeSize(DType::kInt64), 8u);
+    EXPECT_STREQ(dtypeName(DType::kFloat32), "float32");
+}
+
+TEST(Tensor, CopyIsDeep)
+{
+    Tensor a = Tensor::fromFloats({2}, {1, 2});
+    Tensor b = a;
+    b.data<float>()[0] = 99.0f;
+    EXPECT_FLOAT_EQ(a.data<float>()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace recstack

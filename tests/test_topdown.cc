@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests of the TopDown derivation from raw counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topdown/topdown.h"
+
+namespace recstack {
+namespace {
+
+CpuCounters
+syntheticCounters()
+{
+    CpuCounters c;
+    c.uopsRetired = 4000;
+    c.avxUopsRetired = 1000;
+    c.scalarUopsRetired = 3000;
+    c.branches = 400;
+    c.branchMispredicts = 20;
+    c.icacheMisses = 8;
+    c.icacheAccesses = 100;
+    c.retireCycles = 1000.0;
+    c.feLatencyCycles = 100.0;
+    c.feBandwidthDsbCycles = 60.0;
+    c.feBandwidthMiteCycles = 40.0;
+    c.badSpecCycles = 300.0;
+    c.beCoreCycles = 250.0;
+    c.beMemL2Cycles = 50.0;
+    c.beMemL3Cycles = 100.0;
+    c.beMemDramLatCycles = 80.0;
+    c.beMemDramBwCycles = 20.0;
+    c.dramCongestedCycles = 200.0;
+    c.cycles = 2000.0;
+    return c;
+}
+
+TEST(TopDown, Level1Fractions)
+{
+    const TopDownResult r =
+        deriveTopDown(syntheticCounters(), broadwellConfig());
+    EXPECT_DOUBLE_EQ(r.l1.retiring, 0.5);
+    EXPECT_DOUBLE_EQ(r.l1.badSpeculation, 0.15);
+    EXPECT_DOUBLE_EQ(r.l1.frontendBound, 0.1);
+    EXPECT_DOUBLE_EQ(r.l1.backendBound, 0.25);
+    EXPECT_NEAR(r.l1Sum(), 1.0, 1e-12);
+}
+
+TEST(TopDown, Level2Drilldowns)
+{
+    const TopDownResult r =
+        deriveTopDown(syntheticCounters(), broadwellConfig());
+    EXPECT_DOUBLE_EQ(r.l2.feLatency, 0.05);
+    EXPECT_DOUBLE_EQ(r.l2.feBandwidthDsb, 0.03);
+    EXPECT_DOUBLE_EQ(r.l2.feBandwidthMite, 0.02);
+    EXPECT_NEAR(r.l2.feBandwidth, 0.05, 1e-12);
+    EXPECT_DOUBLE_EQ(r.l2.beCore, 0.125);
+    EXPECT_DOUBLE_EQ(r.l2.beMemory, 0.125);
+    EXPECT_DOUBLE_EQ(r.l2.coreToMemoryRatio(), 1.0);
+    EXPECT_DOUBLE_EQ(r.l2.memL3, 0.05);
+}
+
+TEST(TopDown, DerivedMetrics)
+{
+    const TopDownResult r =
+        deriveTopDown(syntheticCounters(), broadwellConfig());
+    EXPECT_DOUBLE_EQ(r.ipc, 2.0);
+    EXPECT_DOUBLE_EQ(r.avxFraction, 0.25);
+    EXPECT_DOUBLE_EQ(r.imspki, 2.0);      // 8 misses / 4 kuops
+    EXPECT_DOUBLE_EQ(r.mispredictsPerKuop, 5.0);
+    EXPECT_DOUBLE_EQ(r.dramCongestedFraction, 0.1);
+}
+
+TEST(TopDown, ZeroCyclesSafe)
+{
+    const TopDownResult r = deriveTopDown(CpuCounters{},
+                                          broadwellConfig());
+    EXPECT_EQ(r.l1.retiring, 0.0);
+    EXPECT_EQ(r.ipc, 0.0);
+    EXPECT_EQ(r.imspki, 0.0);
+}
+
+TEST(TopDown, CongestionClampedToOne)
+{
+    CpuCounters c = syntheticCounters();
+    c.dramCongestedCycles = 5000.0;  // > cycles
+    const TopDownResult r = deriveTopDown(c, broadwellConfig());
+    EXPECT_DOUBLE_EQ(r.dramCongestedFraction, 1.0);
+}
+
+TEST(Counters, AccumulatePreservesTotals)
+{
+    CpuCounters a = syntheticCounters();
+    CpuCounters b = syntheticCounters();
+    b.cycles = 1000.0;
+    b.uopsRetired = 1000;
+    a.accumulate(b);
+    EXPECT_EQ(a.uopsRetired, 5000u);
+    EXPECT_DOUBLE_EQ(a.cycles, 3000.0);
+    EXPECT_DOUBLE_EQ(a.retireCycles, 2000.0);
+}
+
+TEST(Counters, AccumulateCycleWeightsPortDistribution)
+{
+    CpuCounters a;
+    a.cycles = 100.0;
+    a.portsBusyAtLeast[3] = 1.0;
+    CpuCounters b;
+    b.cycles = 300.0;
+    b.portsBusyAtLeast[3] = 0.0;
+    a.accumulate(b);
+    EXPECT_NEAR(a.portsBusyAtLeast[3], 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace recstack

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests of the trace format and the record/replay workflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace_runner.h"
+
+namespace recstack {
+namespace {
+
+ModelOptions
+testOptions()
+{
+    ModelOptions opts = tinyOptions();
+    opts.tableScale = 0.01;
+    return opts;
+}
+
+std::vector<KernelProfile>
+sampleKernels()
+{
+    KernelProfile fc;
+    fc.opType = "FC";
+    fc.opName = "fc_0";
+    fc.fmaFlops = 12345;
+    fc.vecElemOps = 678;
+    fc.scalarOps = 90;
+    fc.simdScalableOps = 12;
+    fc.reloadLoadElems = 3456;
+    fc.gemmWidth = 64;
+    fc.codeFootprintBytes = 2048;
+    fc.codeRegion = "kernel:FC";
+    fc.codeIterations = 99;
+    fc.dispatchOps = 18000;
+    fc.dispatchCodeBytes = 20480;
+    MemStream s;
+    s.region = "emb0_table";
+    s.pattern = AccessPattern::kRandom;
+    s.accesses = 555;
+    s.chunkBytes = 256;
+    s.footprintBytes = 1 << 20;
+    s.zipfExponent = 0.75;
+    s.mlp = 12.0;
+    fc.streams.push_back(s);
+    MemStream w = s;
+    w.pattern = AccessPattern::kStrided;
+    w.strideBytes = 512;
+    w.isWrite = true;
+    fc.streams.push_back(w);
+    BranchStream b;
+    b.count = 777;
+    b.takenProbability = 0.85;
+    b.randomness = 0.6;
+    b.scalesWithSimd = true;
+    fc.branches.push_back(b);
+
+    KernelProfile gru;
+    gru.opType = "GRULayer";
+    gru.opName = "gru_0";
+    gru.serialSteps = 16;
+    return {fc, gru};
+}
+
+TEST(TraceFormat, RoundTripPreservesEverything)
+{
+    TraceMeta meta;
+    meta.model = "RM1";
+    meta.framework = "Caffe2";
+    meta.batch = 64;
+    meta.inputBytes = 4096;
+    meta.inputBlobs = 17;
+
+    std::stringstream buffer;
+    writeTrace(buffer, meta, sampleKernels());
+
+    TraceMeta loaded;
+    std::vector<KernelProfile> kernels;
+    std::string error;
+    ASSERT_TRUE(readTrace(buffer, &loaded, &kernels, &error)) << error;
+
+    EXPECT_EQ(loaded.model, "RM1");
+    EXPECT_EQ(loaded.batch, 64);
+    EXPECT_EQ(loaded.inputBytes, 4096u);
+    EXPECT_EQ(loaded.inputBlobs, 17u);
+    ASSERT_EQ(kernels.size(), 2u);
+
+    const KernelProfile& fc = kernels[0];
+    EXPECT_EQ(fc.opType, "FC");
+    EXPECT_EQ(fc.opName, "fc_0");
+    EXPECT_EQ(fc.fmaFlops, 12345u);
+    EXPECT_EQ(fc.vecElemOps, 678u);
+    EXPECT_EQ(fc.scalarOps, 90u);
+    EXPECT_EQ(fc.simdScalableOps, 12u);
+    EXPECT_EQ(fc.reloadLoadElems, 3456u);
+    EXPECT_EQ(fc.gemmWidth, 64u);
+    EXPECT_EQ(fc.codeRegion, "kernel:FC");
+    EXPECT_EQ(fc.codeIterations, 99u);
+    EXPECT_EQ(fc.dispatchOps, 18000u);
+    ASSERT_EQ(fc.streams.size(), 2u);
+    EXPECT_EQ(fc.streams[0].pattern, AccessPattern::kRandom);
+    EXPECT_EQ(fc.streams[0].accesses, 555u);
+    EXPECT_DOUBLE_EQ(fc.streams[0].zipfExponent, 0.75);
+    EXPECT_EQ(fc.streams[1].pattern, AccessPattern::kStrided);
+    EXPECT_TRUE(fc.streams[1].isWrite);
+    EXPECT_EQ(fc.streams[1].strideBytes, 512u);
+    ASSERT_EQ(fc.branches.size(), 1u);
+    EXPECT_TRUE(fc.branches[0].scalesWithSimd);
+    EXPECT_DOUBLE_EQ(fc.branches[0].takenProbability, 0.85);
+
+    EXPECT_EQ(kernels[1].serialSteps, 16u);
+}
+
+TEST(TraceFormat, RejectsBadMagic)
+{
+    std::stringstream buffer("not-a-trace v1\nend\n");
+    TraceMeta meta;
+    std::vector<KernelProfile> kernels;
+    std::string error;
+    EXPECT_FALSE(readTrace(buffer, &meta, &kernels, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(TraceFormat, RejectsTruncation)
+{
+    std::stringstream full;
+    writeTrace(full, TraceMeta{}, sampleKernels());
+    std::string text = full.str();
+    text = text.substr(0, text.size() / 2);
+    std::stringstream truncated(text);
+    TraceMeta meta;
+    std::vector<KernelProfile> kernels;
+    std::string error;
+    EXPECT_FALSE(readTrace(truncated, &meta, &kernels, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(TraceFormat, RejectsStrayRecords)
+{
+    std::stringstream buffer(
+        "recstack-trace v1\nstream region=x pattern=seq\nend\n");
+    TraceMeta meta;
+    std::vector<KernelProfile> kernels;
+    std::string error;
+    EXPECT_FALSE(readTrace(buffer, &meta, &kernels, &error));
+    EXPECT_NE(error.find("outside kernel"), std::string::npos);
+}
+
+TEST(TraceFormat, FileSaveLoad)
+{
+    const std::string path =
+        ::testing::TempDir() + "/recstack_trace_test.trace";
+    TraceMeta meta;
+    meta.model = "WnD";
+    meta.batch = 8;
+    std::string error;
+    ASSERT_TRUE(saveTrace(path, meta, sampleKernels(), &error)) << error;
+
+    TraceMeta loaded;
+    std::vector<KernelProfile> kernels;
+    ASSERT_TRUE(loadTrace(path, &loaded, &kernels, &error)) << error;
+    EXPECT_EQ(loaded.model, "WnD");
+    EXPECT_EQ(kernels.size(), 2u);
+
+    EXPECT_FALSE(loadTrace("/nonexistent/path.trace", &loaded, &kernels,
+                           &error));
+}
+
+TEST(TraceReplay, MatchesDirectRunOnCpu)
+{
+    Characterizer characterizer(testOptions(), 42);
+    const Platform bdw = makeCpuPlatform(broadwellConfig());
+
+    const RunResult direct =
+        characterizer.run(ModelId::kRM1, bdw, 16);
+    const RecordedTrace trace =
+        recordTrace(characterizer, ModelId::kRM1, 16);
+    const RunResult replayed = replayTrace(trace, bdw, 42);
+
+    EXPECT_DOUBLE_EQ(replayed.seconds, direct.seconds);
+    EXPECT_EQ(replayed.counters.uopsRetired,
+              direct.counters.uopsRetired);
+    EXPECT_EQ(replayed.counters.branchMispredicts,
+              direct.counters.branchMispredicts);
+}
+
+TEST(TraceReplay, MatchesDirectRunOnGpu)
+{
+    Characterizer characterizer(testOptions(), 42);
+    const Platform t4 = makeGpuPlatform(t4Config());
+
+    const RunResult direct = characterizer.run(ModelId::kWnD, t4, 64);
+    const RecordedTrace trace =
+        recordTrace(characterizer, ModelId::kWnD, 64);
+    const RunResult replayed = replayTrace(trace, t4, 42);
+
+    EXPECT_DOUBLE_EQ(replayed.seconds, direct.seconds);
+    EXPECT_DOUBLE_EQ(replayed.gpu.transferSeconds,
+                     direct.gpu.transferSeconds);
+}
+
+TEST(TraceReplay, SurvivesSerializationRoundTrip)
+{
+    Characterizer characterizer(testOptions(), 42);
+    const Platform clx = makeCpuPlatform(cascadeLakeConfig());
+    const RecordedTrace trace =
+        recordTrace(characterizer, ModelId::kRM2, 16);
+
+    std::stringstream buffer;
+    writeTrace(buffer, trace.meta, trace.kernels);
+    RecordedTrace loaded;
+    std::string error;
+    ASSERT_TRUE(readTrace(buffer, &loaded.meta, &loaded.kernels, &error))
+        << error;
+
+    const RunResult a = replayTrace(trace, clx, 7);
+    const RunResult b = replayTrace(loaded, clx, 7);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.counters.icacheMisses, b.counters.icacheMisses);
+}
+
+TEST(TraceReplay, FileHelperPanicsOnGarbage)
+{
+    const Platform bdw = makeCpuPlatform(broadwellConfig());
+    EXPECT_DEATH(replayTraceFile("/nonexistent.trace", bdw),
+                 "cannot replay");
+}
+
+}  // namespace
+}  // namespace recstack

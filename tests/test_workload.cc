@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the BatchGenerator input synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/batch_generator.h"
+
+namespace recstack {
+namespace {
+
+WorkloadSpec
+demoSpec()
+{
+    WorkloadSpec spec;
+    spec.categorical.push_back({"idx0", "len0", 1000, 5, 0.0});
+    spec.categorical.push_back({"idx1", "len1", 200, 2, 0.9});
+    spec.continuous.push_back({"dense", 13});
+    return spec;
+}
+
+TEST(BatchGenerator, MaterializeShapesAndTypes)
+{
+    Workspace ws;
+    BatchGenerator gen(demoSpec());
+    gen.materialize(ws, 8);
+
+    EXPECT_EQ(ws.get("idx0").shape(), (std::vector<int64_t>{40}));
+    EXPECT_EQ(ws.get("idx0").dtype(), DType::kInt64);
+    EXPECT_EQ(ws.get("len0").shape(), (std::vector<int64_t>{8}));
+    EXPECT_EQ(ws.get("len0").dtype(), DType::kInt32);
+    EXPECT_EQ(ws.get("idx1").numel(), 16);
+    EXPECT_EQ(ws.get("dense").shape(), (std::vector<int64_t>{8, 13}));
+}
+
+TEST(BatchGenerator, IndicesInTableRange)
+{
+    Workspace ws;
+    BatchGenerator gen(demoSpec());
+    gen.materialize(ws, 64);
+    const int64_t* idx = ws.get("idx0").data<int64_t>();
+    for (int64_t i = 0; i < ws.get("idx0").numel(); ++i) {
+        ASSERT_GE(idx[i], 0);
+        ASSERT_LT(idx[i], 1000);
+    }
+    const int64_t* idx1 = ws.get("idx1").data<int64_t>();
+    for (int64_t i = 0; i < ws.get("idx1").numel(); ++i) {
+        ASSERT_LT(idx1[i], 200);
+    }
+}
+
+TEST(BatchGenerator, LengthsMatchLookups)
+{
+    Workspace ws;
+    BatchGenerator gen(demoSpec());
+    gen.materialize(ws, 4);
+    const int32_t* len = ws.get("len0").data<int32_t>();
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(len[i], 5);
+    }
+}
+
+TEST(BatchGenerator, DeterministicPerSeedAndBatch)
+{
+    Workspace a, b;
+    BatchGenerator g1(demoSpec(), 99), g2(demoSpec(), 99);
+    g1.materialize(a, 16);
+    g2.materialize(b, 16);
+    const int64_t* ia = a.get("idx0").data<int64_t>();
+    const int64_t* ib = b.get("idx0").data<int64_t>();
+    for (int64_t i = 0; i < a.get("idx0").numel(); ++i) {
+        ASSERT_EQ(ia[i], ib[i]);
+    }
+}
+
+TEST(BatchGenerator, ZipfSkewConcentratesIndices)
+{
+    WorkloadSpec skew;
+    skew.categorical.push_back({"idx", "len", 100000, 50, 1.1});
+    Workspace ws;
+    BatchGenerator gen(skew);
+    gen.materialize(ws, 64);
+    const int64_t* idx = ws.get("idx").data<int64_t>();
+    int head = 0;
+    const int64_t n = ws.get("idx").numel();
+    for (int64_t i = 0; i < n; ++i) {
+        head += idx[i] < 1000;
+    }
+    // Strong skew: far more than the uniform 1% expectation.
+    EXPECT_GT(head, n / 20);
+}
+
+TEST(BatchGenerator, DeclareCreatesShapeOnly)
+{
+    Workspace ws;
+    BatchGenerator gen(demoSpec());
+    gen.declare(ws, 1024);
+    EXPECT_FALSE(ws.get("idx0").materialized());
+    EXPECT_EQ(ws.get("idx0").numel(), 5120);
+    EXPECT_FALSE(ws.get("dense").materialized());
+}
+
+TEST(BatchGenerator, InputBytesScaleWithBatch)
+{
+    BatchGenerator gen(demoSpec());
+    const uint64_t b1 = gen.inputBytes(1);
+    const uint64_t b64 = gen.inputBytes(64);
+    EXPECT_EQ(b64, 64 * b1);
+    // 5*8 + 4 + 2*8 + 4 + 13*4 = 116 bytes per sample.
+    EXPECT_EQ(b1, 116u);
+}
+
+TEST(BatchGenerator, DataLoadProfileScalesWithBatch)
+{
+    BatchGenerator gen(demoSpec());
+    const KernelProfile small = gen.dataLoadProfile(4);
+    const KernelProfile large = gen.dataLoadProfile(4096);
+    EXPECT_EQ(small.opType, "DataLoad");
+    EXPECT_GT(large.vecElemOps, small.vecElemOps * 500);
+    EXPECT_GT(large.bytesRead(), small.bytesRead());
+    EXPECT_GT(large.totalBranches(), small.totalBranches());
+}
+
+TEST(BatchGenerator, RejectsNonPositiveBatch)
+{
+    Workspace ws;
+    BatchGenerator gen(demoSpec());
+    EXPECT_DEATH(gen.materialize(ws, 0), "positive");
+}
+
+/** Batch-size sweep property: everything stays consistent. */
+class BatchSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(BatchSweep, MaterializeAndDeclareAgreeOnShapes)
+{
+    const int64_t batch = GetParam();
+    Workspace real, shape;
+    BatchGenerator gen(demoSpec());
+    gen.materialize(real, batch);
+    gen.declare(shape, batch);
+    for (const auto& name : {"idx0", "len0", "idx1", "len1", "dense"}) {
+        EXPECT_EQ(real.get(name).shape(), shape.get(name).shape())
+            << name;
+        EXPECT_EQ(real.get(name).dtype(), shape.get(name).dtype())
+            << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep,
+                         ::testing::Values(1, 2, 7, 64, 513, 4096));
+
+}  // namespace
+}  // namespace recstack

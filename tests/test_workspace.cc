@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the Workspace blob store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ops/workspace.h"
+
+namespace recstack {
+namespace {
+
+TEST(Workspace, SetAndGet)
+{
+    Workspace ws;
+    ws.set("a", Tensor::fromFloats({2}, {1, 2}));
+    EXPECT_TRUE(ws.has("a"));
+    EXPECT_FLOAT_EQ(ws.get("a").data<float>()[1], 2.0f);
+    EXPECT_FALSE(ws.has("b"));
+}
+
+TEST(Workspace, GetMissingPanics)
+{
+    Workspace ws;
+    EXPECT_DEATH(ws.get("nope"), "no blob");
+}
+
+TEST(Workspace, SetReplaces)
+{
+    Workspace ws;
+    ws.set("x", Tensor({2}));
+    ws.set("x", Tensor({5}));
+    EXPECT_EQ(ws.get("x").numel(), 5);
+    EXPECT_EQ(ws.size(), 1u);
+}
+
+TEST(Workspace, EnsureReusesMatchingShape)
+{
+    Workspace ws;
+    Tensor& first = ws.ensure("y", {3, 3});
+    first.data<float>()[0] = 7.0f;
+    Tensor& again = ws.ensure("y", {3, 3});
+    EXPECT_FLOAT_EQ(again.data<float>()[0], 7.0f);  // not reallocated
+    Tensor& resized = ws.ensure("y", {4, 4});
+    EXPECT_EQ(resized.numel(), 16);
+    EXPECT_FLOAT_EQ(resized.data<float>()[0], 0.0f);  // fresh
+}
+
+TEST(Workspace, EnsureRespectsDType)
+{
+    Workspace ws;
+    ws.ensure("idx", {4}, DType::kInt64);
+    EXPECT_EQ(ws.get("idx").dtype(), DType::kInt64);
+    ws.ensure("idx", {4}, DType::kFloat32);
+    EXPECT_EQ(ws.get("idx").dtype(), DType::kFloat32);
+}
+
+TEST(Workspace, ShapeOnlyMode)
+{
+    Workspace ws;
+    ws.setShapeOnly(true);
+    Tensor& t = ws.ensure("big", {100000, 1000});
+    EXPECT_FALSE(t.materialized());
+    EXPECT_EQ(t.byteSize(), 400000000u);
+}
+
+TEST(Workspace, ShapeOnlyModeReusesShapeOnlyBlob)
+{
+    Workspace ws;
+    ws.setShapeOnly(true);
+    ws.ensure("b", {8});
+    const Tensor* before = &ws.get("b");
+    ws.ensure("b", {8});
+    EXPECT_EQ(before, &ws.get("b"));
+}
+
+TEST(Workspace, MaterializedModeUpgradesShapeOnlyBlob)
+{
+    Workspace ws;
+    ws.setShapeOnly(true);
+    ws.ensure("b", {8});
+    EXPECT_FALSE(ws.get("b").materialized());
+    ws.setShapeOnly(false);
+    ws.ensure("b", {8});
+    EXPECT_TRUE(ws.get("b").materialized());
+}
+
+TEST(Workspace, RemoveAndNames)
+{
+    Workspace ws;
+    ws.set("a", Tensor({1}));
+    ws.set("b", Tensor({1}));
+    ws.remove("a");
+    EXPECT_FALSE(ws.has("a"));
+    const auto names = ws.names();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "b");
+    ws.remove("not-there");  // no-op
+}
+
+TEST(Workspace, TotalBytes)
+{
+    Workspace ws;
+    ws.set("a", Tensor({10}));                  // 40 bytes
+    ws.set("b", Tensor({2}, DType::kInt64));    // 16 bytes
+    EXPECT_EQ(ws.totalBytes(), 56u);
+}
+
+}  // namespace
+}  // namespace recstack

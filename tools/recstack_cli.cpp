@@ -1,0 +1,397 @@
+/**
+ * @file
+ * recstack — command-line front end to the characterization stack.
+ *
+ *   recstack models
+ *   recstack platforms
+ *   recstack run <MODEL> <BATCH> [platform-substring]
+ *   recstack sweep <MODEL|all> [--csv]
+ *   recstack topdown <MODEL> <BATCH> <bdw|clx>
+ *   recstack schedule <MODEL> <SLA_MS>
+ *   recstack record <MODEL> <BATCH> <FILE>
+ *   recstack replay <FILE> [platform-substring]
+ *   recstack custom <CONFIG> <BATCH>
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+#include "core/trace_runner.h"
+#include "graph/executor.h"
+#include "models/custom.h"
+#include "report/chart.h"
+#include "report/csv.h"
+#include "report/table.h"
+#include "sched/query_scheduler.h"
+
+using namespace recstack;
+
+namespace {
+
+int
+usage()
+{
+    std::printf(
+        "recstack — cross-stack recommendation-inference characterizer\n"
+        "\n"
+        "  recstack models                          Table I summary\n"
+        "  recstack platforms                       Table II summary\n"
+        "  recstack run <MODEL> <BATCH> [PLATFORM]  one characterization\n"
+        "  recstack sweep <MODEL|all> [--csv]       model x platform x "
+        "batch grid\n"
+        "  recstack topdown <MODEL> <BATCH> <bdw|clx>  TopDown drill-"
+        "down\n"
+        "  recstack schedule <MODEL> <SLA_MS>       SLA-aware routing\n"
+        "  recstack record <MODEL> <BATCH> <FILE>   capture a kernel "
+        "trace\n"
+        "  recstack replay <FILE> [PLATFORM]        re-simulate a "
+        "trace\n"
+        "  recstack custom <CONFIG> <BATCH>         characterize a "
+        "user-defined model\n");
+    return 2;
+}
+
+int
+cmdModels()
+{
+    Characterizer c;
+    TextTable table({"model", "domain", "tables", "lookups/table",
+                     "ops", "insight"});
+    for (ModelId id : allModels()) {
+        const Model& m = c.model(id);
+        table.addRow({m.name, modelDomain(id),
+                      std::to_string(m.features.numTables),
+                      TextTable::fmt(m.features.lookupsPerTable, 0),
+                      std::to_string(m.net.opCount()),
+                      modelInsight(id)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdPlatforms()
+{
+    TextTable table({"platform", "kind", "key parameters"});
+    for (const Platform& p : allPlatforms()) {
+        if (p.kind == PlatformKind::kCpu) {
+            table.addRow(
+                {p.name(), "CPU",
+                 TextTable::fmt(p.cpu.freqGHz, 1) + " GHz, " +
+                     std::to_string(p.cpu.simdBits) + "b SIMD, L3 " +
+                     std::to_string(p.cpu.l3.sizeBytes >> 20) + " MB (" +
+                     (p.cpu.l3Policy == InclusionPolicy::kInclusive
+                          ? "inclusive"
+                          : "exclusive") +
+                     "), " + TextTable::fmt(p.cpu.dramGBs, 0) +
+                     " GB/s DRAM"});
+        } else {
+            table.addRow(
+                {p.name(), "GPU",
+                 std::to_string(p.gpu.smCount) + " SMs, " +
+                     TextTable::fmt(p.gpu.effTflops, 2) +
+                     " TF sustained, " +
+                     TextTable::fmt(p.gpu.memGBs, 0) + " GB/s"});
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdRun(const std::string& model, int64_t batch,
+       const std::string& platform_filter)
+{
+    const ModelId id = modelFromName(model);
+    Characterizer c;
+    TextTable table({"platform", "latency", "dominant op", "detail"});
+    for (const Platform& p : allPlatforms()) {
+        if (!platform_filter.empty() &&
+            p.name().find(platform_filter) == std::string::npos) {
+            continue;
+        }
+        const RunResult r = c.run(id, p, batch);
+        std::string detail;
+        if (r.kind == PlatformKind::kCpu) {
+            detail = "retire " +
+                     TextTable::fmtPercent(r.topdown.l1.retiring) +
+                     ", backend " +
+                     TextTable::fmtPercent(r.topdown.l1.backendBound) +
+                     ", IPC " + TextTable::fmt(r.topdown.ipc, 2);
+        } else {
+            detail = "data-comm " +
+                     TextTable::fmtPercent(r.gpu.dataCommFraction());
+        }
+        table.addRow({p.name(), TextTable::fmtSeconds(r.seconds),
+                      r.breakdown.dominantType(), detail});
+    }
+    if (table.rows() == 0) {
+        std::printf("no platform matches '%s'\n",
+                    platform_filter.c_str());
+        return 1;
+    }
+    std::printf("%s batch %lld:\n%s", modelName(id),
+                static_cast<long long>(batch), table.render().c_str());
+    return 0;
+}
+
+int
+cmdSweep(const std::string& which, bool csv)
+{
+    SweepCache sweep(allPlatforms());
+    std::vector<ModelId> models;
+    if (which == "all") {
+        models = allModels();
+    } else {
+        models.push_back(modelFromName(which));
+    }
+
+    if (csv) {
+        CsvWriter writer(&std::cout);
+        writer.header({"model", "platform", "batch", "seconds",
+                       "speedup_vs_bdw", "dominant_op"});
+        for (ModelId id : models) {
+            for (size_t p = 0; p < sweep.platforms().size(); ++p) {
+                for (int64_t b : paperBatchSizes()) {
+                    const RunResult& r = sweep.get(id, p, b);
+                    writer.row({modelName(id),
+                                sweep.platforms()[p].name(),
+                                std::to_string(b),
+                                TextTable::fmt(r.seconds, 9),
+                                TextTable::fmt(
+                                    sweep.speedupOverBaseline(id, p, b),
+                                    3),
+                                r.breakdown.dominantType()});
+                }
+            }
+        }
+        return 0;
+    }
+
+    for (ModelId id : models) {
+        std::printf("\n--- %s ---\n", modelName(id));
+        TextTable table({"batch", "BDW", "CLX", "1080Ti", "T4"});
+        for (int64_t b : paperBatchSizes()) {
+            table.addRow(
+                {std::to_string(b),
+                 TextTable::fmtSeconds(sweep.get(id, 0, b).seconds),
+                 TextTable::fmtSpeedup(
+                     sweep.speedupOverBaseline(id, 1, b)),
+                 TextTable::fmtSpeedup(
+                     sweep.speedupOverBaseline(id, 2, b)),
+                 TextTable::fmtSpeedup(
+                     sweep.speedupOverBaseline(id, 3, b))});
+        }
+        std::printf("%s", table.render().c_str());
+    }
+    return 0;
+}
+
+int
+cmdTopdown(const std::string& model, int64_t batch,
+           const std::string& uarch)
+{
+    const Platform platform =
+        uarch == "clx" ? makeCpuPlatform(cascadeLakeConfig())
+                       : makeCpuPlatform(broadwellConfig());
+    Characterizer c;
+    const RunResult r = c.run(modelFromName(model), platform, batch);
+    const TopDownL1& l1 = r.topdown.l1;
+    std::printf("%s batch %lld on %s (%s):\n\n", model.c_str(),
+                static_cast<long long>(batch), platform.name().c_str(),
+                TextTable::fmtSeconds(r.seconds).c_str());
+    std::printf("%s",
+                stackedBar("TopDown L1",
+                           {{"retire", l1.retiring},
+                            {"badspec", l1.badSpeculation},
+                            {"frontend", l1.frontendBound},
+                            {"backend", l1.backendBound}})
+                    .c_str());
+    std::printf(
+        "\nL2: feLat %.1f%%  feDSB %.1f%%  feMITE %.1f%%  beCore %.1f%%"
+        "  beMem %.1f%% (L2 %.1f%% / L3 %.1f%% / DRAM %.1f%%)\n"
+        "IPC %.2f   AVX %.1f%%   i-MPKI %.2f   mispredicts/kuop %.2f\n",
+        100 * r.topdown.l2.feLatency, 100 * r.topdown.l2.feBandwidthDsb,
+        100 * r.topdown.l2.feBandwidthMite, 100 * r.topdown.l2.beCore,
+        100 * r.topdown.l2.beMemory, 100 * r.topdown.l2.memL2,
+        100 * r.topdown.l2.memL3,
+        100 * (r.topdown.l2.memDramLatency +
+               r.topdown.l2.memDramBandwidth),
+        r.topdown.ipc, 100 * r.topdown.avxFraction, r.topdown.imspki,
+        r.topdown.mispredictsPerKuop);
+
+    std::printf("\noperator breakdown:\n");
+    std::vector<ChartItem> items;
+    for (const auto& [type, frac] : r.breakdown.fractions()) {
+        if (frac >= 0.02) {
+            items.push_back({type, frac * 100.0});
+        }
+    }
+    std::printf("%s", barChart(items, 40, "%").c_str());
+    return 0;
+}
+
+int
+cmdSchedule(const std::string& model, double sla_ms)
+{
+    SweepCache sweep(allPlatforms());
+    QueryScheduler sched(&sweep);
+    const ModelId id = modelFromName(model);
+    const ThroughputPoint tp =
+        sched.bestThroughputUnderSla(id, sla_ms * 1e-3);
+    if (!tp.feasible) {
+        std::printf("%s cannot meet a %.2f ms SLA on any platform at "
+                    "any batch size\n",
+                    modelName(id), sla_ms);
+        return 1;
+    }
+    std::printf("%s under a %.2f ms SLA:\n  platform   %s\n  batch     "
+                " %lld\n  latency    %s\n  throughput %.0f samples/s\n",
+                modelName(id), sla_ms,
+                sweep.platforms()[tp.platformIdx].name().c_str(),
+                static_cast<long long>(tp.batch),
+                TextTable::fmtSeconds(tp.latencySeconds).c_str(),
+                tp.samplesPerSecond);
+    return 0;
+}
+
+int
+cmdRecord(const std::string& model, int64_t batch,
+          const std::string& path)
+{
+    Characterizer characterizer;
+    const RecordedTrace trace =
+        recordTrace(characterizer, modelFromName(model), batch);
+    std::string error;
+    if (!saveTrace(path, trace.meta, trace.kernels, &error)) {
+        std::printf("error: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("recorded %zu kernels of %s batch %lld to %s\n",
+                trace.kernels.size(), trace.meta.model.c_str(),
+                static_cast<long long>(batch), path.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const std::string& path, const std::string& platform_filter)
+{
+    RecordedTrace trace;
+    std::string error;
+    if (!loadTrace(path, &trace.meta, &trace.kernels, &error)) {
+        std::printf("error: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("trace: %s batch %lld, %zu kernels\n",
+                trace.meta.model.c_str(),
+                static_cast<long long>(trace.meta.batch),
+                trace.kernels.size());
+    TextTable table({"platform", "latency", "dominant op"});
+    for (const Platform& p : allPlatforms()) {
+        if (!platform_filter.empty() &&
+            p.name().find(platform_filter) == std::string::npos) {
+            continue;
+        }
+        const RunResult r = replayTrace(trace, p);
+        table.addRow({p.name(), TextTable::fmtSeconds(r.seconds),
+                      r.breakdown.dominantType()});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdCustom(const std::string& path, int64_t batch)
+{
+    CustomModelConfig config;
+    std::string error;
+    if (!loadCustomModelConfig(path, &config, &error)) {
+        std::printf("error: %s\n", error.c_str());
+        return 1;
+    }
+    Model model = buildCustomModel(config);
+    std::printf("%s: %d tables, %zu ops, %.1f M parameters\n\n",
+                model.name.c_str(), model.features.numTables,
+                model.net.opCount(),
+                static_cast<double>(model.paramBytes()) / 4e6);
+
+    Workspace ws;
+    ws.setShapeOnly(true);
+    model.declareParams(ws);
+    BatchGenerator gen(model.workload);
+    gen.declare(ws, batch);
+    const NetExecResult exec =
+        Executor::run(model.net, ws, ExecMode::kProfileOnly);
+    std::vector<KernelProfile> profiles;
+    profiles.push_back(gen.dataLoadProfile(batch));
+    for (const auto& rec : exec.records) {
+        profiles.push_back(rec.profile);
+    }
+
+    TextTable table({"platform", "latency", "dominant op", "detail"});
+    for (const Platform& p : allPlatforms()) {
+        const RunResult r = simulateProfiles(
+            profiles, p, ModelId::kCustom, batch, gen.inputBytes(batch),
+            model.workload.categorical.size() * 2 +
+                model.workload.continuous.size());
+        std::string detail;
+        if (r.kind == PlatformKind::kCpu) {
+            detail = "retire " +
+                     TextTable::fmtPercent(r.topdown.l1.retiring) +
+                     ", backend " +
+                     TextTable::fmtPercent(r.topdown.l1.backendBound);
+        } else {
+            detail = "data-comm " +
+                     TextTable::fmtPercent(r.gpu.dataCommFraction());
+        }
+        table.addRow({p.name(), TextTable::fmtSeconds(r.seconds),
+                      r.breakdown.dominantType(), detail});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "models") {
+        return cmdModels();
+    }
+    if (cmd == "platforms") {
+        return cmdPlatforms();
+    }
+    if (cmd == "run" && argc >= 4) {
+        return cmdRun(argv[2], std::atoll(argv[3]),
+                      argc > 4 ? argv[4] : "");
+    }
+    if (cmd == "sweep" && argc >= 3) {
+        const bool csv = argc > 3 && std::strcmp(argv[3], "--csv") == 0;
+        return cmdSweep(argv[2], csv);
+    }
+    if (cmd == "topdown" && argc >= 5) {
+        return cmdTopdown(argv[2], std::atoll(argv[3]), argv[4]);
+    }
+    if (cmd == "schedule" && argc >= 4) {
+        return cmdSchedule(argv[2], std::atof(argv[3]));
+    }
+    if (cmd == "record" && argc >= 5) {
+        return cmdRecord(argv[2], std::atoll(argv[3]), argv[4]);
+    }
+    if (cmd == "replay" && argc >= 3) {
+        return cmdReplay(argv[2], argc > 3 ? argv[3] : "");
+    }
+    if (cmd == "custom" && argc >= 4) {
+        return cmdCustom(argv[2], std::atoll(argv[3]));
+    }
+    return usage();
+}
