@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_dsb.dir/bench_ablate_dsb.cpp.o"
+  "CMakeFiles/bench_ablate_dsb.dir/bench_ablate_dsb.cpp.o.d"
+  "bench_ablate_dsb"
+  "bench_ablate_dsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_gather.dir/bench_ablate_gather.cpp.o"
+  "CMakeFiles/bench_ablate_gather.dir/bench_ablate_gather.cpp.o.d"
+  "bench_ablate_gather"
+  "bench_ablate_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_gru_fusion.dir/bench_ablate_gru_fusion.cpp.o"
+  "CMakeFiles/bench_ablate_gru_fusion.dir/bench_ablate_gru_fusion.cpp.o.d"
+  "bench_ablate_gru_fusion"
+  "bench_ablate_gru_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_gru_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_inclusion.dir/bench_ablate_inclusion.cpp.o"
+  "CMakeFiles/bench_ablate_inclusion.dir/bench_ablate_inclusion.cpp.o.d"
+  "bench_ablate_inclusion"
+  "bench_ablate_inclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_inclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablate_prefetch.cpp" "bench/CMakeFiles/bench_ablate_prefetch.dir/bench_ablate_prefetch.cpp.o" "gcc" "bench/CMakeFiles/bench_ablate_prefetch.dir/bench_ablate_prefetch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/recstack_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/recstack_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/recstack_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/recstack_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/recstack_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/recstack_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/recstack_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/recstack_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/recstack_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/recstack_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/topdown/CMakeFiles/recstack_topdown.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/recstack_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/recstack_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/recstack_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/recstack_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/recstack_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/recstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

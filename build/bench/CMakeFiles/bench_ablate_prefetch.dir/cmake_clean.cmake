@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_prefetch.dir/bench_ablate_prefetch.cpp.o"
+  "CMakeFiles/bench_ablate_prefetch.dir/bench_ablate_prefetch.cpp.o.d"
+  "bench_ablate_prefetch"
+  "bench_ablate_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_zipf.dir/bench_ablate_zipf.cpp.o"
+  "CMakeFiles/bench_ablate_zipf.dir/bench_ablate_zipf.cpp.o.d"
+  "bench_ablate_zipf"
+  "bench_ablate_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_datacomm.dir/bench_fig04_datacomm.cpp.o"
+  "CMakeFiles/bench_fig04_datacomm.dir/bench_fig04_datacomm.cpp.o.d"
+  "bench_fig04_datacomm"
+  "bench_fig04_datacomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_datacomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_optimal.dir/bench_fig05_optimal.cpp.o"
+  "CMakeFiles/bench_fig05_optimal.dir/bench_fig05_optimal.cpp.o.d"
+  "bench_fig05_optimal"
+  "bench_fig05_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

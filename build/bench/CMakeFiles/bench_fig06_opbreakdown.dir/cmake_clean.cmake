@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_opbreakdown.dir/bench_fig06_opbreakdown.cpp.o"
+  "CMakeFiles/bench_fig06_opbreakdown.dir/bench_fig06_opbreakdown.cpp.o.d"
+  "bench_fig06_opbreakdown"
+  "bench_fig06_opbreakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_opbreakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

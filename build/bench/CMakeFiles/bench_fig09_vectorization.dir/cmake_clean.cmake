@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_vectorization.dir/bench_fig09_vectorization.cpp.o"
+  "CMakeFiles/bench_fig09_vectorization.dir/bench_fig09_vectorization.cpp.o.d"
+  "bench_fig09_vectorization"
+  "bench_fig09_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

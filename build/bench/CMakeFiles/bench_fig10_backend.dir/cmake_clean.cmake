@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_backend.dir/bench_fig10_backend.cpp.o"
+  "CMakeFiles/bench_fig10_backend.dir/bench_fig10_backend.cpp.o.d"
+  "bench_fig10_backend"
+  "bench_fig10_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_instcount.dir/bench_fig11_instcount.cpp.o"
+  "CMakeFiles/bench_fig11_instcount.dir/bench_fig11_instcount.cpp.o.d"
+  "bench_fig11_instcount"
+  "bench_fig11_instcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_instcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_icache.dir/bench_fig12_icache.cpp.o"
+  "CMakeFiles/bench_fig12_icache.dir/bench_fig12_icache.cpp.o.d"
+  "bench_fig12_icache"
+  "bench_fig12_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_drambw.dir/bench_fig14_drambw.cpp.o"
+  "CMakeFiles/bench_fig14_drambw.dir/bench_fig14_drambw.cpp.o.d"
+  "bench_fig14_drambw"
+  "bench_fig14_drambw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_drambw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topdown_deep_dive.dir/topdown_deep_dive.cpp.o"
+  "CMakeFiles/topdown_deep_dive.dir/topdown_deep_dive.cpp.o.d"
+  "topdown_deep_dive"
+  "topdown_deep_dive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topdown_deep_dive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

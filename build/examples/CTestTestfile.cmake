@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "NCF" "8")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_topdown "/root/repo/build/examples/topdown_deep_dive" "RM1" "8" "clx")
+set_tests_properties(example_topdown PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explorer "/root/repo/build/examples/platform_explorer" "NCF")
+set_tests_properties(example_explorer PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scheduler "/root/repo/build/examples/datacenter_scheduler" "NCF" "5" "50")
+set_tests_properties(example_scheduler PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("profile")
+subdirs("ops")
+subdirs("graph")
+subdirs("workload")
+subdirs("models")
+subdirs("framework")
+subdirs("platform")
+subdirs("uarch")
+subdirs("gpu")
+subdirs("topdown")
+subdirs("analysis")
+subdirs("report")
+subdirs("trace")
+subdirs("core")
+subdirs("sched")

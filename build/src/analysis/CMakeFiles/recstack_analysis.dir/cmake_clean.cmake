@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_analysis.dir/linreg.cc.o"
+  "CMakeFiles/recstack_analysis.dir/linreg.cc.o.d"
+  "librecstack_analysis.a"
+  "librecstack_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_common.dir/logging.cc.o"
+  "CMakeFiles/recstack_common.dir/logging.cc.o.d"
+  "CMakeFiles/recstack_common.dir/rng.cc.o"
+  "CMakeFiles/recstack_common.dir/rng.cc.o.d"
+  "CMakeFiles/recstack_common.dir/stats.cc.o"
+  "CMakeFiles/recstack_common.dir/stats.cc.o.d"
+  "librecstack_common.a"
+  "librecstack_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_core.dir/breakdown.cc.o"
+  "CMakeFiles/recstack_core.dir/breakdown.cc.o.d"
+  "CMakeFiles/recstack_core.dir/characterizer.cc.o"
+  "CMakeFiles/recstack_core.dir/characterizer.cc.o.d"
+  "CMakeFiles/recstack_core.dir/regression_study.cc.o"
+  "CMakeFiles/recstack_core.dir/regression_study.cc.o.d"
+  "CMakeFiles/recstack_core.dir/sweep.cc.o"
+  "CMakeFiles/recstack_core.dir/sweep.cc.o.d"
+  "CMakeFiles/recstack_core.dir/trace_runner.cc.o"
+  "CMakeFiles/recstack_core.dir/trace_runner.cc.o.d"
+  "librecstack_core.a"
+  "librecstack_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/framework/frameworks.cc" "src/framework/CMakeFiles/recstack_framework.dir/frameworks.cc.o" "gcc" "src/framework/CMakeFiles/recstack_framework.dir/frameworks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/recstack_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/recstack_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/recstack_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/recstack_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/recstack_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/recstack_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/recstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

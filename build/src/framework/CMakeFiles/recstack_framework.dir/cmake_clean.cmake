@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_framework.dir/frameworks.cc.o"
+  "CMakeFiles/recstack_framework.dir/frameworks.cc.o.d"
+  "librecstack_framework.a"
+  "librecstack_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

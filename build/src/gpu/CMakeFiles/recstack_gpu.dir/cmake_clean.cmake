@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_gpu.dir/gpu_model.cc.o"
+  "CMakeFiles/recstack_gpu.dir/gpu_model.cc.o.d"
+  "librecstack_gpu.a"
+  "librecstack_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_graph.dir/executor.cc.o"
+  "CMakeFiles/recstack_graph.dir/executor.cc.o.d"
+  "CMakeFiles/recstack_graph.dir/net.cc.o"
+  "CMakeFiles/recstack_graph.dir/net.cc.o.d"
+  "librecstack_graph.a"
+  "librecstack_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_models.dir/builder_util.cc.o"
+  "CMakeFiles/recstack_models.dir/builder_util.cc.o.d"
+  "CMakeFiles/recstack_models.dir/builders_attention.cc.o"
+  "CMakeFiles/recstack_models.dir/builders_attention.cc.o.d"
+  "CMakeFiles/recstack_models.dir/builders_dlrm.cc.o"
+  "CMakeFiles/recstack_models.dir/builders_dlrm.cc.o.d"
+  "CMakeFiles/recstack_models.dir/builders_ncf_wnd.cc.o"
+  "CMakeFiles/recstack_models.dir/builders_ncf_wnd.cc.o.d"
+  "CMakeFiles/recstack_models.dir/custom.cc.o"
+  "CMakeFiles/recstack_models.dir/custom.cc.o.d"
+  "CMakeFiles/recstack_models.dir/model.cc.o"
+  "CMakeFiles/recstack_models.dir/model.cc.o.d"
+  "librecstack_models.a"
+  "librecstack_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

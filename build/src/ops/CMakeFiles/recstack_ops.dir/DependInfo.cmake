@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/concat.cc" "src/ops/CMakeFiles/recstack_ops.dir/concat.cc.o" "gcc" "src/ops/CMakeFiles/recstack_ops.dir/concat.cc.o.d"
+  "/root/repo/src/ops/elementwise.cc" "src/ops/CMakeFiles/recstack_ops.dir/elementwise.cc.o" "gcc" "src/ops/CMakeFiles/recstack_ops.dir/elementwise.cc.o.d"
+  "/root/repo/src/ops/embedding.cc" "src/ops/CMakeFiles/recstack_ops.dir/embedding.cc.o" "gcc" "src/ops/CMakeFiles/recstack_ops.dir/embedding.cc.o.d"
+  "/root/repo/src/ops/fc.cc" "src/ops/CMakeFiles/recstack_ops.dir/fc.cc.o" "gcc" "src/ops/CMakeFiles/recstack_ops.dir/fc.cc.o.d"
+  "/root/repo/src/ops/gru.cc" "src/ops/CMakeFiles/recstack_ops.dir/gru.cc.o" "gcc" "src/ops/CMakeFiles/recstack_ops.dir/gru.cc.o.d"
+  "/root/repo/src/ops/matmul.cc" "src/ops/CMakeFiles/recstack_ops.dir/matmul.cc.o" "gcc" "src/ops/CMakeFiles/recstack_ops.dir/matmul.cc.o.d"
+  "/root/repo/src/ops/operator.cc" "src/ops/CMakeFiles/recstack_ops.dir/operator.cc.o" "gcc" "src/ops/CMakeFiles/recstack_ops.dir/operator.cc.o.d"
+  "/root/repo/src/ops/reshape.cc" "src/ops/CMakeFiles/recstack_ops.dir/reshape.cc.o" "gcc" "src/ops/CMakeFiles/recstack_ops.dir/reshape.cc.o.d"
+  "/root/repo/src/ops/workspace.cc" "src/ops/CMakeFiles/recstack_ops.dir/workspace.cc.o" "gcc" "src/ops/CMakeFiles/recstack_ops.dir/workspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/recstack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/recstack_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/recstack_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_ops.dir/concat.cc.o"
+  "CMakeFiles/recstack_ops.dir/concat.cc.o.d"
+  "CMakeFiles/recstack_ops.dir/elementwise.cc.o"
+  "CMakeFiles/recstack_ops.dir/elementwise.cc.o.d"
+  "CMakeFiles/recstack_ops.dir/embedding.cc.o"
+  "CMakeFiles/recstack_ops.dir/embedding.cc.o.d"
+  "CMakeFiles/recstack_ops.dir/fc.cc.o"
+  "CMakeFiles/recstack_ops.dir/fc.cc.o.d"
+  "CMakeFiles/recstack_ops.dir/gru.cc.o"
+  "CMakeFiles/recstack_ops.dir/gru.cc.o.d"
+  "CMakeFiles/recstack_ops.dir/matmul.cc.o"
+  "CMakeFiles/recstack_ops.dir/matmul.cc.o.d"
+  "CMakeFiles/recstack_ops.dir/operator.cc.o"
+  "CMakeFiles/recstack_ops.dir/operator.cc.o.d"
+  "CMakeFiles/recstack_ops.dir/reshape.cc.o"
+  "CMakeFiles/recstack_ops.dir/reshape.cc.o.d"
+  "CMakeFiles/recstack_ops.dir/workspace.cc.o"
+  "CMakeFiles/recstack_ops.dir/workspace.cc.o.d"
+  "librecstack_ops.a"
+  "librecstack_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_platform.dir/platform.cc.o"
+  "CMakeFiles/recstack_platform.dir/platform.cc.o.d"
+  "librecstack_platform.a"
+  "librecstack_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_profile.dir/kernel_profile.cc.o"
+  "CMakeFiles/recstack_profile.dir/kernel_profile.cc.o.d"
+  "librecstack_profile.a"
+  "librecstack_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

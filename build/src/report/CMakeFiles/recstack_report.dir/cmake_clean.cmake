@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_report.dir/chart.cc.o"
+  "CMakeFiles/recstack_report.dir/chart.cc.o.d"
+  "CMakeFiles/recstack_report.dir/csv.cc.o"
+  "CMakeFiles/recstack_report.dir/csv.cc.o.d"
+  "CMakeFiles/recstack_report.dir/table.cc.o"
+  "CMakeFiles/recstack_report.dir/table.cc.o.d"
+  "librecstack_report.a"
+  "librecstack_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

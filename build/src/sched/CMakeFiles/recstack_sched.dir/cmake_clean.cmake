@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_sched.dir/query_scheduler.cc.o"
+  "CMakeFiles/recstack_sched.dir/query_scheduler.cc.o.d"
+  "CMakeFiles/recstack_sched.dir/serving_sim.cc.o"
+  "CMakeFiles/recstack_sched.dir/serving_sim.cc.o.d"
+  "librecstack_sched.a"
+  "librecstack_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_tensor.dir/tensor.cc.o"
+  "CMakeFiles/recstack_tensor.dir/tensor.cc.o.d"
+  "librecstack_tensor.a"
+  "librecstack_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topdown/topdown.cc" "src/topdown/CMakeFiles/recstack_topdown.dir/topdown.cc.o" "gcc" "src/topdown/CMakeFiles/recstack_topdown.dir/topdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/recstack_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/recstack_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/recstack_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/recstack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_topdown.dir/topdown.cc.o"
+  "CMakeFiles/recstack_topdown.dir/topdown.cc.o.d"
+  "librecstack_topdown.a"
+  "librecstack_topdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

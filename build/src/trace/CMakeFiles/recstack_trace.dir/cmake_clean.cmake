@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_trace.dir/trace.cc.o"
+  "CMakeFiles/recstack_trace.dir/trace.cc.o.d"
+  "librecstack_trace.a"
+  "librecstack_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librecstack_trace.a"
+)

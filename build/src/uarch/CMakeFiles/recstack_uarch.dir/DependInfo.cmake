@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cc" "src/uarch/CMakeFiles/recstack_uarch.dir/branch_predictor.cc.o" "gcc" "src/uarch/CMakeFiles/recstack_uarch.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/recstack_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/recstack_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/cache_hierarchy.cc" "src/uarch/CMakeFiles/recstack_uarch.dir/cache_hierarchy.cc.o" "gcc" "src/uarch/CMakeFiles/recstack_uarch.dir/cache_hierarchy.cc.o.d"
+  "/root/repo/src/uarch/counters.cc" "src/uarch/CMakeFiles/recstack_uarch.dir/counters.cc.o" "gcc" "src/uarch/CMakeFiles/recstack_uarch.dir/counters.cc.o.d"
+  "/root/repo/src/uarch/cpu_model.cc" "src/uarch/CMakeFiles/recstack_uarch.dir/cpu_model.cc.o" "gcc" "src/uarch/CMakeFiles/recstack_uarch.dir/cpu_model.cc.o.d"
+  "/root/repo/src/uarch/decoder.cc" "src/uarch/CMakeFiles/recstack_uarch.dir/decoder.cc.o" "gcc" "src/uarch/CMakeFiles/recstack_uarch.dir/decoder.cc.o.d"
+  "/root/repo/src/uarch/dram.cc" "src/uarch/CMakeFiles/recstack_uarch.dir/dram.cc.o" "gcc" "src/uarch/CMakeFiles/recstack_uarch.dir/dram.cc.o.d"
+  "/root/repo/src/uarch/exec_ports.cc" "src/uarch/CMakeFiles/recstack_uarch.dir/exec_ports.cc.o" "gcc" "src/uarch/CMakeFiles/recstack_uarch.dir/exec_ports.cc.o.d"
+  "/root/repo/src/uarch/multicore.cc" "src/uarch/CMakeFiles/recstack_uarch.dir/multicore.cc.o" "gcc" "src/uarch/CMakeFiles/recstack_uarch.dir/multicore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/recstack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/recstack_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/recstack_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

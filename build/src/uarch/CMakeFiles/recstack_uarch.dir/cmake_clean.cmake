@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_uarch.dir/branch_predictor.cc.o"
+  "CMakeFiles/recstack_uarch.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/recstack_uarch.dir/cache.cc.o"
+  "CMakeFiles/recstack_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/recstack_uarch.dir/cache_hierarchy.cc.o"
+  "CMakeFiles/recstack_uarch.dir/cache_hierarchy.cc.o.d"
+  "CMakeFiles/recstack_uarch.dir/counters.cc.o"
+  "CMakeFiles/recstack_uarch.dir/counters.cc.o.d"
+  "CMakeFiles/recstack_uarch.dir/cpu_model.cc.o"
+  "CMakeFiles/recstack_uarch.dir/cpu_model.cc.o.d"
+  "CMakeFiles/recstack_uarch.dir/decoder.cc.o"
+  "CMakeFiles/recstack_uarch.dir/decoder.cc.o.d"
+  "CMakeFiles/recstack_uarch.dir/dram.cc.o"
+  "CMakeFiles/recstack_uarch.dir/dram.cc.o.d"
+  "CMakeFiles/recstack_uarch.dir/exec_ports.cc.o"
+  "CMakeFiles/recstack_uarch.dir/exec_ports.cc.o.d"
+  "CMakeFiles/recstack_uarch.dir/multicore.cc.o"
+  "CMakeFiles/recstack_uarch.dir/multicore.cc.o.d"
+  "librecstack_uarch.a"
+  "librecstack_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

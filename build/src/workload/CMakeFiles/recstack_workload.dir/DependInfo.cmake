@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/batch_generator.cc" "src/workload/CMakeFiles/recstack_workload.dir/batch_generator.cc.o" "gcc" "src/workload/CMakeFiles/recstack_workload.dir/batch_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/recstack_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/recstack_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/recstack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/recstack_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_workload.dir/batch_generator.cc.o"
+  "CMakeFiles/recstack_workload.dir/batch_generator.cc.o.d"
+  "librecstack_workload.a"
+  "librecstack_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_characterizer.dir/test_characterizer.cc.o"
+  "CMakeFiles/test_characterizer.dir/test_characterizer.cc.o.d"
+  "test_characterizer"
+  "test_characterizer.pdb"
+  "test_characterizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_characterizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_custom_model.dir/test_custom_model.cc.o"
+  "CMakeFiles/test_custom_model.dir/test_custom_model.cc.o.d"
+  "test_custom_model"
+  "test_custom_model.pdb"
+  "test_custom_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_custom_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embedding_variants.dir/test_embedding_variants.cc.o"
+  "CMakeFiles/test_embedding_variants.dir/test_embedding_variants.cc.o.d"
+  "test_embedding_variants"
+  "test_embedding_variants.pdb"
+  "test_embedding_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embedding_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

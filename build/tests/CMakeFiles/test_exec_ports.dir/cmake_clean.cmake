@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_ports.dir/test_exec_ports.cc.o"
+  "CMakeFiles/test_exec_ports.dir/test_exec_ports.cc.o.d"
+  "test_exec_ports"
+  "test_exec_ports.pdb"
+  "test_exec_ports[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

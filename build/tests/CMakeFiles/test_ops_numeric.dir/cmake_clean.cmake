@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_numeric.dir/test_ops_numeric.cc.o"
+  "CMakeFiles/test_ops_numeric.dir/test_ops_numeric.cc.o.d"
+  "test_ops_numeric"
+  "test_ops_numeric.pdb"
+  "test_ops_numeric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

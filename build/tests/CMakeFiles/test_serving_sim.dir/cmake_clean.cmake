@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serving_sim.dir/test_serving_sim.cc.o"
+  "CMakeFiles/test_serving_sim.dir/test_serving_sim.cc.o.d"
+  "test_serving_sim"
+  "test_serving_sim.pdb"
+  "test_serving_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serving_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topdown.dir/test_topdown.cc.o"
+  "CMakeFiles/test_topdown.dir/test_topdown.cc.o.d"
+  "test_topdown"
+  "test_topdown.pdb"
+  "test_topdown[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recstack_cli.dir/recstack_cli.cpp.o"
+  "CMakeFiles/recstack_cli.dir/recstack_cli.cpp.o.d"
+  "recstack"
+  "recstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recstack_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
