@@ -15,6 +15,7 @@
 
 #include "report/table.h"
 #include "sched/query_scheduler.h"
+#include "serve/serving_engine.h"
 
 using namespace recstack;
 
@@ -90,5 +91,41 @@ main(int argc, char** argv)
         "Reading: tight SLAs force small batches where CPUs win "
         "(Fig. 5 left);\nloose SLAs allow large batches where the "
         "accelerators dominate (Fig. 5 right).\n");
+
+    // Fleet sizing: run the multi-worker serving engine on Broadwell
+    // (platform 0) at ~3x one worker's capacity and watch how far
+    // extra co-located workers actually carry it once shared-L3/DRAM
+    // contention prices in.
+    const size_t cpu_idx = 0;
+    const int64_t fleet_batch = 256;
+    const double cap1 =
+        static_cast<double>(fleet_batch) /
+        sched.latency(id, cpu_idx, fleet_batch);
+    std::printf("\nFleet sizing on %s at %.0f samples/s offered:\n\n",
+                sweep.platforms()[cpu_idx].name().c_str(), 3.0 * cap1);
+    TextTable fleet({"workers", "agg throughput", "p99", "util",
+                     "mean slowdown"});
+    ServingEngine engine(&sched, id, cpu_idx);
+    for (int workers : {1, 2, 4, 8}) {
+        EngineConfig cfg;
+        cfg.numWorkers = workers;
+        cfg.arrivalQps = 3.0 * cap1;
+        cfg.maxBatch = fleet_batch;
+        cfg.maxWaitSeconds = 1e-3;
+        cfg.simSeconds = 0.1;
+        const EngineResult r = engine.run(cfg);
+        fleet.addRow({std::to_string(workers),
+                      TextTable::fmt(r.aggregate.throughputQps, 0) +
+                          " samp/s",
+                      TextTable::fmtSeconds(r.aggregate.p99Latency),
+                      TextTable::fmtPercent(r.aggregate.utilization),
+                      TextTable::fmt(r.meanSlowdown, 2) + "x"});
+    }
+    std::printf("%s\n", fleet.render().c_str());
+    std::printf(
+        "Reading: workers beyond the DRAM-bandwidth knee add little "
+        "throughput\nwhile inflating every worker's latency — "
+        "embedding-dominated models hit\nthe knee first (the paper's "
+        "near-memory-processing motivation).\n");
     return 0;
 }

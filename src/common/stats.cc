@@ -49,6 +49,20 @@ geomean(const std::vector<double>& values)
     return std::exp(logsum / static_cast<double>(values.size()));
 }
 
+double
+percentileOfSorted(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty()) {
+        return 0.0;
+    }
+    RECSTACK_CHECK(p >= 0.0 && p <= 1.0, "quantile must be in [0, 1]");
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 Histogram::Histogram(double lo, double hi, size_t buckets)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
       counts_(buckets, 0.0)

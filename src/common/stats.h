@@ -40,6 +40,14 @@ class RunningStat
 double geomean(const std::vector<double>& values);
 
 /**
+ * Linearly-interpolated p-quantile (p in [0, 1]) of an ascending
+ * sorted sample; 0 on an empty sample. Shared by the serving
+ * simulator and the multi-worker serving engine so both report
+ * identical tail definitions.
+ */
+double percentileOfSorted(const std::vector<double>& sorted, double p);
+
+/**
  * Fixed-width histogram over [lo, hi); out-of-range samples clamp to
  * the edge buckets. Used e.g. for functional-unit-usage distributions.
  */

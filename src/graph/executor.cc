@@ -16,17 +16,19 @@ Executor::run(const NetDef& net, Workspace& ws, ExecMode mode)
     for (const auto& op : net.ops()) {
         op->inferShapes(ws);
         OpExecRecord record;
-        if (mode == ExecMode::kFull) {
+        if (mode != ExecMode::kProfileOnly) {
             const auto start = Clock::now();
             op->run(ws);
             const auto end = Clock::now();
             record.hostSeconds =
                 std::chrono::duration<double>(end - start).count();
         }
-        record.profile = op->profile(ws);
-        if (op->uniqueCodeBytes() > 0) {
-            record.profile.codeRegion = "op:" + op->name();
-            record.profile.codeFootprintBytes = op->uniqueCodeBytes();
+        if (mode != ExecMode::kNumericOnly) {
+            record.profile = op->profile(ws);
+            if (op->uniqueCodeBytes() > 0) {
+                record.profile.codeRegion = "op:" + op->name();
+                record.profile.codeFootprintBytes = op->uniqueCodeBytes();
+            }
         }
         result.records.push_back(std::move(record));
     }

@@ -5,7 +5,7 @@
  * @file
  * Executor: runs a NetDef against a Workspace.
  *
- * Two modes:
+ * Three modes:
  *  - kFull:        shape inference + real numerics + profiles. Used by
  *                  tests and small-batch runs.
  *  - kProfileOnly: shape inference + profiles only. Used by the
@@ -13,6 +13,15 @@
  *                  would dominate wall-clock without affecting any
  *                  reported metric (the platform models consume only
  *                  the profiles).
+ *  - kNumericOnly: shape inference + real numerics, no profile
+ *                  lowering. Used by the serving engine, which runs
+ *                  the same net thousands of times and prices service
+ *                  latency from the characterization grid instead of
+ *                  per-batch profiles.
+ *
+ * Executor::run is stateless and re-entrant: concurrent calls on the
+ * same NetDef are safe as long as each caller brings its own
+ * Workspace (operators keep all execution state in the workspace).
  */
 
 #include <vector>
@@ -22,7 +31,7 @@
 namespace recstack {
 
 /** Execution mode of a net run. */
-enum class ExecMode { kFull, kProfileOnly };
+enum class ExecMode { kFull, kProfileOnly, kNumericOnly };
 
 /** Per-operator record produced by a net run. */
 struct OpExecRecord {

@@ -26,11 +26,20 @@ QueryScheduler::latency(ModelId model, size_t platform_idx, int64_t batch)
         return sweep_->get(model, platform_idx, lo_batch).seconds;
     }
     if (batch >= hi_batch) {
-        // Extrapolate linearly from the last grid segment.
-        const int64_t b0 = batchGrid_[batchGrid_.size() - 2];
-        const double s0 = sweep_->get(model, platform_idx, b0).seconds;
         const double s1 =
             sweep_->get(model, platform_idx, hi_batch).seconds;
+        // Anchor the slope on the last knot strictly below hi_batch;
+        // a 1-point (or degenerate all-equal) grid has no segment to
+        // extrapolate from, so fall back to flat extrapolation.
+        size_t anchor = batchGrid_.size() - 1;
+        while (anchor > 0 && batchGrid_[anchor - 1] == hi_batch) {
+            --anchor;
+        }
+        if (anchor == 0) {
+            return s1;
+        }
+        const int64_t b0 = batchGrid_[anchor - 1];
+        const double s0 = sweep_->get(model, platform_idx, b0).seconds;
         const double slope =
             (s1 - s0) / static_cast<double>(hi_batch - b0);
         return s1 + slope * static_cast<double>(batch - hi_batch);

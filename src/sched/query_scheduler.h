@@ -81,6 +81,9 @@ class QueryScheduler
 
     const std::vector<int64_t>& batchGrid() const { return batchGrid_; }
 
+    /** The underlying characterization grid (not owned). */
+    SweepCache* sweep() const { return sweep_; }
+
   private:
     SweepCache* sweep_;
     std::vector<int64_t> batchGrid_;

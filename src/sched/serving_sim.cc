@@ -5,25 +5,10 @@
 #include <deque>
 #include <vector>
 
-#include "common/rng.h"
+#include "common/stats.h"
+#include "workload/batch_generator.h"
 
 namespace recstack {
-namespace {
-
-double
-percentile(std::vector<double>& sorted, double p)
-{
-    if (sorted.empty()) {
-        return 0.0;
-    }
-    const double idx = p * static_cast<double>(sorted.size() - 1);
-    const size_t lo = static_cast<size_t>(idx);
-    const size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = idx - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
-
-}  // namespace
 
 ServingSimulator::ServingSimulator(QueryScheduler* scheduler,
                                    ModelId model, size_t platform_idx)
@@ -39,14 +24,13 @@ ServingSimulator::simulate(const ServingConfig& config)
     RECSTACK_CHECK(config.maxBatch > 0, "batch cap must be > 0");
     RECSTACK_CHECK(config.simSeconds > 0.0, "duration must be > 0");
 
-    Rng rng(config.seed);
+    PoissonProcess arrivals(config.arrivalQps, config.seed);
     ServingStats stats;
 
     std::deque<double> queue;       // arrival times of waiting samples
     std::vector<double> latencies;  // completed-sample latencies
     double now = 0.0;
-    double next_arrival =
-        -std::log(1.0 - rng.nextDouble()) / config.arrivalQps;
+    double next_arrival = arrivals.next();
     double busy_until = 0.0;
     double busy_time = 0.0;
 
@@ -59,8 +43,7 @@ ServingSimulator::simulate(const ServingConfig& config)
                next_arrival < config.simSeconds) {
             queue.push_back(next_arrival);
             ++stats.samplesArrived;
-            next_arrival +=
-                -std::log(1.0 - rng.nextDouble()) / config.arrivalQps;
+            next_arrival = arrivals.next();
         }
 
         const bool server_free = now >= busy_until;
@@ -109,6 +92,12 @@ ServingSimulator::simulate(const ServingConfig& config)
         now = next_event;
     }
 
+    // The drain loop above hard-stops at 4x the arrival window; under
+    // severe over-saturation samples can still be queued then. They
+    // were counted in samplesArrived but never served — account them
+    // explicitly instead of letting them vanish from the stats.
+    stats.droppedSamples = static_cast<uint64_t>(queue.size());
+
     if (!latencies.empty()) {
         double sum = 0.0;
         for (double lat : latencies) {
@@ -116,15 +105,16 @@ ServingSimulator::simulate(const ServingConfig& config)
         }
         stats.meanLatency = sum / static_cast<double>(latencies.size());
         std::sort(latencies.begin(), latencies.end());
-        stats.p50Latency = percentile(latencies, 0.50);
-        stats.p95Latency = percentile(latencies, 0.95);
-        stats.p99Latency = percentile(latencies, 0.99);
+        stats.p50Latency = percentileOfSorted(latencies, 0.50);
+        stats.p95Latency = percentileOfSorted(latencies, 0.95);
+        stats.p99Latency = percentileOfSorted(latencies, 0.99);
     }
     if (stats.batchesServed > 0) {
         stats.meanBatch /= static_cast<double>(stats.batchesServed);
     }
     const double horizon = std::max(now, config.simSeconds);
     stats.utilization = std::min(1.0, busy_time / horizon);
+    stats.offeredLoad = busy_time / config.simSeconds;
     stats.throughputQps =
         static_cast<double>(stats.samplesServed) / horizon;
     return stats;

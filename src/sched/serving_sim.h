@@ -31,10 +31,14 @@ struct ServingConfig {
     uint64_t seed = 42;
 };
 
-/** Measured behaviour of the simulated server. */
+/** Measured behaviour of a simulated or threaded serving engine. */
 struct ServingStats {
     uint64_t samplesArrived = 0;
     uint64_t samplesServed = 0;
+    /// Samples still queued when the simulation's drain cutoff fired;
+    /// they arrived but never got latency/throughput credit. Nonzero
+    /// only for over-saturated configurations.
+    uint64_t droppedSamples = 0;
     uint64_t batchesServed = 0;
     double meanLatency = 0.0;   ///< arrival -> completion, seconds
     double p50Latency = 0.0;
@@ -42,6 +46,10 @@ struct ServingStats {
     double p99Latency = 0.0;
     double meanBatch = 0.0;
     double utilization = 0.0;   ///< fraction of time the engine is busy
+    /// Demanded service time over the arrival window (busy seconds /
+    /// simSeconds), *unclamped*: values above 1 expose over-saturated
+    /// configurations that the clamped utilization hides.
+    double offeredLoad = 0.0;
     double throughputQps = 0.0; ///< served samples / simulated time
 };
 

@@ -1,0 +1,138 @@
+#include "serve/batch_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace recstack {
+
+BatchQueue::BatchQueue(const Config& cfg)
+    : cfg_(cfg), process_(cfg.arrivalQps, cfg.seed)
+{
+    RECSTACK_CHECK(cfg_.maxBatch > 0, "batch cap must be > 0");
+    RECSTACK_CHECK(cfg_.horizonSeconds > 0.0, "horizon must be > 0");
+    RECSTACK_CHECK(cfg_.numWorkers >= 1, "need at least one worker");
+    readyTime_.assign(static_cast<size_t>(cfg_.numWorkers), 0.0);
+    active_.assign(static_cast<size_t>(cfg_.numWorkers), true);
+    nextArrival_ = process_.next();
+    exhausted_ = nextArrival_ >= cfg_.horizonSeconds;
+}
+
+bool
+BatchQueue::isTurn(int wid) const
+{
+    const size_t w = static_cast<size_t>(wid);
+    for (size_t v = 0; v < readyTime_.size(); ++v) {
+        if (v == w || !active_[v]) {
+            continue;
+        }
+        if (readyTime_[v] < readyTime_[w] ||
+            (readyTime_[v] == readyTime_[w] && v < w)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+BatchQueue::admitOne()
+{
+    pending_.push_back(nextArrival_);
+    ++arrived_;
+    nextArrival_ = process_.next();
+    exhausted_ = nextArrival_ >= cfg_.horizonSeconds;
+}
+
+void
+BatchQueue::admitUpTo(double t)
+{
+    while (!exhausted_ && nextArrival_ <= t) {
+        admitOne();
+    }
+}
+
+bool
+BatchQueue::acquire(int wid, const ServiceFn& service, BatchTicket* ticket,
+                    double* completion, int* busy_at_launch)
+{
+    RECSTACK_CHECK(wid >= 0 && wid < cfg_.numWorkers,
+                   "worker id out of range");
+    std::unique_lock<std::mutex> lock(mu_);
+    RECSTACK_CHECK(active_[static_cast<size_t>(wid)],
+                   "acquire on a retired worker");
+    cv_.wait(lock, [&] { return isTurn(wid); });
+
+    // Walk virtual time forward from this worker's free point until an
+    // admission rule fires. This is the same event sequence the
+    // analytical simulator steps through, so at one worker the two
+    // systems serve identical batches.
+    double t = readyTime_[static_cast<size_t>(wid)];
+    admitUpTo(t);
+    while (true) {
+        if (static_cast<int64_t>(pending_.size()) >= cfg_.maxBatch) {
+            break;  // batch-full
+        }
+        if (exhausted_) {
+            if (pending_.empty()) {
+                active_[static_cast<size_t>(wid)] = false;
+                cv_.notify_all();
+                return false;  // drained: worker retires
+            }
+            break;  // draining: flush what is queued
+        }
+        if (!pending_.empty()) {
+            if (t - pending_.front() >= cfg_.maxWaitSeconds) {
+                break;  // window-expired
+            }
+            const double expiry = pending_.front() + cfg_.maxWaitSeconds;
+            if (nextArrival_ <= expiry) {
+                t = nextArrival_;
+                admitOne();
+            } else {
+                t = expiry;
+                break;  // window expires before the next arrival
+            }
+        } else {
+            t = nextArrival_;
+            admitOne();
+        }
+    }
+
+    const int64_t batch = std::min<int64_t>(
+        cfg_.maxBatch, static_cast<int64_t>(pending_.size()));
+    ticket->seq = seq_++;
+    ticket->launchTime = t;
+    ticket->arrivals.clear();
+    ticket->arrivals.reserve(static_cast<size_t>(batch));
+    for (int64_t i = 0; i < batch; ++i) {
+        ticket->arrivals.push_back(pending_.front());
+        pending_.pop_front();
+    }
+
+    // Occupancy at launch: workers whose current batch is still in
+    // virtual service when this one starts, plus the caller.
+    int busy = 1;
+    for (size_t v = 0; v < readyTime_.size(); ++v) {
+        if (v != static_cast<size_t>(wid) && active_[v] &&
+            readyTime_[v] > t) {
+            ++busy;
+        }
+    }
+
+    const double svc = service(*ticket, busy);
+    RECSTACK_CHECK(svc > 0.0, "service time must be > 0");
+    readyTime_[static_cast<size_t>(wid)] = t + svc;
+    *completion = t + svc;
+    *busy_at_launch = busy;
+    cv_.notify_all();
+    return true;
+}
+
+uint64_t
+BatchQueue::samplesArrived() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return arrived_;
+}
+
+}  // namespace recstack

@@ -1,0 +1,113 @@
+#ifndef RECSTACK_SERVE_BATCH_QUEUE_H_
+#define RECSTACK_SERVE_BATCH_QUEUE_H_
+
+/**
+ * @file
+ * BatchQueue: the concurrent admission front of the multi-worker
+ * serving engine.
+ *
+ * Queries arrive on an open-loop Poisson clock (PoissonProcess, the
+ * same stream the analytical ServingSimulator replays) and pool in a
+ * shared pending queue. A batch is released to a worker when
+ *
+ *   - the pending queue holds maxBatch samples (batch-full),
+ *   - the oldest pending sample has waited maxWaitSeconds
+ *     (window-expired), or
+ *   - the arrival stream has ended and samples are still pending
+ *     (draining),
+ *
+ * mirroring ServingConfig's dynamic-batching admission exactly.
+ *
+ * Time is virtual: a worker's service time is priced by the engine's
+ * latency oracle, not wall clock, so the engine is a *measured*
+ * discrete-event system executed by real threads. To keep results
+ * independent of OS thread interleaving, the queue hands out batches
+ * in strict virtual-time order: only the worker with the earliest
+ * virtual free time (ties broken by worker id) may take the next
+ * batch; later workers block until their virtual turn. A worker's
+ * next free time is known at assignment time (launch + service), so
+ * the ordering never deadlocks — the argmin worker is always either
+ * executing its batch or inside acquire().
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "workload/batch_generator.h"
+
+namespace recstack {
+
+/** One batch released by the queue to a worker. */
+struct BatchTicket {
+    uint64_t seq = 0;          ///< global release order
+    double launchTime = 0.0;   ///< virtual time the batch starts service
+    std::vector<double> arrivals;  ///< per-sample arrival timestamps
+
+    int64_t size() const { return static_cast<int64_t>(arrivals.size()); }
+};
+
+/** Deterministic concurrent dynamic-batching queue. */
+class BatchQueue
+{
+  public:
+    struct Config {
+        double arrivalQps = 1000.0;
+        int64_t maxBatch = 256;
+        double maxWaitSeconds = 1e-3;
+        /// Arrivals are generated for timestamps < horizonSeconds.
+        double horizonSeconds = 2.0;
+        uint64_t seed = 42;
+        int numWorkers = 1;
+    };
+
+    explicit BatchQueue(const Config& cfg);
+
+    /**
+     * Virtual service-time oracle: (ticket, busy workers at launch
+     * including the caller) -> seconds. Invoked under the queue lock,
+     * so implementations may touch non-thread-safe shared state (the
+     * memoized characterization sweep).
+     */
+    using ServiceFn = std::function<double(const BatchTicket&, int)>;
+
+    /**
+     * Block until worker @c wid is the earliest-virtually-free active
+     * worker, then form and take the next batch. On success fills the
+     * ticket, the batch's virtual completion time (launch + service)
+     * and the number of busy workers at launch, and returns true.
+     * Returns false when the arrival stream is exhausted and the
+     * pending queue is empty — the worker has retired.
+     */
+    bool acquire(int wid, const ServiceFn& service, BatchTicket* ticket,
+                 double* completion, int* busy_at_launch);
+
+    /** Samples admitted from the arrival stream so far. */
+    uint64_t samplesArrived() const;
+
+  private:
+    bool isTurn(int wid) const;
+    void admitUpTo(double t);
+    void admitOne();
+
+    Config cfg_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+
+    PoissonProcess process_;
+    double nextArrival_ = 0.0;
+    bool exhausted_ = false;
+    std::deque<double> pending_;   // arrival times of waiting samples
+    uint64_t arrived_ = 0;
+    uint64_t seq_ = 0;
+
+    std::vector<double> readyTime_;  ///< per-worker virtual free time
+    std::vector<bool> active_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_SERVE_BATCH_QUEUE_H_

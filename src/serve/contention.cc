@@ -1,0 +1,31 @@
+#include "serve/contention.h"
+
+#include "common/logging.h"
+#include "uarch/multicore.h"
+
+namespace recstack {
+
+std::vector<double>
+contentionSlowdowns(const RunResult& single, const Platform& platform,
+                    int num_workers)
+{
+    RECSTACK_CHECK(num_workers >= 1, "need at least one worker");
+    std::vector<double> factors(static_cast<size_t>(num_workers), 1.0);
+    if (platform.kind != PlatformKind::kCpu ||
+        single.counters.cycles <= 0.0) {
+        return factors;
+    }
+    const std::vector<ScalingPoint> points = estimateMulticoreScaling(
+        single.counters, platform.cpu, num_workers);
+    // Normalize by the 1-core point: the model's cycle components need
+    // not sum exactly to the measured cycles, and the engine's 1-worker
+    // run must price service identically to the analytical simulator.
+    const double base = points.front().perEngineSlowdown;
+    for (int k = 1; k <= num_workers; ++k) {
+        factors[static_cast<size_t>(k - 1)] =
+            points[static_cast<size_t>(k - 1)].perEngineSlowdown / base;
+    }
+    return factors;
+}
+
+}  // namespace recstack

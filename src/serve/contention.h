@@ -1,0 +1,44 @@
+#ifndef RECSTACK_SERVE_CONTENTION_H_
+#define RECSTACK_SERVE_CONTENTION_H_
+
+/**
+ * @file
+ * Occupancy -> service-time inflation coupling between the serving
+ * engine and the analytical multicore co-location model.
+ *
+ * estimateMulticoreScaling prices what happens when k copies of an
+ * inference engine share one socket: private resources scale, the
+ * shared L3 is effectively partitioned, and DRAM bandwidth saturates.
+ * The serving engine samples its occupancy (busy workers) at every
+ * batch launch and stretches that batch's oracle latency by the
+ * matching per-engine slowdown, making the threaded engine the
+ * measured counterpart of the analytical scaling curve: embedding-
+ * dominated models inflate hard, FC-dominated models barely notice.
+ */
+
+#include <vector>
+
+#include "core/characterizer.h"
+
+namespace recstack {
+
+/**
+ * Per-occupancy service-time inflation factors, index k-1 for k busy
+ * workers. Factors are normalized so one busy worker is exactly 1.0
+ * (the engine must agree with the single-server simulator when run
+ * with one worker). GPU platforms return all-ones: co-located workers
+ * there model independent devices, not a shared socket.
+ *
+ * @param single      characterization of one engine running alone at
+ *                    a representative (typically max-batch) operating
+ *                    point
+ * @param platform    the serving platform
+ * @param num_workers highest occupancy to price (>= 1)
+ */
+std::vector<double> contentionSlowdowns(const RunResult& single,
+                                        const Platform& platform,
+                                        int num_workers);
+
+}  // namespace recstack
+
+#endif  // RECSTACK_SERVE_CONTENTION_H_

@@ -1,0 +1,232 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/stats.h"
+#include "serve/batch_queue.h"
+#include "serve/contention.h"
+
+namespace recstack {
+namespace {
+
+/** Stats a worker accumulates locally while it runs (no sharing). */
+struct WorkerLocal {
+    std::vector<double> latencies;
+    double busySeconds = 0.0;
+    double lastCompletion = 0.0;
+    double hostSeconds = 0.0;
+    double slowdownSum = 0.0;
+    double slowdownMax = 1.0;
+    uint64_t samplesServed = 0;
+    uint64_t batchesServed = 0;
+};
+
+/** Reduce a latency sample into ServingStats tail/mean fields. */
+void
+fillLatencyStats(std::vector<double>& latencies, ServingStats* stats)
+{
+    if (latencies.empty()) {
+        return;
+    }
+    double sum = 0.0;
+    for (double lat : latencies) {
+        sum += lat;
+    }
+    stats->meanLatency = sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    stats->p50Latency = percentileOfSorted(latencies, 0.50);
+    stats->p95Latency = percentileOfSorted(latencies, 0.95);
+    stats->p99Latency = percentileOfSorted(latencies, 0.99);
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(QueryScheduler* scheduler, ModelId model,
+                             size_t platform_idx)
+    : scheduler_(scheduler), model_(model), platformIdx_(platform_idx)
+{
+    RECSTACK_CHECK(scheduler_ != nullptr, "engine needs a scheduler");
+    RECSTACK_CHECK(platform_idx < scheduler_->sweep()->platforms().size(),
+                   "platform index out of range");
+}
+
+EngineResult
+ServingEngine::run(const EngineConfig& config)
+{
+    RECSTACK_CHECK(config.numWorkers >= 1, "need at least one worker");
+    RECSTACK_CHECK(config.arrivalQps > 0.0, "arrival rate must be > 0");
+    RECSTACK_CHECK(config.maxBatch > 0, "batch cap must be > 0");
+    RECSTACK_CHECK(config.simSeconds > 0.0, "duration must be > 0");
+
+    SweepCache* sweep = scheduler_->sweep();
+    const Platform& platform = sweep->platforms()[platformIdx_];
+
+    // Warm every shared lazily-built structure before threads exist:
+    // the built model, the characterization grid the latency oracle
+    // interpolates over, and the co-location reference point. After
+    // this, workers touch the sweep only under the queue lock.
+    const Model& model = sweep->characterizer().model(model_);
+    for (int64_t b : scheduler_->batchGrid()) {
+        scheduler_->latency(model_, platformIdx_, b);
+    }
+    int64_t ref_batch = scheduler_->batchGrid().front();
+    for (int64_t b : scheduler_->batchGrid()) {
+        if (b <= config.maxBatch) {
+            ref_batch = b;  // largest grid knot within the batch cap
+        }
+    }
+    std::vector<double> factors(static_cast<size_t>(config.numWorkers),
+                                1.0);
+    if (config.modelContention) {
+        factors = contentionSlowdowns(
+            sweep->get(model_, platformIdx_, ref_batch), platform,
+            config.numWorkers);
+    }
+
+    BatchQueue::Config qcfg;
+    qcfg.arrivalQps = config.arrivalQps;
+    qcfg.maxBatch = config.maxBatch;
+    qcfg.maxWaitSeconds = config.maxWaitSeconds;
+    qcfg.horizonSeconds = config.simSeconds;
+    qcfg.seed = config.seed;
+    qcfg.numWorkers = config.numWorkers;
+    BatchQueue queue(qcfg);
+
+    std::vector<WorkerLocal> locals(
+        static_cast<size_t>(config.numWorkers));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(config.numWorkers));
+    for (int wid = 0; wid < config.numWorkers; ++wid) {
+        threads.emplace_back([&, wid] {
+            WorkerLocal& local = locals[static_cast<size_t>(wid)];
+            Workspace ws;
+            BatchGenerator gen(
+                model.workload,
+                config.seed ^
+                    (0x9e3779b97f4a7c15ull *
+                     static_cast<uint64_t>(wid + 1)));
+            if (config.execMode == ExecMode::kProfileOnly) {
+                ws.setShapeOnly(true);
+                model.declareParams(ws);
+            } else {
+                model.initParams(ws);
+            }
+
+            // Invoked under the queue lock (the memoized sweep is not
+            // thread-safe); prices this batch's virtual service time.
+            const BatchQueue::ServiceFn service =
+                [&](const BatchTicket& ticket, int busy) {
+                    const double base = scheduler_->latency(
+                        model_, platformIdx_, ticket.size());
+                    const int k =
+                        std::min(busy, config.numWorkers);
+                    const double factor =
+                        factors[static_cast<size_t>(k - 1)];
+                    local.slowdownSum += factor;
+                    local.slowdownMax =
+                        std::max(local.slowdownMax, factor);
+                    return base * factor;
+                };
+
+            BatchTicket ticket;
+            double completion = 0.0;
+            int busy = 0;
+            while (queue.acquire(wid, service, &ticket, &completion,
+                                 &busy)) {
+                // Real execution of the served net on this worker's
+                // private workspace, outside the queue lock.
+                const int64_t batch = ticket.size();
+                if (config.execMode == ExecMode::kProfileOnly) {
+                    gen.declare(ws, batch);
+                } else {
+                    gen.materialize(ws, batch);
+                }
+                const NetExecResult exec =
+                    Executor::run(model.net, ws, config.execMode);
+                local.hostSeconds += exec.hostSeconds;
+
+                local.busySeconds += completion - ticket.launchTime;
+                local.lastCompletion =
+                    std::max(local.lastCompletion, completion);
+                local.samplesServed +=
+                    static_cast<uint64_t>(batch);
+                ++local.batchesServed;
+                for (double arrival : ticket.arrivals) {
+                    local.latencies.push_back(completion - arrival);
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+
+    double horizon = config.simSeconds;
+    for (const WorkerLocal& local : locals) {
+        horizon = std::max(horizon, local.lastCompletion);
+    }
+
+    EngineResult result;
+    result.perWorker.resize(locals.size());
+    std::vector<double> all_latencies;
+    double total_busy = 0.0;
+    for (size_t w = 0; w < locals.size(); ++w) {
+        WorkerLocal& local = locals[w];
+        ServingStats& ws_stats = result.perWorker[w];
+        ws_stats.samplesArrived = local.samplesServed;
+        ws_stats.samplesServed = local.samplesServed;
+        ws_stats.batchesServed = local.batchesServed;
+        ws_stats.meanBatch =
+            local.batchesServed > 0
+                ? static_cast<double>(local.samplesServed) /
+                      static_cast<double>(local.batchesServed)
+                : 0.0;
+        ws_stats.utilization =
+            std::min(1.0, local.busySeconds / horizon);
+        ws_stats.offeredLoad = local.busySeconds / config.simSeconds;
+        ws_stats.throughputQps =
+            static_cast<double>(local.samplesServed) / horizon;
+        all_latencies.insert(all_latencies.end(),
+                             local.latencies.begin(),
+                             local.latencies.end());
+        fillLatencyStats(local.latencies, &ws_stats);
+
+        result.aggregate.samplesServed += local.samplesServed;
+        result.aggregate.batchesServed += local.batchesServed;
+        result.hostSeconds += local.hostSeconds;
+        result.batchesExecuted += local.batchesServed;
+        total_busy += local.busySeconds;
+    }
+
+    result.aggregate.samplesArrived = queue.samplesArrived();
+    result.aggregate.meanBatch =
+        result.aggregate.batchesServed > 0
+            ? static_cast<double>(result.aggregate.samplesServed) /
+                  static_cast<double>(result.aggregate.batchesServed)
+            : 0.0;
+    const double capacity =
+        static_cast<double>(config.numWorkers);
+    result.aggregate.utilization =
+        std::min(1.0, total_busy / (capacity * horizon));
+    result.aggregate.offeredLoad =
+        total_busy / (capacity * config.simSeconds);
+    result.aggregate.throughputQps =
+        static_cast<double>(result.aggregate.samplesServed) / horizon;
+    fillLatencyStats(all_latencies, &result.aggregate);
+
+    if (result.aggregate.batchesServed > 0) {
+        double slow_sum = 0.0;
+        for (const WorkerLocal& local : locals) {
+            slow_sum += local.slowdownSum;
+            result.maxSlowdown =
+                std::max(result.maxSlowdown, local.slowdownMax);
+        }
+        result.meanSlowdown =
+            slow_sum /
+            static_cast<double>(result.aggregate.batchesServed);
+    }
+    return result;
+}
+
+}  // namespace recstack

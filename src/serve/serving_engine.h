@@ -1,0 +1,93 @@
+#ifndef RECSTACK_SERVE_SERVING_ENGINE_H_
+#define RECSTACK_SERVE_SERVING_ENGINE_H_
+
+/**
+ * @file
+ * ServingEngine: a multi-worker inference server, the concurrent
+ * counterpart of the analytical ServingSimulator.
+ *
+ * DeepRecSys splits at-scale recommendation serving into a query
+ * scheduler and a pool of inference engines; this module reproduces
+ * that split on real threads. N workers each own a Workspace and a
+ * BatchGenerator, pull dynamic batches from a shared BatchQueue
+ * (Poisson arrivals, max-batch + max-wait admission) and genuinely
+ * drive Executor::run on the served model's net for every batch.
+ *
+ * Latency accounting is virtual: each batch's service time comes from
+ * the QueryScheduler's characterization-grid oracle, stretched by the
+ * multicore co-location model (serve/contention.h) according to how
+ * many workers are busy at launch. That makes the engine:
+ *
+ *  - deterministic: stats are a pure function of the config, never of
+ *    OS thread interleaving (the queue releases batches in virtual-
+ *    time order);
+ *  - consistent: with one worker it serves the exact batch sequence
+ *    of ServingSimulator::simulate;
+ *  - contention-aware: with N workers, per-worker latency inflates
+ *    the way estimateMulticoreScaling predicts, so embedding-heavy
+ *    models saturate aggregate throughput early.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/executor.h"
+#include "sched/serving_sim.h"
+
+namespace recstack {
+
+/** One multi-worker serving experiment. */
+struct EngineConfig {
+    int numWorkers = 1;            ///< inference worker threads
+    double arrivalQps = 1000.0;    ///< mean sample arrival rate
+    int64_t maxBatch = 256;        ///< dynamic-batching cap
+    double maxWaitSeconds = 1e-3;  ///< batching window
+    double simSeconds = 2.0;       ///< arrival-stream duration
+    uint64_t seed = 42;
+    /// How workers execute the net per batch: kNumericOnly runs real
+    /// numerics (weights materialized per worker — tests, small
+    /// models); kProfileOnly runs shape inference only (full-size
+    /// models, high load). kFull additionally lowers profiles.
+    ExecMode execMode = ExecMode::kProfileOnly;
+    /// Couple service times to the shared-L3/DRAM contention model.
+    bool modelContention = true;
+};
+
+/** Result of one engine run. */
+struct EngineResult {
+    ServingStats aggregate;
+    std::vector<ServingStats> perWorker;
+    /// Mean / max service-time inflation applied across batches
+    /// (1.0 = no contention observed).
+    double meanSlowdown = 1.0;
+    double maxSlowdown = 1.0;
+    /// Real host seconds spent inside Executor::run across workers
+    /// (wall-clock measurement, not part of the virtual-time stats).
+    double hostSeconds = 0.0;
+    uint64_t batchesExecuted = 0;
+};
+
+/** Thread-pooled dynamic-batching inference server. */
+class ServingEngine
+{
+  public:
+    /**
+     * @param scheduler    latency oracle over the characterization
+     *                     grid (not owned; must outlive the engine)
+     * @param model        served model
+     * @param platform_idx platform in the scheduler's sweep
+     */
+    ServingEngine(QueryScheduler* scheduler, ModelId model,
+                  size_t platform_idx);
+
+    EngineResult run(const EngineConfig& config);
+
+  private:
+    QueryScheduler* scheduler_;
+    ModelId model_;
+    size_t platformIdx_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_SERVE_SERVING_ENGINE_H_

@@ -1,9 +1,24 @@
 #include "workload/batch_generator.h"
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "ops/op_costs.h"
 
 namespace recstack {
+
+PoissonProcess::PoissonProcess(double rate_qps, uint64_t seed)
+    : rate_(rate_qps), rng_(seed)
+{
+    RECSTACK_CHECK(rate_ > 0.0, "arrival rate must be > 0");
+}
+
+double
+PoissonProcess::next()
+{
+    now_ += -std::log(1.0 - rng_.nextDouble()) / rate_;
+    return now_;
+}
 
 BatchGenerator::BatchGenerator(WorkloadSpec spec, uint64_t seed)
     : spec_(std::move(spec)), seed_(seed)

@@ -16,10 +16,38 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "ops/workspace.h"
 #include "profile/kernel_profile.h"
 
 namespace recstack {
+
+/**
+ * Open-loop Poisson arrival clock: successive calls to next() return
+ * the absolute timestamps of a Poisson process with the given mean
+ * rate. Deterministic given the seed, so the analytical serving
+ * simulator and the threaded serving engine can replay bit-identical
+ * query streams (the load DeepRecSys-style query generators emit).
+ */
+class PoissonProcess
+{
+  public:
+    /**
+     * @param rate_qps mean arrivals per second (> 0)
+     * @param seed     RNG seed; same seed => same timestamp stream
+     */
+    PoissonProcess(double rate_qps, uint64_t seed);
+
+    /** Timestamp of the next arrival (strictly increasing). */
+    double next();
+
+    double rate() const { return rate_; }
+
+  private:
+    double rate_;
+    Rng rng_;
+    double now_ = 0.0;
+};
 
 /** One sparse (embedding) input feature group. */
 struct CategoricalFeatureSpec {

@@ -169,6 +169,24 @@ TEST(Geomean, KnownValues)
     EXPECT_EQ(geomean({}), 0.0);
 }
 
+TEST(Percentile, InterpolatesSortedSample)
+{
+    const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 0.25), 2.0);
+    // Linear interpolation between ranks.
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 0.1), 1.4);
+}
+
+TEST(Percentile, EdgeCases)
+{
+    EXPECT_EQ(percentileOfSorted({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted({7.0}, 0.99), 7.0);
+    EXPECT_DEATH(percentileOfSorted({1.0}, 1.5), "quantile");
+}
+
 TEST(Histogram, BucketsAndClamping)
 {
     Histogram h(0.0, 10.0, 10);

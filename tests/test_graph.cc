@@ -104,6 +104,26 @@ TEST(Executor, ProfileOnlySkipsNumerics)
     EXPECT_EQ(result.records[0].hostSeconds, 0.0);
 }
 
+TEST(Executor, NumericOnlySkipsProfileLowering)
+{
+    NetDef net = smallNet();
+    Workspace ws;
+    ws.set("x", Tensor::fromFloats({1, 2}, {1, -1}));
+    ws.set("w", Tensor::fromFloats({2, 2}, {1, 1, 1, -1}));
+    ws.set("b", Tensor::fromFloats({2}, {0, 0}));
+
+    const NetExecResult result =
+        Executor::run(net, ws, ExecMode::kNumericOnly);
+    ASSERT_EQ(result.records.size(), 2u);
+    // Numerics ran...
+    EXPECT_FLOAT_EQ(ws.get("y").at({0, 0}), 0.0f);
+    EXPECT_FLOAT_EQ(ws.get("y").at({0, 1}), 2.0f);
+    // ...but no profiles were lowered (the serving engine prices
+    // latency from the characterization grid instead).
+    EXPECT_TRUE(result.records[0].profile.opType.empty());
+    EXPECT_EQ(result.records[0].profile.fmaFlops, 0u);
+}
+
 TEST(Executor, ProfileOnlyMatchesFullModeProfiles)
 {
     // The same net must yield identical workload descriptors whether

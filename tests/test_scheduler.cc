@@ -63,6 +63,32 @@ TEST_F(SchedulerTest, ExtrapolatesBeyondGrid)
     EXPECT_GT(beyond, at_grid_end);
 }
 
+TEST_F(SchedulerTest, SinglePointGridExtrapolatesFlat)
+{
+    // Regression: a 1-point grid used to read batchGrid_[size() - 2]
+    // (out of bounds) for any batch above the single knot. The fix
+    // falls back to flat extrapolation.
+    QueryScheduler one_knot(&sweep_, {16});
+    const double at_knot = sweep_.get(ModelId::kRM1, 0, 16).seconds;
+    EXPECT_DOUBLE_EQ(one_knot.latency(ModelId::kRM1, 0, 16), at_knot);
+    EXPECT_DOUBLE_EQ(one_knot.latency(ModelId::kRM1, 0, 17), at_knot);
+    EXPECT_DOUBLE_EQ(one_knot.latency(ModelId::kRM1, 0, 4096), at_knot);
+    EXPECT_DOUBLE_EQ(one_knot.latency(ModelId::kRM1, 0, 1), at_knot);
+}
+
+TEST_F(SchedulerTest, SinglePointGridRoutesAndCapsSla)
+{
+    // The routing/throughput entry points must also survive a 1-point
+    // grid (they all funnel through latency()).
+    QueryScheduler one_knot(&sweep_, {256});
+    const ScheduleDecision d = one_knot.route(ModelId::kWnD, 1024, 1.0);
+    EXPECT_TRUE(d.meetsSla);
+    const ThroughputPoint tp =
+        one_knot.bestThroughputUnderSla(ModelId::kWnD, 1.0);
+    EXPECT_TRUE(tp.feasible);
+    EXPECT_EQ(tp.batch, 256);
+}
+
 TEST_F(SchedulerTest, RoutePicksFastestPlatform)
 {
     const ScheduleDecision d = sched_.route(ModelId::kRM3, 256, 1.0);

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests of the multi-worker serving engine: agreement with the
+ * analytical simulator at one worker, determinism under real thread
+ * interleaving, contention coupling, and batch-queue semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "serve/batch_queue.h"
+#include "serve/serving_engine.h"
+
+namespace recstack {
+namespace {
+
+class ServingEngineTest : public ::testing::Test
+{
+  protected:
+    ServingEngineTest()
+        : sweep_(allPlatforms(),
+                 []() {
+                     ModelOptions opts = tinyOptions();
+                     opts.tableScale = 0.01;
+                     return opts;
+                 }()),
+          sched_(&sweep_, {1, 16, 256, 4096})
+    {
+    }
+
+    EngineResult run(ModelId model, size_t platform, int workers,
+                     double qps, int64_t max_batch = 256,
+                     double window = 1e-3, uint64_t seed = 42,
+                     ExecMode mode = ExecMode::kProfileOnly)
+    {
+        ServingEngine engine(&sched_, model, platform);
+        EngineConfig cfg;
+        cfg.numWorkers = workers;
+        cfg.arrivalQps = qps;
+        cfg.maxBatch = max_batch;
+        cfg.maxWaitSeconds = window;
+        cfg.simSeconds = 0.25;
+        cfg.seed = seed;
+        cfg.execMode = mode;
+        return engine.run(cfg);
+    }
+
+    ServingStats simulate(ModelId model, size_t platform, double qps,
+                          int64_t max_batch = 256, double window = 1e-3)
+    {
+        ServingSimulator sim(&sched_, model, platform);
+        ServingConfig cfg;
+        cfg.arrivalQps = qps;
+        cfg.maxBatch = max_batch;
+        cfg.maxWaitSeconds = window;
+        cfg.simSeconds = 0.25;
+        return sim.simulate(cfg);
+    }
+
+    SweepCache sweep_;
+    QueryScheduler sched_;
+};
+
+TEST_F(ServingEngineTest, OneWorkerMatchesAnalyticalSimulator)
+{
+    const ServingStats sim = simulate(ModelId::kRM1, 0, 4000);
+    const EngineResult eng = run(ModelId::kRM1, 0, 1, 4000);
+    EXPECT_EQ(eng.aggregate.samplesArrived, sim.samplesArrived);
+    EXPECT_EQ(eng.aggregate.samplesServed, sim.samplesServed);
+    EXPECT_EQ(eng.aggregate.batchesServed, sim.batchesServed);
+    EXPECT_NEAR(eng.aggregate.meanLatency, sim.meanLatency,
+                sim.meanLatency * 0.05);
+    EXPECT_NEAR(eng.aggregate.p99Latency, sim.p99Latency,
+                sim.p99Latency * 0.05);
+    EXPECT_NEAR(eng.aggregate.throughputQps, sim.throughputQps,
+                sim.throughputQps * 0.05);
+    EXPECT_DOUBLE_EQ(eng.meanSlowdown, 1.0);
+}
+
+TEST_F(ServingEngineTest, DeterministicAcrossThreadInterleavings)
+{
+    // Virtual-time ordering makes every stat (host wall time aside) a
+    // pure function of the config, no matter how the OS schedules the
+    // four worker threads.
+    const EngineResult a = run(ModelId::kRM1, 0, 4, 20000);
+    const EngineResult b = run(ModelId::kRM1, 0, 4, 20000);
+    EXPECT_EQ(a.aggregate.samplesArrived, b.aggregate.samplesArrived);
+    EXPECT_EQ(a.aggregate.samplesServed, b.aggregate.samplesServed);
+    EXPECT_EQ(a.aggregate.batchesServed, b.aggregate.batchesServed);
+    EXPECT_DOUBLE_EQ(a.aggregate.meanLatency, b.aggregate.meanLatency);
+    EXPECT_DOUBLE_EQ(a.aggregate.p99Latency, b.aggregate.p99Latency);
+    EXPECT_DOUBLE_EQ(a.meanSlowdown, b.meanSlowdown);
+    ASSERT_EQ(a.perWorker.size(), b.perWorker.size());
+    for (size_t w = 0; w < a.perWorker.size(); ++w) {
+        EXPECT_EQ(a.perWorker[w].samplesServed,
+                  b.perWorker[w].samplesServed);
+        EXPECT_DOUBLE_EQ(a.perWorker[w].p99Latency,
+                         b.perWorker[w].p99Latency);
+    }
+}
+
+TEST_F(ServingEngineTest, PerWorkerStatsSumToAggregate)
+{
+    const EngineResult r = run(ModelId::kNCF, 0, 3, 10000);
+    uint64_t served = 0;
+    uint64_t batches = 0;
+    for (const ServingStats& w : r.perWorker) {
+        served += w.samplesServed;
+        batches += w.batchesServed;
+    }
+    EXPECT_EQ(served, r.aggregate.samplesServed);
+    EXPECT_EQ(batches, r.aggregate.batchesServed);
+    // The engine drains the whole stream: nothing arrives unserved.
+    EXPECT_EQ(r.aggregate.samplesServed, r.aggregate.samplesArrived);
+    EXPECT_EQ(r.aggregate.droppedSamples, 0u);
+    EXPECT_EQ(r.batchesExecuted, r.aggregate.batchesServed);
+}
+
+TEST_F(ServingEngineTest, MoreWorkersRaiseSaturatedThroughput)
+{
+    // Offer well beyond one worker's capacity; extra workers must
+    // lift aggregate throughput even with contention inflation.
+    const double cap1 =
+        256.0 / sched_.latency(ModelId::kRM1, 0, 256);
+    const double qps = 3.0 * cap1;
+    const EngineResult w1 = run(ModelId::kRM1, 0, 1, qps);
+    const EngineResult w2 = run(ModelId::kRM1, 0, 2, qps);
+    const EngineResult w4 = run(ModelId::kRM1, 0, 4, qps);
+    EXPECT_GT(w2.aggregate.throughputQps,
+              w1.aggregate.throughputQps * 1.2);
+    EXPECT_GE(w4.aggregate.throughputQps,
+              w2.aggregate.throughputQps);
+    // And the backlog clears sooner: tails shrink with capacity.
+    EXPECT_LT(w4.aggregate.p99Latency, w1.aggregate.p99Latency);
+}
+
+TEST_F(ServingEngineTest, ContentionInflatesServiceWithOccupancy)
+{
+    const double cap1 =
+        256.0 / sched_.latency(ModelId::kRM2, 0, 256);
+    const EngineResult solo = run(ModelId::kRM2, 0, 1, 2.0 * cap1);
+    const EngineResult packed = run(ModelId::kRM2, 0, 8, 8.0 * cap1);
+    EXPECT_DOUBLE_EQ(solo.meanSlowdown, 1.0);
+    EXPECT_GE(packed.meanSlowdown, 1.0);
+    EXPECT_GT(packed.maxSlowdown, 1.0);
+    // Contention never prices below the co-location model's floor.
+    EXPECT_LE(packed.maxSlowdown, 64.0);
+}
+
+TEST_F(ServingEngineTest, ContentionCanBeDisabled)
+{
+    ServingEngine engine(&sched_, ModelId::kRM2, 0);
+    EngineConfig cfg;
+    cfg.numWorkers = 4;
+    cfg.arrivalQps = 50000;
+    cfg.simSeconds = 0.1;
+    cfg.modelContention = false;
+    const EngineResult r = engine.run(cfg);
+    EXPECT_DOUBLE_EQ(r.meanSlowdown, 1.0);
+    EXPECT_DOUBLE_EQ(r.maxSlowdown, 1.0);
+}
+
+TEST_F(ServingEngineTest, RealNumericsModeExecutesTheNet)
+{
+    const EngineResult r =
+        run(ModelId::kNCF, 0, 2, 2000, 64, 1e-3, 42,
+            ExecMode::kNumericOnly);
+    EXPECT_GT(r.batchesExecuted, 0u);
+    EXPECT_GT(r.hostSeconds, 0.0);  // real kernels ran on the workers
+    EXPECT_GT(r.aggregate.meanLatency, 0.0);
+}
+
+TEST_F(ServingEngineTest, GpuPlatformHasNoSocketContention)
+{
+    // Platform 3 is the T4: co-located workers model independent
+    // devices, so no shared-socket inflation applies.
+    const EngineResult r = run(ModelId::kWnD, 3, 4, 50000);
+    EXPECT_DOUBLE_EQ(r.meanSlowdown, 1.0);
+    EXPECT_GT(r.aggregate.samplesServed, 0u);
+}
+
+TEST_F(ServingEngineTest, RejectsBadConfig)
+{
+    ServingEngine engine(&sched_, ModelId::kNCF, 0);
+    EngineConfig bad;
+    bad.numWorkers = 0;
+    EXPECT_DEATH(engine.run(bad), "at least one worker");
+    EngineConfig bad_qps;
+    bad_qps.arrivalQps = 0.0;
+    EXPECT_DEATH(engine.run(bad_qps), "arrival rate");
+    EXPECT_DEATH(ServingEngine(nullptr, ModelId::kNCF, 0),
+                 "needs a scheduler");
+    EXPECT_DEATH(ServingEngine(&sched_, ModelId::kNCF, 99),
+                 "platform index");
+}
+
+TEST(BatchQueueTest, AdmissionRespectsBatchCapAndWindow)
+{
+    BatchQueue::Config cfg;
+    cfg.arrivalQps = 10000.0;
+    cfg.maxBatch = 32;
+    cfg.maxWaitSeconds = 2e-3;
+    cfg.horizonSeconds = 0.2;
+    cfg.numWorkers = 1;
+    BatchQueue queue(cfg);
+
+    const auto service = [](const BatchTicket&, int) { return 1e-4; };
+    BatchTicket ticket;
+    double completion = 0.0;
+    int busy = 0;
+    uint64_t served = 0;
+    double prev_launch = -1.0;
+    uint64_t prev_seq = 0;
+    bool first = true;
+    while (queue.acquire(0, service, &ticket, &completion, &busy)) {
+        EXPECT_LE(ticket.size(), cfg.maxBatch);
+        EXPECT_GE(ticket.size(), 1);
+        EXPECT_EQ(busy, 1);
+        EXPECT_GT(completion, ticket.launchTime);
+        // Launches move forward in time and sequence.
+        EXPECT_GE(ticket.launchTime, prev_launch);
+        if (!first) {
+            EXPECT_EQ(ticket.seq, prev_seq + 1);
+        }
+        for (double arrival : ticket.arrivals) {
+            EXPECT_LE(arrival, ticket.launchTime);
+            // No sample waits past the batching window before its
+            // batch launches, except when the server was backlogged —
+            // at this service rate the backlog stays bounded, so
+            // allow one service time of slack.
+            EXPECT_LE(ticket.launchTime - arrival,
+                      cfg.maxWaitSeconds + 64 * 1e-4);
+        }
+        prev_launch = ticket.launchTime;
+        prev_seq = ticket.seq;
+        first = false;
+        served += static_cast<uint64_t>(ticket.size());
+    }
+    EXPECT_EQ(served, queue.samplesArrived());
+    EXPECT_GT(served, 0u);
+}
+
+TEST(BatchQueueTest, DrainsEveryAdmittedSample)
+{
+    BatchQueue::Config cfg;
+    cfg.arrivalQps = 500.0;
+    cfg.maxBatch = 16;
+    cfg.maxWaitSeconds = 5e-3;
+    cfg.horizonSeconds = 0.1;
+    cfg.numWorkers = 2;
+    BatchQueue queue(cfg);
+
+    // Single-threaded two-worker drain. acquire() blocks until it is
+    // the calling worker's virtual turn, so a lone thread must follow
+    // the same earliest-ready order the queue enforces.
+    const auto service = [](const BatchTicket& t, int) {
+        return 1e-3 * static_cast<double>(t.size());
+    };
+    std::multiset<double> arrivals_seen;
+    BatchTicket ticket;
+    double completion = 0.0;
+    int busy = 0;
+    bool active[2] = {true, true};
+    double ready[2] = {0.0, 0.0};
+    while (active[0] || active[1]) {
+        int w = -1;  // active worker with the earliest virtual free time
+        for (int v = 0; v < 2; ++v) {
+            if (active[v] && (w < 0 || ready[v] < ready[w])) {
+                w = v;
+            }
+        }
+        active[w] =
+            queue.acquire(w, service, &ticket, &completion, &busy);
+        if (active[w]) {
+            ready[w] = completion;
+            EXPECT_GE(busy, 1);
+            EXPECT_LE(busy, 2);
+            for (double a : ticket.arrivals) {
+                arrivals_seen.insert(a);
+            }
+        }
+    }
+    EXPECT_EQ(arrivals_seen.size(), queue.samplesArrived());
+}
+
+}  // namespace
+}  // namespace recstack

@@ -47,7 +47,43 @@ TEST_F(ServingTest, ConservesSamples)
     const ServingStats s = run(ModelId::kNCF, 0, 2000);
     EXPECT_GT(s.samplesArrived, 0u);
     EXPECT_EQ(s.samplesServed, s.samplesArrived);
+    EXPECT_EQ(s.droppedSamples, 0u);
     EXPECT_GT(s.batchesServed, 0u);
+}
+
+TEST_F(ServingTest, DrainCutoffAccountsDroppedSamples)
+{
+    // Regression: the drain loop hard-stops at 4x the arrival window;
+    // severely over-saturated configs used to lose the still-queued
+    // samples from every stat while counting them as arrived. Offer
+    // ~12x the batch-1 capacity with no batching so the backlog
+    // cannot clear within the cutoff.
+    const double service = sched_.latency(ModelId::kRM2, 0, 1);
+    const double qps = 12.0 / service;
+    const ServingStats s =
+        run(ModelId::kRM2, 0, qps, /*max_batch=*/1, /*window=*/0.0);
+    EXPECT_GT(s.droppedSamples, 0u);
+    EXPECT_EQ(s.samplesServed + s.droppedSamples, s.samplesArrived);
+    EXPECT_GT(s.samplesServed, 0u);
+}
+
+TEST_F(ServingTest, OfferedLoadUnclampedAtSaturation)
+{
+    // Regression: utilization is clamped to 1, which used to hide
+    // over-saturation entirely; offeredLoad reports the unclamped
+    // demand. The drain tail runs past simSeconds, so demanded
+    // service exceeds the arrival window.
+    const double service = sched_.latency(ModelId::kRM2, 0, 1);
+    const ServingStats s = run(ModelId::kRM2, 0, 6.0 / service,
+                               /*max_batch=*/1, /*window=*/0.0);
+    EXPECT_LE(s.utilization, 1.0);
+    EXPECT_GT(s.offeredLoad, 1.0);
+
+    // Light load: offered load stays under 1 and only exceeds the
+    // clamped utilization by the (short) drain tail.
+    const ServingStats light = run(ModelId::kNCF, 0, 500);
+    EXPECT_LT(light.offeredLoad, 1.0);
+    EXPECT_GE(light.offeredLoad, light.utilization);
 }
 
 TEST_F(ServingTest, StatisticsAreWellFormed)
