@@ -2,13 +2,20 @@
 
 #include <chrono>
 
+#include "common/thread_pool.h"
+
 namespace recstack {
 
 NetExecResult
-Executor::run(const NetDef& net, Workspace& ws, ExecMode mode)
+Executor::run(const NetDef& net, Workspace& ws, const ExecOptions& opts)
 {
     using Clock = std::chrono::steady_clock;
 
+    // Kernels pick the width up through the calling thread's scope;
+    // with numThreads == 0 the process default applies unchanged.
+    IntraOpScope intra_op(opts.numThreads);
+
+    const bool numerics = opts.mode != ExecMode::kProfileOnly;
     NetExecResult result;
     result.records.reserve(net.opCount());
     const auto net_start = Clock::now();
@@ -16,14 +23,14 @@ Executor::run(const NetDef& net, Workspace& ws, ExecMode mode)
     for (const auto& op : net.ops()) {
         op->inferShapes(ws);
         OpExecRecord record;
-        if (mode != ExecMode::kProfileOnly) {
+        if (numerics) {
             const auto start = Clock::now();
             op->run(ws);
             const auto end = Clock::now();
             record.hostSeconds =
                 std::chrono::duration<double>(end - start).count();
         }
-        if (mode != ExecMode::kNumericOnly) {
+        if (opts.mode != ExecMode::kNumericOnly) {
             record.profile = op->profile(ws);
             if (op->uniqueCodeBytes() > 0) {
                 record.profile.codeRegion = "op:" + op->name();
@@ -33,9 +40,22 @@ Executor::run(const NetDef& net, Workspace& ws, ExecMode mode)
         result.records.push_back(std::move(record));
     }
 
-    result.hostSeconds =
-        std::chrono::duration<double>(Clock::now() - net_start).count();
+    // In kProfileOnly no kernel ran: report 0.0 instead of the
+    // shape-inference + profile-lowering wall time (see header).
+    if (numerics) {
+        result.hostSeconds =
+            std::chrono::duration<double>(Clock::now() - net_start)
+                .count();
+    }
     return result;
+}
+
+NetExecResult
+Executor::run(const NetDef& net, Workspace& ws, ExecMode mode)
+{
+    ExecOptions opts;
+    opts.mode = mode;
+    return run(net, ws, opts);
 }
 
 }  // namespace recstack

@@ -22,6 +22,10 @@
  * Executor::run is stateless and re-entrant: concurrent calls on the
  * same NetDef are safe as long as each caller brings its own
  * Workspace (operators keep all execution state in the workspace).
+ * Within one call, kernels additionally parallelize intra-op through
+ * the shared chunked-range pool (common/thread_pool.h); the width
+ * comes from ExecOptions::numThreads and the partitioning is
+ * disjoint-output, so results are bit-identical at any width.
  */
 
 #include <vector>
@@ -33,13 +37,35 @@ namespace recstack {
 /** Execution mode of a net run. */
 enum class ExecMode { kFull, kProfileOnly, kNumericOnly };
 
-/** Per-operator record produced by a net run. */
-struct OpExecRecord {
-    KernelProfile profile;
-    double hostSeconds = 0.0;  ///< wall time of the numeric kernel (kFull)
+/** Per-run knobs of Executor::run. */
+struct ExecOptions {
+    ExecMode mode = ExecMode::kFull;
+    /// Intra-op parallelism width the kernels may use. 0 = process
+    /// default (setIntraOpThreads / RECSTACK_NUM_THREADS / hardware
+    /// concurrency); 1 = strictly serial. Any width produces
+    /// bit-identical numerics (see docs/parallelism.md).
+    int numThreads = 0;
 };
 
-/** Result of one net run. */
+/**
+ * Per-operator record produced by a net run.
+ *
+ * hostSeconds is the measured wall time of the *numeric kernel*
+ * (op->run). It is only meaningful in kFull and kNumericOnly; in
+ * kProfileOnly no kernel executes, so the field is reported as
+ * exactly 0.0 rather than the shape-inference/profile-lowering time
+ * a naive timer would capture.
+ */
+struct OpExecRecord {
+    KernelProfile profile;
+    double hostSeconds = 0.0;  ///< kernel wall time; 0.0 in kProfileOnly
+};
+
+/**
+ * Result of one net run. hostSeconds follows the same mode semantics
+ * as OpExecRecord::hostSeconds: wall time of the whole run in kFull /
+ * kNumericOnly, exactly 0.0 in kProfileOnly.
+ */
 struct NetExecResult {
     std::vector<OpExecRecord> records;
     double hostSeconds = 0.0;
@@ -53,6 +79,10 @@ class Executor
      * Execute @c net against @c ws. External inputs (including
      * weights) must already be present in the workspace.
      */
+    static NetExecResult run(const NetDef& net, Workspace& ws,
+                             const ExecOptions& opts);
+
+    /** Mode-only convenience overload (default intra-op width). */
     static NetExecResult run(const NetDef& net, Workspace& ws,
                              ExecMode mode = ExecMode::kFull);
 };

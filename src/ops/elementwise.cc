@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "ops/op_costs.h"
 
 namespace recstack {
@@ -67,23 +68,28 @@ UnaryOp::run(Workspace& ws)
     const float* x = xt.data<float>();
     float* y = yt.data<float>();
     const int64_t n = xt.numel();
-    switch (fn_) {
-      case UnaryFn::kRelu:
-        for (int64_t i = 0; i < n; ++i) {
-            y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    // Pure elementwise map: chunks touch disjoint [lo, hi) slices.
+    const UnaryFn fn = fn_;
+    parallelFor(0, n, grainForCost(unaryElemCost(fn)),
+                [=](int64_t lo, int64_t hi) {
+        switch (fn) {
+          case UnaryFn::kRelu:
+            for (int64_t i = lo; i < hi; ++i) {
+                y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+            }
+            break;
+          case UnaryFn::kSigmoid:
+            for (int64_t i = lo; i < hi; ++i) {
+                y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+            }
+            break;
+          case UnaryFn::kTanh:
+            for (int64_t i = lo; i < hi; ++i) {
+                y[i] = std::tanh(x[i]);
+            }
+            break;
         }
-        break;
-      case UnaryFn::kSigmoid:
-        for (int64_t i = 0; i < n; ++i) {
-            y[i] = 1.0f / (1.0f + std::exp(-x[i]));
-        }
-        break;
-      case UnaryFn::kTanh:
-        for (int64_t i = 0; i < n; ++i) {
-            y[i] = std::tanh(x[i]);
-        }
-        break;
-    }
+    });
 }
 
 KernelProfile
@@ -141,20 +147,23 @@ BinaryOp::run(Workspace& ws)
     const int64_t n = at.numel();
     const bool broadcast = at.shape() != bt.shape();
     const int64_t cols = broadcast ? at.dim(1) : 1;
-    auto rhs = [&](int64_t i) {
-        return broadcast ? b[i / cols] : b[i];
-    };
-    switch (fn_) {
-      case BinaryFn::kAdd:
-        for (int64_t i = 0; i < n; ++i) y[i] = a[i] + rhs(i);
-        break;
-      case BinaryFn::kSub:
-        for (int64_t i = 0; i < n; ++i) y[i] = a[i] - rhs(i);
-        break;
-      case BinaryFn::kMul:
-        for (int64_t i = 0; i < n; ++i) y[i] = a[i] * rhs(i);
-        break;
-    }
+    const BinaryFn fn = fn_;
+    parallelFor(0, n, grainForCost(2), [=](int64_t lo, int64_t hi) {
+        auto rhs = [&](int64_t i) {
+            return broadcast ? b[i / cols] : b[i];
+        };
+        switch (fn) {
+          case BinaryFn::kAdd:
+            for (int64_t i = lo; i < hi; ++i) y[i] = a[i] + rhs(i);
+            break;
+          case BinaryFn::kSub:
+            for (int64_t i = lo; i < hi; ++i) y[i] = a[i] - rhs(i);
+            break;
+          case BinaryFn::kMul:
+            for (int64_t i = lo; i < hi; ++i) y[i] = a[i] * rhs(i);
+            break;
+        }
+    });
 }
 
 KernelProfile
@@ -204,16 +213,25 @@ SumOp::run(Workspace& ws)
     Tensor& yt = out(ws, 0);
     float* y = yt.data<float>();
     const int64_t n = yt.numel();
-    const float* first = in(ws, 0).data<float>();
-    for (int64_t i = 0; i < n; ++i) {
-        y[i] = first[i];
+    std::vector<const float*> srcs;
+    srcs.reserve(inputs().size());
+    for (size_t s = 0; s < inputs().size(); ++s) {
+        srcs.push_back(in(ws, s).data<float>());
     }
-    for (size_t s = 1; s < inputs().size(); ++s) {
-        const float* x = in(ws, s).data<float>();
-        for (int64_t i = 0; i < n; ++i) {
-            y[i] += x[i];
+    // Disjoint element slices; the per-element input order (and thus
+    // float rounding) matches the serial accumulation exactly.
+    parallelFor(0, n, grainForCost(srcs.size()),
+                [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            y[i] = srcs[0][i];
         }
-    }
+        for (size_t s = 1; s < srcs.size(); ++s) {
+            const float* x = srcs[s];
+            for (int64_t i = lo; i < hi; ++i) {
+                y[i] += x[i];
+            }
+        }
+    });
 }
 
 KernelProfile

@@ -1,9 +1,49 @@
 #include "ops/embedding.h"
 
+#include <vector>
+
+#include "common/thread_pool.h"
 #include "ops/op_costs.h"
 
 namespace recstack {
 namespace {
+
+/**
+ * Serial prevalidation of a lengths-segmented index stream: checks
+ * that lengths exactly cover the indices and every index is in
+ * range, and returns per-output-row starting offsets so the pooling
+ * loop can be partitioned per output row. Running the checks before
+ * any parallel region keeps panics on the calling thread (death
+ * tests and fork children never touch the pool).
+ */
+std::vector<int64_t>
+segmentOffsets(const char* op, const std::string& name,
+               const int32_t* lengths, int64_t batch,
+               const int64_t* indices, int64_t num_indices, int64_t rows)
+{
+    std::vector<int64_t> offsets(static_cast<size_t>(batch) + 1, 0);
+    for (int64_t b = 0; b < batch; ++b) {
+        offsets[static_cast<size_t>(b) + 1] =
+            offsets[static_cast<size_t>(b)] + lengths[b];
+    }
+    RECSTACK_CHECK(offsets[static_cast<size_t>(batch)] == num_indices,
+                   op << " '" << name << "': lengths do not cover indices");
+    for (int64_t i = 0; i < num_indices; ++i) {
+        RECSTACK_CHECK(indices[i] >= 0 && indices[i] < rows,
+                       op << " '" << name << "': index " << indices[i]
+                          << " out of range");
+    }
+    return offsets;
+}
+
+/** Pooling grain: rows per chunk given dim and mean pooling factor. */
+int64_t
+poolingGrain(int64_t dim, int64_t num_indices, int64_t batch)
+{
+    const int64_t mean_pool =
+        batch > 0 ? std::max<int64_t>(1, num_indices / batch) : 1;
+    return grainForCost(static_cast<uint64_t>(dim * (mean_pool + 1)));
+}
 
 /** Random-gather stream over an embedding table. */
 MemStream
@@ -66,25 +106,26 @@ SparseLengthsSumOp::run(Workspace& ws)
     const int64_t dim = data_t.dim(1);
     const int64_t batch = len_t.numel();
 
-    int64_t cursor = 0;
-    for (int64_t b = 0; b < batch; ++b) {
-        float* yrow = y + b * dim;
-        for (int64_t d = 0; d < dim; ++d) {
-            yrow[d] = 0.0f;
-        }
-        for (int32_t p = 0; p < lengths[b]; ++p) {
-            const int64_t row = indices[cursor++];
-            RECSTACK_CHECK(row >= 0 && row < rows,
-                           "SLS '" << name() << "': index " << row
-                                   << " out of range");
-            const float* src = data + row * dim;
+    const std::vector<int64_t> offsets = segmentOffsets(
+        "SLS", name(), lengths, batch, indices, idx_t.numel(), rows);
+    // Each chunk owns a disjoint band of output rows and pools its
+    // lookups in the same ascending order as the serial cursor.
+    parallelFor(0, batch, poolingGrain(dim, idx_t.numel(), batch),
+                [&](int64_t lo, int64_t hi) {
+        for (int64_t b = lo; b < hi; ++b) {
+            float* yrow = y + b * dim;
             for (int64_t d = 0; d < dim; ++d) {
-                yrow[d] += src[d];
+                yrow[d] = 0.0f;
+            }
+            for (int64_t p = offsets[static_cast<size_t>(b)];
+                 p < offsets[static_cast<size_t>(b) + 1]; ++p) {
+                const float* src = data + indices[p] * dim;
+                for (int64_t d = 0; d < dim; ++d) {
+                    yrow[d] += src[d];
+                }
             }
         }
-    }
-    RECSTACK_CHECK(cursor == idx_t.numel(),
-                   "SLS '" << name() << "': lengths do not cover indices");
+    });
 }
 
 KernelProfile
@@ -169,26 +210,27 @@ SparseLengthsWeightedSumOp::run(Workspace& ws)
     float* y = out_t.data<float>();
     const int64_t rows = data_t.dim(0);
     const int64_t dim = data_t.dim(1);
+    const int64_t batch = len_t.numel();
 
-    int64_t cursor = 0;
-    for (int64_t b = 0; b < len_t.numel(); ++b) {
-        float* yrow = y + b * dim;
-        for (int64_t d = 0; d < dim; ++d) {
-            yrow[d] = 0.0f;
-        }
-        for (int32_t p = 0; p < lengths[b]; ++p, ++cursor) {
-            const int64_t row = indices[cursor];
-            RECSTACK_CHECK(row >= 0 && row < rows,
-                           "SLWS '" << name() << "': index out of range");
-            const float scale = w[cursor];
-            const float* src = data + row * dim;
+    const std::vector<int64_t> offsets = segmentOffsets(
+        "SLWS", name(), lengths, batch, indices, idx_t.numel(), rows);
+    parallelFor(0, batch, poolingGrain(dim, idx_t.numel(), batch),
+                [&](int64_t lo, int64_t hi) {
+        for (int64_t b = lo; b < hi; ++b) {
+            float* yrow = y + b * dim;
             for (int64_t d = 0; d < dim; ++d) {
-                yrow[d] += scale * src[d];
+                yrow[d] = 0.0f;
+            }
+            for (int64_t p = offsets[static_cast<size_t>(b)];
+                 p < offsets[static_cast<size_t>(b) + 1]; ++p) {
+                const float scale = w[p];
+                const float* src = data + indices[p] * dim;
+                for (int64_t d = 0; d < dim; ++d) {
+                    yrow[d] += scale * src[d];
+                }
             }
         }
-    }
-    RECSTACK_CHECK(cursor == idx_t.numel(),
-                   "SLWS '" << name() << "': lengths do not cover indices");
+    });
 }
 
 KernelProfile
@@ -263,33 +305,32 @@ SparseLengthsMeanOp::run(Workspace& ws)
     float* y = out_t.data<float>();
     const int64_t rows = data_t.dim(0);
     const int64_t dim = data_t.dim(1);
+    const int64_t batch = len_t.numel();
 
-    int64_t cursor = 0;
-    for (int64_t b = 0; b < len_t.numel(); ++b) {
-        float* yrow = y + b * dim;
-        for (int64_t d = 0; d < dim; ++d) {
-            yrow[d] = 0.0f;
-        }
-        for (int32_t p = 0; p < lengths[b]; ++p, ++cursor) {
-            const int64_t row = indices[cursor];
-            RECSTACK_CHECK(row >= 0 && row < rows,
-                           "SLMean '" << name()
-                                      << "': index out of range");
-            const float* src = data + row * dim;
+    const std::vector<int64_t> offsets = segmentOffsets(
+        "SLMean", name(), lengths, batch, indices, idx_t.numel(), rows);
+    parallelFor(0, batch, poolingGrain(dim, idx_t.numel(), batch),
+                [&](int64_t lo, int64_t hi) {
+        for (int64_t b = lo; b < hi; ++b) {
+            float* yrow = y + b * dim;
             for (int64_t d = 0; d < dim; ++d) {
-                yrow[d] += src[d];
+                yrow[d] = 0.0f;
+            }
+            for (int64_t p = offsets[static_cast<size_t>(b)];
+                 p < offsets[static_cast<size_t>(b) + 1]; ++p) {
+                const float* src = data + indices[p] * dim;
+                for (int64_t d = 0; d < dim; ++d) {
+                    yrow[d] += src[d];
+                }
+            }
+            if (lengths[b] > 0) {
+                const float inv = 1.0f / static_cast<float>(lengths[b]);
+                for (int64_t d = 0; d < dim; ++d) {
+                    yrow[d] *= inv;
+                }
             }
         }
-        if (lengths[b] > 0) {
-            const float inv = 1.0f / static_cast<float>(lengths[b]);
-            for (int64_t d = 0; d < dim; ++d) {
-                yrow[d] *= inv;
-            }
-        }
-    }
-    RECSTACK_CHECK(cursor == idx_t.numel(),
-                   "SLMean '" << name()
-                              << "': lengths do not cover indices");
+    });
 }
 
 KernelProfile
@@ -355,17 +396,25 @@ GatherOp::run(Workspace& ws)
     float* y = out_t.data<float>();
     const int64_t dim = data_t.dim(1);
     const int64_t rows = data_t.dim(0);
+    const int64_t lookups = idx_t.numel();
 
-    for (int64_t i = 0; i < idx_t.numel(); ++i) {
-        const int64_t row = indices[i];
-        RECSTACK_CHECK(row >= 0 && row < rows,
-                       "Gather '" << name() << "': index out of range");
-        const float* src = data + row * dim;
-        float* dst = y + i * dim;
-        for (int64_t d = 0; d < dim; ++d) {
-            dst[d] = src[d];
-        }
+    // Serial prevalidation (panics stay off the pool), then each
+    // chunk copies a disjoint band of output rows.
+    for (int64_t i = 0; i < lookups; ++i) {
+        RECSTACK_CHECK(indices[i] >= 0 && indices[i] < rows,
+                       "Gather '" << name() << "': index " << indices[i]
+                                  << " out of range");
     }
+    parallelFor(0, lookups, grainForCost(static_cast<uint64_t>(dim)),
+                [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const float* src = data + indices[i] * dim;
+            float* dst = y + i * dim;
+            for (int64_t d = 0; d < dim; ++d) {
+                dst[d] = src[d];
+            }
+        }
+    });
 }
 
 KernelProfile
@@ -422,18 +471,24 @@ ReduceSumOp::run(Workspace& ws)
     const int64_t batch = xt.dim(0);
     const int64_t pool = xt.dim(1);
     const int64_t dim = xt.dim(2);
-    for (int64_t b = 0; b < batch; ++b) {
-        float* yrow = y + b * dim;
-        for (int64_t d = 0; d < dim; ++d) {
-            yrow[d] = 0.0f;
-        }
-        for (int64_t p = 0; p < pool; ++p) {
-            const float* src = x + (b * pool + p) * dim;
+    // Per-sample reductions are independent; chunks own disjoint
+    // output rows and keep the serial p-ascending accumulation order.
+    parallelFor(0, batch,
+                grainForCost(static_cast<uint64_t>(pool * dim)),
+                [=](int64_t lo, int64_t hi) {
+        for (int64_t b = lo; b < hi; ++b) {
+            float* yrow = y + b * dim;
             for (int64_t d = 0; d < dim; ++d) {
-                yrow[d] += src[d];
+                yrow[d] = 0.0f;
+            }
+            for (int64_t p = 0; p < pool; ++p) {
+                const float* src = x + (b * pool + p) * dim;
+                for (int64_t d = 0; d < dim; ++d) {
+                    yrow[d] += src[d];
+                }
             }
         }
-    }
+    });
 }
 
 KernelProfile

@@ -1,5 +1,6 @@
 #include "ops/fc.h"
 
+#include "common/thread_pool.h"
 #include "ops/op_costs.h"
 
 namespace recstack {
@@ -44,18 +45,24 @@ FCOp::run(Workspace& ws)
     const float* b = bt.data<float>();
     float* y = yt.data<float>();
 
-    for (int64_t i = 0; i < m; ++i) {
-        const float* xrow = x + i * k;
-        float* yrow = y + i * n;
-        for (int64_t j = 0; j < n; ++j) {
-            const float* wrow = w + j * k;
-            float acc = b[j];
-            for (int64_t c = 0; c < k; ++c) {
-                acc += xrow[c] * wrow[c];
+    // Row-blocked: each chunk owns a disjoint band of output rows, so
+    // no accumulator crosses a chunk boundary and any thread count is
+    // bit-identical to serial.
+    parallelFor(0, m, grainForCost(static_cast<uint64_t>(n * k)),
+                [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const float* xrow = x + i * k;
+            float* yrow = y + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+                const float* wrow = w + j * k;
+                float acc = b[j];
+                for (int64_t c = 0; c < k; ++c) {
+                    acc += xrow[c] * wrow[c];
+                }
+                yrow[j] = acc;
             }
-            yrow[j] = acc;
         }
-    }
+    });
 }
 
 KernelProfile

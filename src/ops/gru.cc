@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "ops/op_costs.h"
 
 namespace recstack {
@@ -83,44 +84,55 @@ GRULayerOp::run(Workspace& ws)
     // h holds the running hidden state, initialized from h0.
     std::vector<float> h(h0t.data<float>(),
                          h0t.data<float>() + batch * hidden);
-    std::vector<float> gx(static_cast<size_t>(3 * hidden));
-    std::vector<float> gh(static_cast<size_t>(3 * hidden));
 
+    // Timesteps are inherently serial (h(t) feeds h(t+1)); within a
+    // step the batch partitions across the pool. Each sample b only
+    // reads and writes its own h/hseq rows, and each chunk carries
+    // private gate scratch, so any thread count is bit-identical.
+    const int64_t step_grain = grainForCost(
+        static_cast<uint64_t>(3 * hidden * (input + hidden)));
+    float* hbase = h.data();
     for (int64_t t = 0; t < steps; ++t) {
-        for (int64_t b = 0; b < batch; ++b) {
-            const float* xrow = x + (t * batch + b) * input;
-            const float* hrow = h.data() + b * hidden;
-            for (int64_t g = 0; g < 3 * hidden; ++g) {
-                float accx = bias[g];
-                const float* wxrow = wx + g * input;
-                for (int64_t i = 0; i < input; ++i) {
-                    accx += wxrow[i] * xrow[i];
+        parallelFor(0, batch, step_grain, [&, t](int64_t lo, int64_t hi) {
+            std::vector<float> gx(static_cast<size_t>(3 * hidden));
+            std::vector<float> gh(static_cast<size_t>(3 * hidden));
+            for (int64_t b = lo; b < hi; ++b) {
+                const float* xrow = x + (t * batch + b) * input;
+                const float* hrow = hbase + b * hidden;
+                for (int64_t g = 0; g < 3 * hidden; ++g) {
+                    float accx = bias[g];
+                    const float* wxrow = wx + g * input;
+                    for (int64_t i = 0; i < input; ++i) {
+                        accx += wxrow[i] * xrow[i];
+                    }
+                    gx[static_cast<size_t>(g)] = accx;
+                    float acch = 0.0f;
+                    const float* whrow = wh + g * hidden;
+                    for (int64_t i = 0; i < hidden; ++i) {
+                        acch += whrow[i] * hrow[i];
+                    }
+                    gh[static_cast<size_t>(g)] = acch;
                 }
-                gx[static_cast<size_t>(g)] = accx;
-                float acch = 0.0f;
-                const float* whrow = wh + g * hidden;
+                float* hout = hbase + b * hidden;
+                float* hseq_row = hseq + (t * batch + b) * hidden;
                 for (int64_t i = 0; i < hidden; ++i) {
-                    acch += whrow[i] * hrow[i];
+                    const float r =
+                        sigmoidf(gx[static_cast<size_t>(i)] +
+                                 gh[static_cast<size_t>(i)]);
+                    float z =
+                        sigmoidf(gx[static_cast<size_t>(hidden + i)] +
+                                 gh[static_cast<size_t>(hidden + i)]);
+                    if (att) {
+                        z *= att[t * batch + b];
+                    }
+                    const float n = std::tanh(
+                        gx[static_cast<size_t>(2 * hidden + i)] +
+                        r * gh[static_cast<size_t>(2 * hidden + i)]);
+                    hout[i] = (1.0f - z) * n + z * hout[i];
+                    hseq_row[i] = hout[i];
                 }
-                gh[static_cast<size_t>(g)] = acch;
             }
-            float* hout = h.data() + b * hidden;
-            float* hseq_row = hseq + (t * batch + b) * hidden;
-            for (int64_t i = 0; i < hidden; ++i) {
-                const float r = sigmoidf(gx[static_cast<size_t>(i)] +
-                                         gh[static_cast<size_t>(i)]);
-                float z = sigmoidf(gx[static_cast<size_t>(hidden + i)] +
-                                   gh[static_cast<size_t>(hidden + i)]);
-                if (att) {
-                    z *= att[t * batch + b];
-                }
-                const float n =
-                    std::tanh(gx[static_cast<size_t>(2 * hidden + i)] +
-                              r * gh[static_cast<size_t>(2 * hidden + i)]);
-                hout[i] = (1.0f - z) * n + z * hout[i];
-                hseq_row[i] = hout[i];
-            }
-        }
+        });
     }
     for (int64_t i = 0; i < batch * hidden; ++i) {
         hlast[i] = h[static_cast<size_t>(i)];

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "ops/op_costs.h"
 
 namespace recstack {
@@ -43,20 +44,25 @@ BatchMatMulOp::run(Workspace& ws)
     const float* b = bt.data<float>();
     float* c = ct.data<float>();
 
-    for (int64_t bb = 0; bb < batch; ++bb) {
-        const float* abase = a + bb * m * k;
-        const float* bbase = b + bb * k * n;
-        float* cbase = c + bb * m * n;
-        for (int64_t i = 0; i < m; ++i) {
+    // Partition the flattened (batch, i) output rows; each chunk
+    // writes a disjoint band of C, so parallel == serial bitwise.
+    parallelFor(0, batch * m, grainForCost(static_cast<uint64_t>(n * k)),
+                [=](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+            const int64_t bb = r / m;
+            const int64_t i = r % m;
+            const float* arow = a + (bb * m + i) * k;
+            const float* bbase = b + bb * k * n;
+            float* crow = c + (bb * m + i) * n;
             for (int64_t j = 0; j < n; ++j) {
                 float acc = 0.0f;
                 for (int64_t q = 0; q < k; ++q) {
-                    acc += abase[i * k + q] * bbase[q * n + j];
+                    acc += arow[q] * bbase[q * n + j];
                 }
-                cbase[i * n + j] = acc;
+                crow[j] = acc;
             }
         }
-    }
+    });
 }
 
 KernelProfile
@@ -119,22 +125,26 @@ SoftmaxOp::run(Workspace& ws)
     float* y = yt.data<float>();
     const int64_t batch = xt.dim(0);
     const int64_t n = xt.dim(1);
-    for (int64_t b = 0; b < batch; ++b) {
-        const float* row = x + b * n;
-        float* dst = y + b * n;
-        float mx = row[0];
-        for (int64_t i = 1; i < n; ++i) {
-            mx = std::max(mx, row[i]);
+    // Rows normalize independently: partition the batch dimension.
+    parallelFor(0, batch, grainForCost(static_cast<uint64_t>(n) * 8),
+                [=](int64_t lo, int64_t hi) {
+        for (int64_t b = lo; b < hi; ++b) {
+            const float* row = x + b * n;
+            float* dst = y + b * n;
+            float mx = row[0];
+            for (int64_t i = 1; i < n; ++i) {
+                mx = std::max(mx, row[i]);
+            }
+            float sum = 0.0f;
+            for (int64_t i = 0; i < n; ++i) {
+                dst[i] = std::exp(row[i] - mx);
+                sum += dst[i];
+            }
+            for (int64_t i = 0; i < n; ++i) {
+                dst[i] /= sum;
+            }
         }
-        float sum = 0.0f;
-        for (int64_t i = 0; i < n; ++i) {
-            dst[i] = std::exp(row[i] - mx);
-            sum += dst[i];
-        }
-        for (int64_t i = 0; i < n; ++i) {
-            dst[i] /= sum;
-        }
-    }
+    });
 }
 
 KernelProfile

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "serve/batch_queue.h"
 #include "serve/contention.h"
 
@@ -58,6 +59,8 @@ ServingEngine::run(const EngineConfig& config)
     RECSTACK_CHECK(config.arrivalQps > 0.0, "arrival rate must be > 0");
     RECSTACK_CHECK(config.maxBatch > 0, "batch cap must be > 0");
     RECSTACK_CHECK(config.simSeconds > 0.0, "duration must be > 0");
+    RECSTACK_CHECK(config.numThreads >= 0,
+                   "intra-op thread count must be >= 0");
 
     SweepCache* sweep = scheduler_->sweep();
     const Platform& platform = sweep->platforms()[platformIdx_];
@@ -142,8 +145,11 @@ ServingEngine::run(const EngineConfig& config)
                 } else {
                     gen.materialize(ws, batch);
                 }
+                ExecOptions exec_opts;
+                exec_opts.mode = config.execMode;
+                exec_opts.numThreads = config.numThreads;
                 const NetExecResult exec =
-                    Executor::run(model.net, ws, config.execMode);
+                    Executor::run(model.net, ws, exec_opts);
                 local.hostSeconds += exec.hostSeconds;
 
                 local.busySeconds += completion - ticket.launchTime;
@@ -215,6 +221,13 @@ ServingEngine::run(const EngineConfig& config)
         static_cast<double>(result.aggregate.samplesServed) / horizon;
     fillLatencyStats(all_latencies, &result.aggregate);
 
+    result.intraOpThreads =
+        config.numThreads > 0 ? config.numThreads : intraOpThreads();
+    if (result.batchesExecuted > 0) {
+        result.hostSecondsPerBatch =
+            result.hostSeconds /
+            static_cast<double>(result.batchesExecuted);
+    }
     if (result.aggregate.batchesServed > 0) {
         double slow_sum = 0.0;
         for (const WorkerLocal& local : locals) {

@@ -51,6 +51,13 @@ struct EngineConfig {
     ExecMode execMode = ExecMode::kProfileOnly;
     /// Couple service times to the shared-L3/DRAM contention model.
     bool modelContention = true;
+    /// Intra-op width each worker passes to Executor::run. All
+    /// workers share the one process-wide pool
+    /// (common/thread_pool.h). 1 = serial kernels (default: inter-op
+    /// worker parallelism already covers the socket); 0 = process
+    /// default (RECSTACK_NUM_THREADS). Numerics are bit-identical at
+    /// any width, so this only moves EngineResult::hostSeconds.
+    int numThreads = 1;
 };
 
 /** Result of one engine run. */
@@ -63,8 +70,16 @@ struct EngineResult {
     double maxSlowdown = 1.0;
     /// Real host seconds spent inside Executor::run across workers
     /// (wall-clock measurement, not part of the virtual-time stats).
+    /// 0.0 when execMode is kProfileOnly (no kernels run there; see
+    /// graph/executor.h hostSeconds semantics).
     double hostSeconds = 0.0;
     uint64_t batchesExecuted = 0;
+    /// Mean real host seconds per executed batch (hostSeconds /
+    /// batchesExecuted); comparing runs at different numThreads gives
+    /// the measured per-batch intra-op speedup.
+    double hostSecondsPerBatch = 0.0;
+    /// Resolved intra-op width the workers used.
+    int intraOpThreads = 1;
 };
 
 /** Thread-pooled dynamic-batching inference server. */

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Golden regression tests over the characterizer's reported figures:
+ * operator-breakdown fractions and TopDown metrics for two models at
+ * two batch sizes, snapshotted as flat JSON under tests/golden/ and
+ * compared within 1e-9. Kernel or platform-model refactors (e.g. the
+ * intra-op parallelization of src/ops/) cannot silently shift a
+ * reported figure: any drift fails here and forces a deliberate
+ * regeneration.
+ *
+ * Regenerate after an intentional change with
+ *   RECSTACK_REGEN_GOLDEN=1 ./build/tests/test_golden_figures
+ * which rewrites the snapshots in the source tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/characterizer.h"
+
+#ifndef RECSTACK_TEST_DATA_DIR
+#error "RECSTACK_TEST_DATA_DIR must point at tests/golden"
+#endif
+
+namespace recstack {
+namespace {
+
+ModelOptions
+testOptions()
+{
+    ModelOptions opts = tinyOptions();
+    opts.tableScale = 0.01;
+    return opts;
+}
+
+/** The shared characterizer (reuses built models across params). */
+Characterizer&
+characterizer()
+{
+    static Characterizer* c = new Characterizer(testOptions());
+    return *c;
+}
+
+/**
+ * Flatten one characterization to the snapshotted figures: breakdown
+ * fractions per operator type plus the TopDown metrics the paper's
+ * Figs. 6 and 8-15 report.
+ */
+std::map<std::string, double>
+figuresOf(const RunResult& r)
+{
+    std::map<std::string, double> m;
+    m["batch"] = static_cast<double>(r.batch);
+    m["seconds"] = r.seconds;
+    for (const auto& [type, seconds] : r.breakdown.byType()) {
+        (void)seconds;
+        m["breakdown." + type] = r.breakdown.fraction(type);
+    }
+    m["topdown.retiring"] = r.topdown.l1.retiring;
+    m["topdown.badSpeculation"] = r.topdown.l1.badSpeculation;
+    m["topdown.frontendBound"] = r.topdown.l1.frontendBound;
+    m["topdown.backendBound"] = r.topdown.l1.backendBound;
+    m["topdown.feLatency"] = r.topdown.l2.feLatency;
+    m["topdown.feBandwidth"] = r.topdown.l2.feBandwidth;
+    m["topdown.beCore"] = r.topdown.l2.beCore;
+    m["topdown.beMemory"] = r.topdown.l2.beMemory;
+    m["topdown.memDramLatency"] = r.topdown.l2.memDramLatency;
+    m["topdown.memDramBandwidth"] = r.topdown.l2.memDramBandwidth;
+    m["topdown.ipc"] = r.topdown.ipc;
+    m["topdown.avxFraction"] = r.topdown.avxFraction;
+    m["topdown.imspki"] = r.topdown.imspki;
+    m["topdown.mispredictsPerKuop"] = r.topdown.mispredictsPerKuop;
+    m["topdown.dramCongestedFraction"] =
+        r.topdown.dramCongestedFraction;
+    m["topdown.fuUsage3Plus"] = r.topdown.fuUsage3Plus;
+    return m;
+}
+
+/** Minimal reader for the flat {"key": number, ...} snapshots. */
+std::map<std::string, double>
+parseFlatJson(const std::string& text)
+{
+    std::map<std::string, double> m;
+    size_t pos = 0;
+    while ((pos = text.find('"', pos)) != std::string::npos) {
+        const size_t key_end = text.find('"', pos + 1);
+        if (key_end == std::string::npos) {
+            break;
+        }
+        const std::string key = text.substr(pos + 1, key_end - pos - 1);
+        size_t cursor = key_end + 1;
+        while (cursor < text.size() &&
+               (text[cursor] == ':' || std::isspace(
+                                           static_cast<unsigned char>(
+                                               text[cursor])))) {
+            ++cursor;
+        }
+        char* end = nullptr;
+        const double value = std::strtod(text.c_str() + cursor, &end);
+        if (end != text.c_str() + cursor) {
+            m[key] = value;
+        }
+        pos = static_cast<size_t>(end - text.c_str());
+        if (pos <= key_end) {
+            pos = key_end + 1;
+        }
+    }
+    return m;
+}
+
+std::string
+renderFlatJson(const std::map<std::string, double>& m)
+{
+    std::ostringstream out;
+    out << "{\n";
+    bool first = true;
+    for (const auto& [key, value] : m) {
+        if (!first) {
+            out << ",\n";
+        }
+        first = false;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        out << "  \"" << key << "\": " << buf;
+    }
+    out << "\n}\n";
+    return out.str();
+}
+
+struct GoldenCase {
+    ModelId model;
+    int64_t batch;
+};
+
+std::string
+goldenPath(const GoldenCase& c)
+{
+    return std::string(RECSTACK_TEST_DATA_DIR) + "/" +
+           modelName(c.model) + "_b" + std::to_string(c.batch) +
+           ".json";
+}
+
+class GoldenFigures : public ::testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(GoldenFigures, MatchesSnapshotWithin1e9)
+{
+    const GoldenCase c = GetParam();
+    const Platform bdw = makeCpuPlatform(broadwellConfig());
+    const RunResult r = characterizer().run(c.model, bdw, c.batch);
+    const std::map<std::string, double> current = figuresOf(r);
+    const std::string path = goldenPath(c);
+
+    if (std::getenv("RECSTACK_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << renderFlatJson(current);
+        std::printf("regenerated %s\n", path.c_str());
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden snapshot " << path
+        << " (regenerate with RECSTACK_REGEN_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::map<std::string, double> golden =
+        parseFlatJson(buf.str());
+    ASSERT_FALSE(golden.empty()) << "unparseable snapshot " << path;
+
+    // Exactly the same figure set (no operator type appears or
+    // vanishes), every value within 1e-9.
+    for (const auto& [key, want] : golden) {
+        const auto it = current.find(key);
+        ASSERT_NE(it, current.end())
+            << "figure '" << key << "' missing from current output";
+        EXPECT_NEAR(it->second, want,
+                    1e-9 * std::max(1.0, std::abs(want)))
+            << "figure '" << key << "' drifted from " << path;
+    }
+    for (const auto& [key, value] : current) {
+        (void)value;
+        EXPECT_TRUE(golden.count(key) > 0)
+            << "new figure '" << key
+            << "' not in snapshot (regenerate deliberately)";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsByBatch, GoldenFigures,
+    ::testing::Values(GoldenCase{ModelId::kRM1, 16},
+                      GoldenCase{ModelId::kRM1, 256},
+                      GoldenCase{ModelId::kWnD, 16},
+                      GoldenCase{ModelId::kWnD, 256}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+        return std::string(modelName(info.param.model)) + "_b" +
+               std::to_string(info.param.batch);
+    });
+
+}  // namespace
+}  // namespace recstack
