@@ -54,7 +54,44 @@ main()
          TextTable::fmt(t4.gatherEfficiency, 2));
     grow("kernel launch", TextTable::fmtSeconds(gtx.kernelLaunchSec),
          TextTable::fmtSeconds(t4.kernelLaunchSec));
-    std::printf("%s", gpus.render().c_str());
+    std::printf("%s\n", gpus.render().c_str());
+
+    // Per-model activation memory on these platforms at a serving
+    // batch: what op-at-a-time execution allocates (one blob per
+    // activation of the builder's net) vs the compiled net's
+    // liveness-planned arena peak (graph/compiled_net.h).
+    const int64_t plan_batch = 256;
+    constexpr double kMiB = 1024.0 * 1024.0;
+    SweepCache sweep(allPlatforms());
+    std::printf("--- activation memory at b=%lld (naive vs planned) ---\n",
+                static_cast<long long>(plan_batch));
+    TextTable mem({"model", "naive MiB", "planned MiB", "planned/naive",
+                   "fused ops"});
+    double rm2_ratio = 1.0;
+    double dien_ratio = 1.0;
+    for (ModelId id : allModels()) {
+        const NetPlan& plan = sweep.memoryPlan(id, plan_batch);
+        const CompiledNet& net = sweep.characterizer().compiled(id);
+        const double ratio =
+            static_cast<double>(plan.arenaBytes) /
+            static_cast<double>(std::max<size_t>(
+                1, plan.naiveActivationBytes));
+        if (id == ModelId::kRM2) {
+            rm2_ratio = ratio;
+        }
+        if (id == ModelId::kDIEN) {
+            dien_ratio = ratio;
+        }
+        mem.addRow(
+            {modelName(id),
+             TextTable::fmt(
+                 static_cast<double>(plan.naiveActivationBytes) / kMiB, 2),
+             TextTable::fmt(static_cast<double>(plan.arenaBytes) / kMiB,
+                            2),
+             TextTable::fmtPercent(ratio),
+             std::to_string(net.fusions().size())});
+    }
+    std::printf("%s", mem.render().c_str());
 
     checkHeader();
     check(clx.l2.sizeBytes > bdw.l2.sizeBytes &&
@@ -64,5 +101,11 @@ main()
           "Cascade Lake doubles SIMD width (AVX-2 -> AVX-512)");
     check(t4.smCount > gtx.smCount && t4.memGBs < gtx.memGBs,
           "T4: more SMs, lower raw GDDR bandwidth than 1080 Ti");
+    check(rm2_ratio <= 0.60,
+          "memory planning fits RM2 activations in <= 60% of the "
+          "naive per-blob sum at serving batch");
+    check(dien_ratio <= 0.60,
+          "memory planning fits DIEN's unrolled-GRU activations in "
+          "<= 60% of the naive per-blob sum at serving batch");
     return 0;
 }

@@ -57,6 +57,10 @@ Characterizer::ModelCtx::ModelCtx(Model m) : model(std::move(m))
     ws.setShapeOnly(true);
     model.declareParams(ws);
     gen = std::make_unique<BatchGenerator>(model.workload);
+    CompileOptions profile_opts;
+    profile_opts.fuseOps = false;
+    profile_opts.planMemory = false;
+    profileNet = CompiledNet::compile(model.net, profile_opts);
 }
 
 Characterizer::Characterizer(ModelOptions opts, uint64_t seed,
@@ -84,20 +88,43 @@ Characterizer::model(ModelId id)
     return ctx(id).model;
 }
 
+const CompiledNet&
+Characterizer::compiled(ModelId id)
+{
+    ModelCtx& mc = ctx(id);
+    if (mc.plannedNet == nullptr) {
+        mc.plannedNet = CompiledNet::compile(mc.model.net);
+    }
+    return *mc.plannedNet;
+}
+
+const NetPlan&
+Characterizer::memoryPlan(ModelId id, int64_t batch)
+{
+    (void)compiled(id);
+    ModelCtx& mc = ctx(id);
+    mc.gen->declare(mc.ws, batch);
+    return mc.plannedNet->plan(mc.ws, batch);
+}
+
 std::vector<KernelProfile>
 Characterizer::profiles(ModelId id, int64_t batch, uint64_t* input_bytes,
                         size_t* input_blobs)
 {
     ModelCtx& mc = ctx(id);
     mc.gen->declare(mc.ws, batch);
-    const NetExecResult exec =
-        Executor::run(mc.model.net, mc.ws, ExecMode::kProfileOnly);
+    // Profile through the (unfused) compiled net: the lowered
+    // profiles are identical to an interpreted kProfileOnly run, but
+    // memoized per batch, so grid sweeps pay shape inference and
+    // profile lowering once per (model, batch) instead of once per
+    // platform visit.
+    const NetPlan& plan = mc.profileNet->plan(mc.ws, batch);
 
     std::vector<KernelProfile> out;
-    out.reserve(exec.records.size() + 1);
+    out.reserve(plan.profiles.size() + 1);
     out.push_back(mc.gen->dataLoadProfile(batch));
-    for (const auto& rec : exec.records) {
-        out.push_back(rec.profile);
+    for (const auto& kp : plan.profiles) {
+        out.push_back(kp);
     }
     if (input_bytes != nullptr) {
         *input_bytes = mc.gen->inputBytes(batch);

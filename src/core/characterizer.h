@@ -16,6 +16,7 @@
 #include "core/breakdown.h"
 #include "framework/frameworks.h"
 #include "gpu/gpu_model.h"
+#include "graph/compiled_net.h"
 #include "models/model.h"
 #include "platform/platform.h"
 #include "topdown/topdown.h"
@@ -77,6 +78,20 @@ class Characterizer
     /** The (cached) built model. */
     const Model& model(ModelId id);
 
+    /**
+     * The model's fused + memory-planned compiled form (compiled
+     * lazily, once per model). Exposes the fusion decisions and
+     * liveness table the `recstack plan` dump prints.
+     */
+    const CompiledNet& compiled(ModelId id);
+
+    /**
+     * The batch-@c batch arena memory plan of the fused net. Plans
+     * are memoized inside the compiled net, so a batch-size grid
+     * (core/sweep.h) prices each batch's layout exactly once.
+     */
+    const NetPlan& memoryPlan(ModelId id, int64_t batch);
+
     const ModelOptions& options() const { return opts_; }
 
   private:
@@ -84,6 +99,13 @@ class Characterizer
         Model model;
         Workspace ws;
         std::unique_ptr<BatchGenerator> gen;
+        /// Unfused compilation: op-for-op the builder's net, so its
+        /// cached per-batch profiles are byte-identical with the
+        /// interpreted executor's (the golden-figure contract), while
+        /// a sweep re-visiting a batch size skips re-lowering.
+        std::shared_ptr<CompiledNet> profileNet;
+        /// Fused + planned compilation backing compiled()/memoryPlan().
+        std::shared_ptr<CompiledNet> plannedNet;
 
         explicit ModelCtx(Model m);
     };

@@ -34,6 +34,15 @@ class SweepCache
     const std::vector<Platform>& platforms() const { return platforms_; }
     Characterizer& characterizer() { return char_; }
 
+    /**
+     * The memoized arena memory plan for one (model, batch) grid
+     * point (platform-independent; see Characterizer::memoryPlan).
+     */
+    const NetPlan& memoryPlan(ModelId model, int64_t batch)
+    {
+        return char_.memoryPlan(model, batch);
+    }
+
     /** Speedup of platform_idx over the baseline (index 0). */
     double speedupOverBaseline(ModelId model, size_t platform_idx,
                                int64_t batch);

@@ -58,4 +58,46 @@ Executor::run(const NetDef& net, Workspace& ws, ExecMode mode)
     return run(net, ws, opts);
 }
 
+NetExecResult
+Executor::run(CompiledNet& net, Workspace& ws, Arena& arena, int64_t batch,
+              const ExecOptions& opts)
+{
+    using Clock = std::chrono::steady_clock;
+
+    IntraOpScope intra_op(opts.numThreads);
+    const NetPlan& plan = net.plan(ws, batch);
+    const bool numerics = opts.mode != ExecMode::kProfileOnly;
+
+    NetExecResult result;
+    result.records.reserve(net.opCount());
+    if (numerics) {
+        net.bind(ws, arena, plan);
+    }
+    const auto net_start = Clock::now();
+
+    const auto& ops = net.ops();
+    for (size_t i = 0; i < ops.size(); ++i) {
+        OpExecRecord record;
+        if (numerics) {
+            const auto start = Clock::now();
+            ops[i]->run(ws);
+            const auto end = Clock::now();
+            record.hostSeconds =
+                std::chrono::duration<double>(end - start).count();
+        }
+        if (opts.mode != ExecMode::kNumericOnly) {
+            // Lowered once at plan time (unique-code rewrite included).
+            record.profile = plan.profiles[i];
+        }
+        result.records.push_back(std::move(record));
+    }
+
+    if (numerics) {
+        result.hostSeconds =
+            std::chrono::duration<double>(Clock::now() - net_start)
+                .count();
+    }
+    return result;
+}
+
 }  // namespace recstack

@@ -30,6 +30,7 @@
 
 #include <vector>
 
+#include "graph/compiled_net.h"
 #include "graph/net.h"
 
 namespace recstack {
@@ -85,6 +86,18 @@ class Executor
     /** Mode-only convenience overload (default intra-op width). */
     static NetExecResult run(const NetDef& net, Workspace& ws,
                              ExecMode mode = ExecMode::kFull);
+
+    /**
+     * Compiled fast path: bind @c net's batch-@c batch memory plan
+     * into @c ws / @c arena and run the fused schedule with no per-op
+     * shape inference or profile lowering (profiles come from the
+     * plan's cache). Numerics are bit-identical to the interpreted
+     * overloads above at every thread width. kProfileOnly skips the
+     * bind entirely. External inputs must already be present at the
+     * planned shapes.
+     */
+    static NetExecResult run(CompiledNet& net, Workspace& ws, Arena& arena,
+                             int64_t batch, const ExecOptions& opts);
 };
 
 }  // namespace recstack

@@ -1,5 +1,6 @@
 #include "graph/net.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -28,8 +29,17 @@ NetDef::addExternalOutput(std::string name)
 void
 NetDef::validate() const
 {
-    std::set<std::string> available(externalInputs_.begin(),
-                                    externalInputs_.end());
+    // Duplicate external declarations would give the liveness planner
+    // two conflicting roles (or ref-counts) for one blob.
+    std::set<std::string> available;
+    for (const auto& input : externalInputs_) {
+        RECSTACK_CHECK(available.insert(input).second,
+                       "net '" << name_ << "': external input '" << input
+                               << "' declared twice");
+    }
+    // Single-assignment: the memory planner derives one [def, lastUse]
+    // interval per blob, so a second producer must be rejected.
+    std::set<std::string> produced;
     for (const auto& op : ops_) {
         for (const auto& input : op->inputs()) {
             RECSTACK_CHECK(available.count(input),
@@ -38,10 +48,23 @@ NetDef::validate() const
                                    << "'");
         }
         for (const auto& output : op->outputs()) {
+            RECSTACK_CHECK(produced.insert(output).second,
+                           "net '" << name_ << "': blob '" << output
+                                   << "' has a second producer (op '"
+                                   << op->name() << "')");
+            RECSTACK_CHECK(!std::count(externalInputs_.begin(),
+                                       externalInputs_.end(), output),
+                           "net '" << name_ << "': op '" << op->name()
+                                   << "' overwrites external input '"
+                                   << output << "'");
             available.insert(output);
         }
     }
+    std::set<std::string> outputs_seen;
     for (const auto& output : externalOutputs_) {
+        RECSTACK_CHECK(outputs_seen.insert(output).second,
+                       "net '" << name_ << "': external output '" << output
+                               << "' declared twice");
         RECSTACK_CHECK(available.count(output),
                        "net '" << name_ << "': external output '" << output
                                << "' is never produced");

@@ -49,8 +49,11 @@ class NetDef
 
     /**
      * Check that every operator input is either an external input or
-     * produced by an earlier operator, and that external outputs are
-     * produced. Panics with a diagnostic on violation.
+     * produced by an earlier operator, that every blob has exactly
+     * one producer (single-assignment — the liveness planner in
+     * graph/compiled_net.h depends on it), and that external
+     * input/output declarations are unique and outputs are produced.
+     * Panics with a diagnostic on violation.
      */
     void validate() const;
 

@@ -28,6 +28,12 @@ class ReshapeOp : public Operator
     void run(Workspace& ws) override;
     KernelProfile profile(const Workspace& ws) const override;
 
+    /** Requested shape, -1 wildcards unresolved (fusion matching). */
+    const std::vector<int64_t>& targetShape() const
+    {
+        return targetShape_;
+    }
+
   private:
     std::vector<int64_t> resolve(const Tensor& x) const;
     std::vector<int64_t> targetShape_;

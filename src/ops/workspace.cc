@@ -35,8 +35,10 @@ Workspace::ensure(const std::string& name, const std::vector<int64_t>& shape,
                   DType dtype)
 {
     auto it = blobs_.find(name);
+    // Never reuse an arena view: its storage belongs to a memory plan
+    // with aliased lifetimes, which an op-at-a-time run would corrupt.
     if (it != blobs_.end() && it->second.shape() == shape &&
-        it->second.dtype() == dtype &&
+        it->second.dtype() == dtype && it->second.ownsStorage() &&
         (shapeOnly_ || it->second.materialized())) {
         return it->second;
     }
@@ -69,6 +71,30 @@ Workspace::totalBytes() const
     size_t n = 0;
     for (const auto& [name, tensor] : blobs_) {
         n += tensor.byteSize();
+    }
+    return n;
+}
+
+size_t
+Workspace::materializedBytes() const
+{
+    size_t n = 0;
+    for (const auto& [name, tensor] : blobs_) {
+        if (tensor.materialized() && tensor.ownsStorage()) {
+            n += tensor.byteSize();
+        }
+    }
+    return n;
+}
+
+size_t
+Workspace::plannedBytes() const
+{
+    size_t n = 0;
+    for (const auto& [name, tensor] : blobs_) {
+        if (!tensor.materialized()) {
+            n += tensor.byteSize();
+        }
     }
     return n;
 }

@@ -51,8 +51,25 @@ class Workspace
     /** Names of all blobs (unordered). */
     std::vector<std::string> names() const;
 
-    /** Total payload bytes across all blobs. */
+    /**
+     * Total payload bytes across all blobs — real for materialized
+     * tensors, would-be for shape-only ones. Callers that need to
+     * distinguish should use materializedBytes() / plannedBytes().
+     */
     size_t totalBytes() const;
+
+    /**
+     * Bytes of real payload this workspace owns (materialized blobs
+     * with owned storage). Arena views are excluded: their bytes
+     * belong to the Arena, and aliased views would double count.
+     */
+    size_t materializedBytes() const;
+
+    /**
+     * Would-be payload bytes of metadata-only (shapeOnly) blobs — the
+     * allocation a materialized run of the same shapes would pay.
+     */
+    size_t plannedBytes() const;
 
     size_t size() const { return blobs_.size(); }
 

@@ -52,6 +52,13 @@ ServingEngine::ServingEngine(QueryScheduler* scheduler, ModelId model,
                    "platform index out of range");
 }
 
+std::shared_ptr<const CompiledNet>
+ServingEngine::compiled() const
+{
+    std::lock_guard<std::mutex> lock(compileMu_);
+    return compiled_;
+}
+
 EngineResult
 ServingEngine::run(const EngineConfig& config)
 {
@@ -66,10 +73,21 @@ ServingEngine::run(const EngineConfig& config)
     const Platform& platform = sweep->platforms()[platformIdx_];
 
     // Warm every shared lazily-built structure before threads exist:
-    // the built model, the characterization grid the latency oracle
-    // interpolates over, and the co-location reference point. After
-    // this, workers touch the sweep only under the queue lock.
+    // the built model, its compiled form, the characterization grid
+    // the latency oracle interpolates over, and the co-location
+    // reference point. After this, workers touch the sweep only under
+    // the queue lock.
     const Model& model = sweep->characterizer().model(model_);
+    {
+        // Compile once per engine: workers (and later run() calls)
+        // share the schedule and its per-batch memory plans, and only
+        // bring their own Workspace + Arena.
+        std::lock_guard<std::mutex> lock(compileMu_);
+        if (compiled_ == nullptr) {
+            compiled_ = CompiledNet::compile(model.net);
+        }
+    }
+    CompiledNet& compiled = *compiled_;
     for (int64_t b : scheduler_->batchGrid()) {
         scheduler_->latency(model_, platformIdx_, b);
     }
@@ -104,6 +122,7 @@ ServingEngine::run(const EngineConfig& config)
         threads.emplace_back([&, wid] {
             WorkerLocal& local = locals[static_cast<size_t>(wid)];
             Workspace ws;
+            Arena arena;
             BatchGenerator gen(
                 model.workload,
                 config.seed ^
@@ -148,8 +167,8 @@ ServingEngine::run(const EngineConfig& config)
                 ExecOptions exec_opts;
                 exec_opts.mode = config.execMode;
                 exec_opts.numThreads = config.numThreads;
-                const NetExecResult exec =
-                    Executor::run(model.net, ws, exec_opts);
+                const NetExecResult exec = Executor::run(
+                    compiled, ws, arena, batch, exec_opts);
                 local.hostSeconds += exec.hostSeconds;
 
                 local.busySeconds += completion - ticket.launchTime;

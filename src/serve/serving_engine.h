@@ -29,6 +29,8 @@
  */
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "graph/executor.h"
@@ -97,10 +99,22 @@ class ServingEngine
 
     EngineResult run(const EngineConfig& config);
 
+    /**
+     * The engine's compiled net (compile-once: shared by all workers
+     * of all run() calls; workers only differ in their private
+     * Workspace + Arena). Null until the first run().
+     */
+    std::shared_ptr<const CompiledNet> compiled() const;
+
   private:
     QueryScheduler* scheduler_;
     ModelId model_;
     size_t platformIdx_;
+
+    /// One compilation per engine, reused across run() configs; the
+    /// per-batch memory plans inside it are shared by every worker.
+    mutable std::mutex compileMu_;
+    std::shared_ptr<CompiledNet> compiled_;
 };
 
 }  // namespace recstack

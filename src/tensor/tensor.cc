@@ -62,6 +62,18 @@ Tensor::shapeOnly(std::vector<int64_t> shape, DType dtype)
 }
 
 Tensor
+Tensor::view(std::vector<int64_t> shape, DType dtype, std::byte* data)
+{
+    RECSTACK_CHECK(data != nullptr, "view over a null buffer");
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.dtype_ = dtype;
+    (void)shapeNumel(t.shape_);  // validates non-negative dims
+    t.extData_ = data;
+    return t;
+}
+
+Tensor
 Tensor::fromFloats(std::vector<int64_t> shape, std::vector<float> values)
 {
     Tensor t(std::move(shape), DType::kFloat32);

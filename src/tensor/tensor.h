@@ -54,8 +54,25 @@ class Tensor
     static Tensor shapeOnly(std::vector<int64_t> shape,
                             DType dtype = DType::kFloat32);
 
+    /**
+     * A non-owning view over external storage (an arena slot planned
+     * by graph/compiled_net). The pointed-at buffer must stay alive
+     * and at least byteSize() long for the view's lifetime; copies of
+     * a view alias the same buffer.
+     */
+    static Tensor view(std::vector<int64_t> shape, DType dtype,
+                       std::byte* data);
+
     /** True when the tensor carries real storage. */
     bool materialized() const { return materialized_; }
+
+    /**
+     * True when the payload lives in owned storage (or the tensor is
+     * shape-only); false for arena views. Workspace::ensure never
+     * reuses a view — a later interpreted run must not silently write
+     * through a stale memory plan.
+     */
+    bool ownsStorage() const { return extData_ == nullptr; }
 
     /** Convenience factory from explicit float data (1-D or shaped). */
     static Tensor fromFloats(std::vector<int64_t> shape,
@@ -107,6 +124,7 @@ class Tensor
     DType dtype_;
     bool materialized_ = true;
     std::vector<std::byte> storage_;
+    std::byte* extData_ = nullptr;  ///< set for non-owning views
 };
 
 template <typename T>
@@ -115,7 +133,8 @@ Tensor::data()
 {
     checkDType<T>();
     RECSTACK_CHECK(materialized_, "data() on a shape-only tensor");
-    return reinterpret_cast<T*>(storage_.data());
+    return reinterpret_cast<T*>(extData_ != nullptr ? extData_
+                                                    : storage_.data());
 }
 
 template <typename T>
@@ -124,7 +143,9 @@ Tensor::data() const
 {
     checkDType<T>();
     RECSTACK_CHECK(materialized_, "data() on a shape-only tensor");
-    return reinterpret_cast<const T*>(storage_.data());
+    return reinterpret_cast<const T*>(extData_ != nullptr
+                                          ? extData_
+                                          : storage_.data());
 }
 
 template <typename T>

@@ -58,6 +58,43 @@ TEST(NetDef, ValidateCatchesOrderViolation)
     EXPECT_DEATH(net.validate(), "undefined blob");
 }
 
+TEST(NetDef, ValidateCatchesDuplicateProducer)
+{
+    // Single-assignment is what lets the memory planner derive one
+    // [def, lastUse] interval per blob.
+    NetDef net("bad");
+    net.addExternalInput("x");
+    net.addOp(makeRelu("r1", "x", "y"));
+    net.addOp(makeSigmoid("r2", "x", "y"));
+    EXPECT_DEATH(net.validate(), "second producer");
+}
+
+TEST(NetDef, ValidateCatchesOverwrittenExternalInput)
+{
+    NetDef net("bad");
+    net.addExternalInput("x");
+    net.addOp(makeRelu("r1", "x", "x"));
+    EXPECT_DEATH(net.validate(), "overwrites external input");
+}
+
+TEST(NetDef, ValidateCatchesDuplicateExternalInput)
+{
+    NetDef net("bad");
+    net.addExternalInput("x");
+    net.addExternalInput("x");
+    EXPECT_DEATH(net.validate(), "declared twice");
+}
+
+TEST(NetDef, ValidateCatchesDuplicateExternalOutput)
+{
+    NetDef net("bad");
+    net.addExternalInput("x");
+    net.addOp(makeRelu("r1", "x", "y"));
+    net.addExternalOutput("y");
+    net.addExternalOutput("y");
+    EXPECT_DEATH(net.validate(), "declared twice");
+}
+
 TEST(NetDef, SummaryCountsTypes)
 {
     const std::string s = smallNet().summary();

@@ -180,6 +180,40 @@ TEST_F(ServingEngineTest, GpuPlatformHasNoSocketContention)
     EXPECT_GT(r.aggregate.samplesServed, 0u);
 }
 
+TEST_F(ServingEngineTest, CompilesTheModelOnceAcrossWorkersAndRuns)
+{
+    // All workers execute through one shared CompiledNet; a second
+    // run() must reuse it rather than recompile. Counted via the
+    // global compile counter (delta, not absolute: the fixture's
+    // characterizer compiles profile nets of its own) and by pointer
+    // identity of the engine's compiled net.
+    EngineConfig cfg;
+    cfg.numWorkers = 4;
+    cfg.arrivalQps = 2000;
+    cfg.maxBatch = 64;
+    cfg.simSeconds = 0.1;
+    cfg.execMode = ExecMode::kNumericOnly;
+
+    // Warm the characterizer's lazy per-model compilations so the
+    // counter delta below isolates the engine's own compile.
+    ServingEngine warmup(&sched_, ModelId::kNCF, 0);
+    warmup.run(cfg);
+
+    ServingEngine engine(&sched_, ModelId::kNCF, 0);
+    EXPECT_EQ(engine.compiled(), nullptr);
+    const uint64_t before = CompiledNet::compileCount();
+    engine.run(cfg);
+    const std::shared_ptr<const CompiledNet> first = engine.compiled();
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(CompiledNet::compileCount(), before + 1)
+        << "4 workers must share one compilation";
+
+    engine.run(cfg);
+    EXPECT_EQ(engine.compiled(), first);
+    EXPECT_EQ(CompiledNet::compileCount(), before + 1)
+        << "second run must reuse the compiled net";
+}
+
 TEST_F(ServingEngineTest, RejectsBadConfig)
 {
     ServingEngine engine(&sched_, ModelId::kNCF, 0);

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "tensor/tensor.h"
 
 namespace recstack {
@@ -127,6 +130,27 @@ TEST(Tensor, CopyIsDeep)
     Tensor b = a;
     b.data<float>()[0] = 99.0f;
     EXPECT_FLOAT_EQ(a.data<float>()[0], 1.0f);
+}
+
+TEST(Tensor, ViewAliasesExternalStorage)
+{
+    std::vector<std::byte> arena(3 * sizeof(float));
+    Tensor v = Tensor::view({3}, DType::kFloat32, arena.data());
+    EXPECT_FALSE(v.ownsStorage());
+    EXPECT_TRUE(v.materialized());
+    v.data<float>()[1] = 7.0f;
+    EXPECT_FLOAT_EQ(reinterpret_cast<float*>(arena.data())[1], 7.0f);
+    // Copies of a view alias the same arena slot — exactly what the
+    // deep-copy semantics of owned tensors forbid.
+    Tensor w = v;
+    w.data<float>()[1] = 9.0f;
+    EXPECT_FLOAT_EQ(v.data<float>()[1], 9.0f);
+}
+
+TEST(Tensor, ViewOverNullBufferPanics)
+{
+    EXPECT_DEATH(Tensor::view({3}, DType::kFloat32, nullptr),
+                 "null buffer");
 }
 
 }  // namespace

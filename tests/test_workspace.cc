@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "ops/workspace.h"
 
 namespace recstack {
@@ -104,6 +107,36 @@ TEST(Workspace, TotalBytes)
     ws.set("a", Tensor({10}));                  // 40 bytes
     ws.set("b", Tensor({2}, DType::kInt64));    // 16 bytes
     EXPECT_EQ(ws.totalBytes(), 56u);
+}
+
+TEST(Workspace, MaterializedVsPlannedBytes)
+{
+    // materializedBytes() counts owned payloads actually allocated;
+    // plannedBytes() counts the would-be payloads of shape-only
+    // blobs. Arena views appear in neither: their storage belongs to
+    // the plan's arena and would be double-counted.
+    std::vector<std::byte> arena(40);
+    Workspace ws;
+    ws.set("owned", Tensor({10}));                        // 40 bytes
+    ws.set("planned", Tensor::shapeOnly({4}));            // 16 bytes
+    ws.set("view", Tensor::view({10}, DType::kFloat32, arena.data()));
+    EXPECT_EQ(ws.materializedBytes(), 40u);
+    EXPECT_EQ(ws.plannedBytes(), 16u);
+    EXPECT_EQ(ws.totalBytes(), 96u);
+}
+
+TEST(Workspace, EnsureNeverReusesAView)
+{
+    // After a compiled (arena-planned) run, an interpreted run on the
+    // same workspace must not write through the stale memory plan.
+    std::vector<std::byte> arena(40);
+    Workspace ws;
+    ws.set("x", Tensor::view({10}, DType::kFloat32, arena.data()));
+    Tensor& fresh = ws.ensure("x", {10}, DType::kFloat32);
+    EXPECT_TRUE(fresh.ownsStorage());
+    EXPECT_TRUE(fresh.materialized());
+    // An owned blob with matching metadata is still reused in place.
+    EXPECT_EQ(&fresh, &ws.ensure("x", {10}, DType::kFloat32));
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
  *   recstack sweep <MODEL|all> [--csv]
  *   recstack topdown <MODEL> <BATCH> <bdw|clx>
  *   recstack schedule <MODEL> <SLA_MS>
+ *   recstack plan <MODEL> <BATCH> [--json]
  *   recstack record <MODEL> <BATCH> <FILE>
  *   recstack replay <FILE> [platform-substring]
  *   recstack custom <CONFIG> <BATCH>
@@ -46,6 +47,8 @@ usage()
         "  recstack topdown <MODEL> <BATCH> <bdw|clx>  TopDown drill-"
         "down\n"
         "  recstack schedule <MODEL> <SLA_MS>       SLA-aware routing\n"
+        "  recstack plan <MODEL> <BATCH> [--json]   compiled schedule + "
+        "arena memory plan\n"
         "  recstack record <MODEL> <BATCH> <FILE>   capture a kernel "
         "trace\n"
         "  recstack replay <FILE> [PLATFORM]        re-simulate a "
@@ -355,6 +358,113 @@ cmdCustom(const std::string& path, int64_t batch)
     return 0;
 }
 
+/** Dump the compiled schedule, fusion decisions and arena layout. */
+int
+cmdPlan(const std::string& model, int64_t batch, bool json)
+{
+    const ModelId id = modelFromName(model);
+    Characterizer c;
+    const CompiledNet& net = c.compiled(id);
+    const NetPlan& plan = c.memoryPlan(id, batch);
+    const auto& blobs = net.blobs();
+    const double naive =
+        static_cast<double>(std::max<size_t>(1, plan.naiveActivationBytes));
+    const double ratio = static_cast<double>(plan.arenaBytes) / naive;
+
+    if (json) {
+        std::printf("{\n  \"model\": \"%s\",\n  \"batch\": %lld,\n",
+                    c.model(id).name.c_str(),
+                    static_cast<long long>(batch));
+        std::printf("  \"originalOps\": %zu,\n  \"compiledOps\": %zu,\n",
+                    net.originalOpCount(), net.opCount());
+        std::printf("  \"planningEnabled\": %s,\n",
+                    net.planningEnabled() ? "true" : "false");
+        std::printf("  \"naiveActivationBytes\": %zu,\n",
+                    plan.naiveActivationBytes);
+        std::printf("  \"fusedActivationBytes\": %zu,\n",
+                    plan.fusedActivationBytes);
+        std::printf("  \"arenaBytes\": %zu,\n", plan.arenaBytes);
+        std::printf("  \"arenaToNaive\": %.4f,\n", ratio);
+        std::printf("  \"fusions\": [\n");
+        const auto& fusions = net.fusions();
+        for (size_t i = 0; i < fusions.size(); ++i) {
+            std::printf("    {\"kind\": \"%s\", \"op\": \"%s\", "
+                        "\"absorbed\": %zu}%s\n",
+                        fusions[i].kind.c_str(),
+                        fusions[i].fusedOp.c_str(),
+                        fusions[i].absorbedOps.size(),
+                        i + 1 < fusions.size() ? "," : "");
+        }
+        std::printf("  ],\n  \"blobs\": [\n");
+        for (size_t i = 0; i < blobs.size(); ++i) {
+            const char* role =
+                blobs[i].role == BlobRole::kExternalInput    ? "input"
+                : blobs[i].role == BlobRole::kExternalOutput ? "output"
+                                                             : "activation";
+            std::printf("    {\"name\": \"%s\", \"role\": \"%s\", "
+                        "\"def\": %d, \"lastUse\": %d, \"bytes\": %zu",
+                        blobs[i].name.c_str(), role, blobs[i].def,
+                        blobs[i].lastUse, plan.bytes[i]);
+            if (plan.offsets[i] != kNoArenaOffset) {
+                std::printf(", \"arenaOffset\": %zu", plan.offsets[i]);
+            }
+            std::printf("}%s\n", i + 1 < blobs.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
+
+    std::printf("%s @ batch %lld: %zu ops compiled to %zu (%zu fusions)"
+                "%s\n\n",
+                c.model(id).name.c_str(), static_cast<long long>(batch),
+                net.originalOpCount(), net.opCount(),
+                net.fusions().size(),
+                net.planningEnabled() ? ""
+                                      : "  [planning disabled]");
+
+    TextTable fusions({"pass", "fused op", "absorbed"});
+    for (const FusionDecision& f : net.fusions()) {
+        fusions.addRow({f.kind, f.fusedOp,
+                        std::to_string(f.absorbedOps.size()) + " ops"});
+    }
+    std::printf("%s\n", fusions.render().c_str());
+
+    TextTable sched({"#", "type", "op", "outputs"});
+    const auto& ops = net.ops();
+    for (size_t i = 0; i < ops.size(); ++i) {
+        std::string outs;
+        for (const auto& o : ops[i]->outputs()) {
+            outs += (outs.empty() ? "" : ", ") + o;
+        }
+        sched.addRow({std::to_string(i), ops[i]->type(), ops[i]->name(),
+                      outs});
+    }
+    std::printf("%s\n", sched.render().c_str());
+
+    TextTable arena({"blob", "role", "live", "bytes", "arena offset"});
+    for (size_t i = 0; i < blobs.size(); ++i) {
+        const char* role =
+            blobs[i].role == BlobRole::kExternalInput    ? "input"
+            : blobs[i].role == BlobRole::kExternalOutput ? "output"
+                                                         : "activation";
+        arena.addRow(
+            {blobs[i].name, role,
+             "[" + std::to_string(blobs[i].def) + ", " +
+                 std::to_string(blobs[i].lastUse) + "]",
+             std::to_string(plan.bytes[i]),
+             plan.offsets[i] == kNoArenaOffset
+                 ? "-"
+                 : std::to_string(plan.offsets[i])});
+    }
+    std::printf("%s\n", arena.render().c_str());
+
+    std::printf("activation bytes: naive %zu, fused %zu, planned arena "
+                "%zu (%.1f%% of naive)\n",
+                plan.naiveActivationBytes, plan.fusedActivationBytes,
+                plan.arenaBytes, 100.0 * ratio);
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -383,6 +493,10 @@ main(int argc, char** argv)
     }
     if (cmd == "schedule" && argc >= 4) {
         return cmdSchedule(argv[2], std::atof(argv[3]));
+    }
+    if (cmd == "plan" && argc >= 4) {
+        const bool json = argc > 4 && std::strcmp(argv[4], "--json") == 0;
+        return cmdPlan(argv[2], std::atoll(argv[3]), json);
     }
     if (cmd == "record" && argc >= 5) {
         return cmdRecord(argv[2], std::atoll(argv[3]), argv[4]);

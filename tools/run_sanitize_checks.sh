@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Sanitizer passes over the suites that can hide memory/concurrency
+# bugs from the default build:
+#
+#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L sanitize`:
+#           the concurrency suites (thread pool, serving engine,
+#           parallel kernels, plan-vs-interpreted equivalence).
+#   asan  — RECSTACK_SANITIZE=address build, `ctest -L plan`:
+#           the compiled-net planner/arena suites. Arena aliasing
+#           assigns overlapping [offset, offset+bytes) ranges to
+#           blobs with disjoint lifetimes; an off-by-one in liveness
+#           or first-fit placement is exactly the kind of bug that
+#           stays numerically silent until ASan sees the overflow.
+#
+# Usage: tools/run_sanitize_checks.sh [tsan|asan|all]   (default: all)
+#
+# Build trees land in build-tsan/ and build-asan/ next to build/ and
+# are reused incrementally on later runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+    local sanitizer="$1" tree="$2" label="$3"
+    echo "== ${sanitizer} pass: build ${tree}, ctest -L ${label} =="
+    cmake -B "${tree}" -S . -DRECSTACK_SANITIZE="${sanitizer}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build "${tree}" -j "${jobs}"
+    ctest --test-dir "${tree}" -L "${label}" -j "${jobs}" --output-on-failure
+}
+
+case "${mode}" in
+    tsan) run_pass thread build-tsan sanitize ;;
+    asan) run_pass address build-asan plan ;;
+    all)
+        run_pass address build-asan plan
+        run_pass thread build-tsan sanitize
+        ;;
+    *)
+        echo "usage: $0 [tsan|asan|all]" >&2
+        exit 2
+        ;;
+esac
+
+echo "== sanitize checks passed (${mode}) =="
