@@ -131,6 +131,35 @@ ZipfSampler::ZipfSampler(uint64_t n, double exponent)
     }
 }
 
+double
+ZipfSampler::cdf(uint64_t k) const
+{
+    if (k == 0) {
+        return 0.0;
+    }
+    if (k >= n_) {
+        return 1.0;
+    }
+    if (exponent_ <= 0.0) {
+        return static_cast<double>(k) / static_cast<double>(n_);
+    }
+    // Locate the bucket holding k and interpolate linearly inside it:
+    // within-bucket mass is uniform by construction, so this is the
+    // exact CDF of the distribution sample() draws from.
+    auto it = std::upper_bound(bucketLo_.begin(), bucketLo_.end(), k);
+    const size_t b = static_cast<size_t>(it - bucketLo_.begin()) - 1;
+    if (b >= cdf_.size()) {
+        return 1.0;
+    }
+    const double lo_cdf = b == 0 ? 0.0 : cdf_[b - 1];
+    const double hi_cdf = cdf_[b];
+    const uint64_t lo = bucketLo_[b];
+    const uint64_t hi = bucketLo_[b + 1];
+    const double frac = static_cast<double>(k - lo) /
+                        static_cast<double>(std::max<uint64_t>(1, hi - lo));
+    return std::min(1.0, lo_cdf + frac * (hi_cdf - lo_cdf));
+}
+
 uint64_t
 ZipfSampler::sample(Rng& rng) const
 {
@@ -144,6 +173,15 @@ ZipfSampler::sample(Rng& rng) const
     const uint64_t hi = bucketLo_[std::min(b + 1, bucketLo_.size() - 1)];
     const uint64_t span = std::max<uint64_t>(1, hi - lo);
     return lo + rng.nextBounded(span);
+}
+
+void
+fillZipfIndices(const ZipfSampler& zipf, Rng& rng, int64_t* dst,
+                int64_t count)
+{
+    for (int64_t i = 0; i < count; ++i) {
+        dst[i] = static_cast<int64_t>(zipf.sample(rng));
+    }
 }
 
 }  // namespace recstack

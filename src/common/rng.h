@@ -65,6 +65,16 @@ class ZipfSampler
 
     uint64_t sample(Rng& rng) const;
 
+    /**
+     * P(sample < k) under this sampler's bucketed model — the exact
+     * distribution sample() draws from, so analytical expectations
+     * (e.g. the hit rate of a cache holding the k hottest rows) can
+     * be compared against measured frequencies without re-deriving
+     * the harmonic sums. Clamped to [0, 1]; exponent <= 0 gives the
+     * uniform k / n.
+     */
+    double cdf(uint64_t k) const;
+
     uint64_t population() const { return n_; }
     double exponent() const { return exponent_; }
 
@@ -74,6 +84,16 @@ class ZipfSampler
     std::vector<double> cdf_;       // coarse CDF over kBuckets buckets
     std::vector<uint64_t> bucketLo_;
 };
+
+/**
+ * Fill `dst[0, count)` with indices drawn from `zipf`. The single
+ * synthesis routine every skewed index stream goes through
+ * (workload/batch_generator, store benchmarks, tests) so they all see
+ * the identical draw sequence for a given Rng state; ZipfSampler
+ * itself degenerates to uniform when its exponent is <= 0.
+ */
+void fillZipfIndices(const ZipfSampler& zipf, Rng& rng, int64_t* dst,
+                     int64_t count);
 
 }  // namespace recstack
 

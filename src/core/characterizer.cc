@@ -88,6 +88,25 @@ Characterizer::model(ModelId id)
     return ctx(id).model;
 }
 
+EmbeddingStore*
+Characterizer::enableStore(ModelId id, const StoreConfig& cfg)
+{
+    ModelCtx& mc = ctx(id);
+    auto store = std::make_unique<EmbeddingStore>(cfg);
+    for (const WeightSpec& spec : mc.model.weights) {
+        if (spec.embedding && spec.shape.size() == 2) {
+            store->declareTable(spec.name, spec.shape[0],
+                                spec.shape[1]);
+        }
+    }
+    mc.store = std::move(store);
+    // The profiling workspace holds shape-only table blobs
+    // (declareParams), so attaching the store flips the lookup ops'
+    // profile lowering to the cache-filtered stream split.
+    mc.ws.attachStore(mc.store.get());
+    return mc.store.get();
+}
+
 const CompiledNet&
 Characterizer::compiled(ModelId id)
 {

@@ -19,6 +19,7 @@
 #include "graph/compiled_net.h"
 #include "models/model.h"
 #include "platform/platform.h"
+#include "store/embedding_store.h"
 #include "topdown/topdown.h"
 #include "uarch/cpu_model.h"
 #include "workload/batch_generator.h"
@@ -94,6 +95,22 @@ class Characterizer
 
     const ModelOptions& options() const { return opts_; }
 
+    /**
+     * Opt in to store-backed characterization for one model: a
+     * sharded EmbeddingStore (tables declared shape-only) is attached
+     * to the model's profiling workspace, so every subsequent
+     * profiles()/run() lowers the table reads of the lookup ops as
+     * cache-filtered streams — expected cache hits over the hot-row
+     * cache footprint plus near/far-tier miss remainders — instead of
+     * one raw random stream per table. Fig. 12/14-style DRAM and
+     * cache analyses then see the traffic a store deployment leaks
+     * past its cache. Call before the first profiles() for the model:
+     * lowered profiles are memoized per batch and are NOT relowered.
+     * Default characterizations (no call) are byte-identical to
+     * before. Returns the store for knob inspection.
+     */
+    EmbeddingStore* enableStore(ModelId id, const StoreConfig& cfg = {});
+
   private:
     struct ModelCtx {
         Model model;
@@ -106,6 +123,8 @@ class Characterizer
         std::shared_ptr<CompiledNet> profileNet;
         /// Fused + planned compilation backing compiled()/memoryPlan().
         std::shared_ptr<CompiledNet> plannedNet;
+        /// Optional store backing the table blobs (enableStore()).
+        std::unique_ptr<EmbeddingStore> store;
 
         explicit ModelCtx(Model m);
     };

@@ -524,6 +524,10 @@ CompiledNet::specialize(const Workspace& ws, int64_t batch) const
     // scratch workspace seeded with the caller's external-input shapes.
     Workspace shapes;
     shapes.setShapeOnly(true);
+    // Store-backed table blobs are shape-only in ws; the scratch
+    // workspace inherits the store so plan-time profile lowering sees
+    // the same cache-filtered table streams a live run would.
+    shapes.attachStore(ws.store());
     for (const BlobInfo& blob : blobs_) {
         if (blob.role != BlobRole::kExternalInput) {
             continue;

@@ -1,0 +1,55 @@
+#include "models/store_binding.h"
+
+namespace recstack {
+
+uint64_t
+modelEmbeddingBytes(const Model& model)
+{
+    uint64_t n = 0;
+    for (const WeightSpec& spec : model.weights) {
+        if (!spec.embedding) {
+            continue;
+        }
+        uint64_t elems = 1;
+        for (int64_t d : spec.shape) {
+            elems *= static_cast<uint64_t>(d);
+        }
+        n += elems * 4;
+    }
+    return n;
+}
+
+StoreBackedModel::StoreBackedModel(const Model& model,
+                                   StoreConfig config, uint64_t seed)
+    : store_(std::make_unique<EmbeddingStore>(config))
+{
+    // One initParams pass generates every weight with the canonical
+    // interleaved RNG stream; tables are then MOVED into the store
+    // (no second copy is ever made).
+    Workspace master;
+    model.initParams(master, seed);
+    for (const WeightSpec& spec : model.weights) {
+        Tensor& t = master.get(spec.name);
+        if (spec.embedding && spec.shape.size() == 2) {
+            embeddingBytes_ += static_cast<uint64_t>(t.byteSize());
+            tables_.emplace_back(spec.name, spec.shape);
+            store_->addTable(spec.name, std::move(t));
+        } else {
+            dense_.emplace_back(spec.name, std::move(t));
+        }
+    }
+}
+
+void
+StoreBackedModel::bind(Workspace& ws) const
+{
+    for (const auto& [name, tensor] : dense_) {
+        ws.set(name, tensor);  // deep copy: per-worker private weights
+    }
+    for (const auto& [name, shape] : tables_) {
+        ws.set(name, Tensor::shapeOnly(shape));
+    }
+    ws.attachStore(store_.get());
+}
+
+}  // namespace recstack

@@ -1,0 +1,75 @@
+#ifndef RECSTACK_MODELS_STORE_BINDING_H_
+#define RECSTACK_MODELS_STORE_BINDING_H_
+
+/**
+ * @file
+ * Binding between a built Model and the sharded embedding parameter
+ * store (store/embedding_store.h): the in-process analogue of a
+ * parameter server owning the embedding tables while inference
+ * workers keep only the (small) dense weights private.
+ *
+ * StoreBackedModel materializes the model's parameters ONCE with the
+ * exact same RNG stream Model::initParams uses, moves every embedding
+ * table into one EmbeddingStore, and keeps master copies of the dense
+ * (FC/GRU) weights. Each worker then bind()s its Workspace: dense
+ * weights are deep-copied (they are per-worker private, as before),
+ * while table blobs become shape-only stand-ins routed through the
+ * shared store — so N workers pay 1 table copy + cache instead of N
+ * copies, with bit-identical numerics.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/model.h"
+#include "store/embedding_store.h"
+
+namespace recstack {
+
+/** Total embedding-table bytes of one dense copy of the model. */
+uint64_t modelEmbeddingBytes(const Model& model);
+
+/** A model whose embedding tables live in a shared EmbeddingStore. */
+class StoreBackedModel
+{
+  public:
+    /**
+     * Builds the store. Parameter values are generated with
+     * Model::initParams(seed) semantics — the single RNG stream over
+     * all weights in declaration order — so a bound workspace holds
+     * byte-identical weights to a privately-initialized one.
+     */
+    explicit StoreBackedModel(const Model& model,
+                              StoreConfig config = {},
+                              uint64_t seed = 7);
+
+    /**
+     * Populate a worker workspace: deep-copy dense weights, register
+     * each table as a shape-only blob, and attach the shared store.
+     * The StoreBackedModel must outlive every bound workspace.
+     */
+    void bind(Workspace& ws) const;
+
+    EmbeddingStore& store() const { return *store_; }
+
+    /** Bytes of one dense copy of all embedding tables. */
+    uint64_t embeddingBytesOneCopy() const { return embeddingBytes_; }
+
+    /** Store-side resident footprint: backing tables + hot caches. */
+    uint64_t residentBytes() const { return store_->residentBytes(); }
+
+  private:
+    std::unique_ptr<EmbeddingStore> store_;
+    /// Master copies of non-embedding weights, deep-copied per bind().
+    std::vector<std::pair<std::string, Tensor>> dense_;
+    /// Shape-only stand-ins registered per bind().
+    std::vector<std::pair<std::string, std::vector<int64_t>>> tables_;
+    uint64_t embeddingBytes_ = 0;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_MODELS_STORE_BINDING_H_

@@ -1,9 +1,11 @@
 #include "ops/embedding.h"
 
+#include <cmath>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "ops/op_costs.h"
+#include "store/embedding_store.h"
 
 namespace recstack {
 namespace {
@@ -61,6 +63,101 @@ tableStream(const std::string& region, uint64_t accesses,
     return s;
 }
 
+/**
+ * Resolution of a table blob against the workspace's attached
+ * embedding store: the store serves the reads iff it owns a table of
+ * that name AND the workspace blob is a shape-only stand-in. A
+ * materialized local blob always wins, keeping dense workspaces
+ * (and the differential tests' reference path) untouched.
+ */
+struct StoreRef {
+    EmbeddingStore* store = nullptr;
+    int table = -1;
+};
+
+StoreRef
+storeRef(const Workspace& ws, const std::string& blob,
+         const Tensor& data)
+{
+    StoreRef ref;
+    if (data.materialized()) {
+        return ref;
+    }
+    EmbeddingStore* store = ws.store();
+    if (store == nullptr) {
+        return ref;
+    }
+    const int table = store->tableId(blob);
+    if (table < 0) {
+        return ref;
+    }
+    ref.store = store;
+    ref.table = table;
+    return ref;
+}
+
+/**
+ * Emit the table-side memory streams of a lookup kernel. Dense blob:
+ * the single skewed random stream over the whole table. Store-backed
+ * blob: the stream the memory hierarchy actually sees after the
+ * store's hot-row cache filtered it — an expected-hit share over the
+ * cache footprint plus the miss remainder split between the near
+ * tier and a serialized far-tier stream. This is how Fig. 12/14-style
+ * DRAM-bandwidth analyses observe cache-filtered table traffic.
+ */
+void
+addTableStreams(KernelProfile& kp, const Workspace& ws,
+                const std::string& blob, const Tensor& data,
+                uint64_t lookups, double zipf)
+{
+    const uint64_t row_bytes =
+        static_cast<uint64_t>(data.dim(1)) * 4;
+    const StoreRef ref = storeRef(ws, blob, data);
+    if (ref.store == nullptr) {
+        kp.streams.push_back(tableStream(blob, lookups, row_bytes,
+                                         data.byteSize(), zipf));
+        return;
+    }
+    const EmbeddingStore& store = *ref.store;
+    const EmbeddingStore::TableInfo& info = store.tableInfo(ref.table);
+    const double hit_rate = store.expectedHitRate(ref.table, zipf);
+    const double far_frac = store.farTierFraction(ref.table, zipf);
+    uint64_t hits = std::min<uint64_t>(
+        lookups,
+        static_cast<uint64_t>(std::llround(
+            hit_rate * static_cast<double>(lookups))));
+    const uint64_t misses = lookups - hits;
+    const uint64_t far = std::min<uint64_t>(
+        misses, static_cast<uint64_t>(std::llround(
+                    far_frac * static_cast<double>(lookups))));
+    const uint64_t near = misses - far;
+    if (hits > 0) {
+        MemStream s = tableStream(
+            "store:cache:" + blob, hits, row_bytes,
+            std::min<uint64_t>(store.cacheCapacityBytes(),
+                               data.byteSize()),
+            zipf);
+        kp.streams.push_back(s);
+    }
+    if (near > 0) {
+        // The cache absorbed the Zipf head; residual misses spread
+        // near-uniformly over the cold near-tier rows.
+        MemStream s = tableStream(
+            "store:near:" + blob, near, row_bytes,
+            static_cast<uint64_t>(info.nearRows) * row_bytes, 0.0);
+        kp.streams.push_back(s);
+    }
+    if (far > 0) {
+        MemStream s = tableStream(
+            "store:far:" + blob, far, row_bytes,
+            static_cast<uint64_t>(info.rows - info.nearRows) *
+                row_bytes,
+            0.0);
+        s.mlp = 1.0;  // long-latency far fetches barely overlap
+        kp.streams.push_back(s);
+    }
+}
+
 }  // namespace
 
 SparseLengthsSumOp::SparseLengthsSumOp(std::string name, std::string data,
@@ -97,7 +194,9 @@ SparseLengthsSumOp::run(Workspace& ws)
     const Tensor& len_t = in(ws, 2);
     Tensor& out_t = out(ws, 0);
 
-    const float* data = data_t.data<float>();
+    const StoreRef sref = storeRef(ws, inputs()[0], data_t);
+    const float* data =
+        sref.store != nullptr ? nullptr : data_t.data<float>();
     const int64_t* indices = idx_t.data<int64_t>();
     const int32_t* lengths = len_t.data<int32_t>();
     float* y = out_t.data<float>();
@@ -109,9 +208,15 @@ SparseLengthsSumOp::run(Workspace& ws)
     const std::vector<int64_t> offsets = segmentOffsets(
         "SLS", name(), lengths, batch, indices, idx_t.numel(), rows);
     // Each chunk owns a disjoint band of output rows and pools its
-    // lookups in the same ascending order as the serial cursor.
+    // lookups in the same ascending order as the serial cursor; the
+    // store path preserves that order exactly (bit-identical pooling).
     parallelFor(0, batch, poolingGrain(dim, idx_t.numel(), batch),
                 [&](int64_t lo, int64_t hi) {
+        if (sref.store != nullptr) {
+            sref.store->lookupSum(sref.table, indices, offsets.data(),
+                                  lo, hi, y);
+            return;
+        }
         for (int64_t b = lo; b < hi; ++b) {
             float* yrow = y + b * dim;
             for (int64_t d = 0; d < dim; ++d) {
@@ -145,8 +250,7 @@ SparseLengthsSumOp::profile(const Workspace& ws) const
 
     addSeqStream(kp, inputs()[1], indices, false);
     addSeqStream(kp, inputs()[2], in(ws, 2), false);
-    kp.streams.push_back(tableStream(inputs()[0], lookups, dim * 4,
-                                     data.byteSize(), zipfExponent_));
+    addTableStreams(kp, ws, inputs()[0], data, lookups, zipfExponent_);
     addSeqStream(kp, outputs()[0], out_t, true);
 
     // Per-lookup segment/bounds branches: trip counts and row targets
@@ -203,7 +307,9 @@ SparseLengthsWeightedSumOp::run(Workspace& ws)
     const Tensor& len_t = in(ws, 3);
     Tensor& out_t = out(ws, 0);
 
-    const float* data = data_t.data<float>();
+    const StoreRef sref = storeRef(ws, inputs()[0], data_t);
+    const float* data =
+        sref.store != nullptr ? nullptr : data_t.data<float>();
     const float* w = w_t.data<float>();
     const int64_t* indices = idx_t.data<int64_t>();
     const int32_t* lengths = len_t.data<int32_t>();
@@ -216,6 +322,11 @@ SparseLengthsWeightedSumOp::run(Workspace& ws)
         "SLWS", name(), lengths, batch, indices, idx_t.numel(), rows);
     parallelFor(0, batch, poolingGrain(dim, idx_t.numel(), batch),
                 [&](int64_t lo, int64_t hi) {
+        if (sref.store != nullptr) {
+            sref.store->lookupSum(sref.table, indices, offsets.data(),
+                                  lo, hi, y, w);
+            return;
+        }
         for (int64_t b = lo; b < hi; ++b) {
             float* yrow = y + b * dim;
             for (int64_t d = 0; d < dim; ++d) {
@@ -249,8 +360,7 @@ SparseLengthsWeightedSumOp::profile(const Workspace& ws) const
     addSeqStream(kp, inputs()[1], in(ws, 1), false);
     addSeqStream(kp, inputs()[2], indices, false);
     addSeqStream(kp, inputs()[3], in(ws, 3), false);
-    kp.streams.push_back(tableStream(inputs()[0], lookups, dim * 4,
-                                     data.byteSize(), zipfExponent_));
+    addTableStreams(kp, ws, inputs()[0], data, lookups, zipfExponent_);
     addSeqStream(kp, outputs()[0], out_t, true);
 
     BranchStream seg;
@@ -299,7 +409,9 @@ SparseLengthsMeanOp::run(Workspace& ws)
     const Tensor& len_t = in(ws, 2);
     Tensor& out_t = out(ws, 0);
 
-    const float* data = data_t.data<float>();
+    const StoreRef sref = storeRef(ws, inputs()[0], data_t);
+    const float* data =
+        sref.store != nullptr ? nullptr : data_t.data<float>();
     const int64_t* indices = idx_t.data<int64_t>();
     const int32_t* lengths = len_t.data<int32_t>();
     float* y = out_t.data<float>();
@@ -311,6 +423,23 @@ SparseLengthsMeanOp::run(Workspace& ws)
         "SLMean", name(), lengths, batch, indices, idx_t.numel(), rows);
     parallelFor(0, batch, poolingGrain(dim, idx_t.numel(), batch),
                 [&](int64_t lo, int64_t hi) {
+        if (sref.store != nullptr) {
+            // Store pools the sums; the mean scaling below is the
+            // same per-row fp32 multiply the dense loop applies.
+            sref.store->lookupSum(sref.table, indices, offsets.data(),
+                                  lo, hi, y);
+            for (int64_t b = lo; b < hi; ++b) {
+                if (lengths[b] > 0) {
+                    float* yrow = y + b * dim;
+                    const float inv =
+                        1.0f / static_cast<float>(lengths[b]);
+                    for (int64_t d = 0; d < dim; ++d) {
+                        yrow[d] *= inv;
+                    }
+                }
+            }
+            return;
+        }
         for (int64_t b = lo; b < hi; ++b) {
             float* yrow = y + b * dim;
             for (int64_t d = 0; d < dim; ++d) {
@@ -348,8 +477,7 @@ SparseLengthsMeanOp::profile(const Workspace& ws) const
     kp.scalarOps = lookups * 8;
     addSeqStream(kp, inputs()[1], indices, false);
     addSeqStream(kp, inputs()[2], in(ws, 2), false);
-    kp.streams.push_back(tableStream(inputs()[0], lookups, dim * 4,
-                                     data.byteSize(), zipfExponent_));
+    addTableStreams(kp, ws, inputs()[0], data, lookups, zipfExponent_);
     addSeqStream(kp, outputs()[0], out_t, true);
 
     BranchStream seg;
@@ -391,7 +519,9 @@ GatherOp::run(Workspace& ws)
     const Tensor& idx_t = in(ws, 1);
     Tensor& out_t = out(ws, 0);
 
-    const float* data = data_t.data<float>();
+    const StoreRef sref = storeRef(ws, inputs()[0], data_t);
+    const float* data =
+        sref.store != nullptr ? nullptr : data_t.data<float>();
     const int64_t* indices = idx_t.data<int64_t>();
     float* y = out_t.data<float>();
     const int64_t dim = data_t.dim(1);
@@ -407,6 +537,10 @@ GatherOp::run(Workspace& ws)
     }
     parallelFor(0, lookups, grainForCost(static_cast<uint64_t>(dim)),
                 [=](int64_t lo, int64_t hi) {
+        if (sref.store != nullptr) {
+            sref.store->lookupGather(sref.table, indices, lo, hi, y);
+            return;
+        }
         for (int64_t i = lo; i < hi; ++i) {
             const float* src = data + indices[i] * dim;
             float* dst = y + i * dim;
@@ -430,8 +564,7 @@ GatherOp::profile(const Workspace& ws) const
     kp.vecElemOps = lookups * dim;  // copies
     kp.scalarOps = lookups * 6;
     addSeqStream(kp, inputs()[1], indices, false);
-    kp.streams.push_back(tableStream(inputs()[0], lookups, dim * 4,
-                                     data.byteSize(), zipfExponent_));
+    addTableStreams(kp, ws, inputs()[0], data, lookups, zipfExponent_);
     addSeqStream(kp, outputs()[0], out_t, true);
 
     BranchStream seg;

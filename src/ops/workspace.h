@@ -15,6 +15,8 @@
 
 namespace recstack {
 
+class EmbeddingStore;
+
 /** Named tensor store shared by all operators of a running net. */
 class Workspace
 {
@@ -73,9 +75,22 @@ class Workspace
 
     size_t size() const { return blobs_.size(); }
 
+    /**
+     * Attach a sharded embedding parameter store
+     * (store/embedding_store.h; not owned, must outlive the
+     * workspace). Embedding ops route table reads through it whenever
+     * the table blob is registered in the store and not materialized
+     * here — i.e. the blob is a shape-only stand-in for shared,
+     * store-backed rows. A materialized local blob always wins, so
+     * dense workspaces are unaffected.
+     */
+    void attachStore(EmbeddingStore* store) { store_ = store; }
+    EmbeddingStore* store() const { return store_; }
+
   private:
     std::unordered_map<std::string, Tensor> blobs_;
     bool shapeOnly_ = false;
+    EmbeddingStore* store_ = nullptr;
 };
 
 }  // namespace recstack

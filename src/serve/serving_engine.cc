@@ -5,6 +5,7 @@
 
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "models/store_binding.h"
 #include "serve/batch_queue.h"
 #include "serve/contention.h"
 
@@ -105,6 +106,18 @@ ServingEngine::run(const EngineConfig& config)
             config.numWorkers);
     }
 
+    // One parameter store for the whole engine run: workers bind
+    // against it instead of each materializing every table. Built
+    // before the worker threads exist, like the compiled net.
+    const bool use_store = config.sharedEmbeddingStore &&
+                           config.execMode != ExecMode::kProfileOnly &&
+                           !EmbeddingStore::disabledByEnv();
+    std::unique_ptr<StoreBackedModel> store_model;
+    if (use_store) {
+        store_model = std::make_unique<StoreBackedModel>(
+            model, config.storeConfig);
+    }
+
     BatchQueue::Config qcfg;
     qcfg.arrivalQps = config.arrivalQps;
     qcfg.maxBatch = config.maxBatch;
@@ -131,6 +144,8 @@ ServingEngine::run(const EngineConfig& config)
             if (config.execMode == ExecMode::kProfileOnly) {
                 ws.setShapeOnly(true);
                 model.declareParams(ws);
+            } else if (store_model != nullptr) {
+                store_model->bind(ws);
             } else {
                 model.initParams(ws);
             }
@@ -242,6 +257,22 @@ ServingEngine::run(const EngineConfig& config)
 
     result.intraOpThreads =
         config.numThreads > 0 ? config.numThreads : intraOpThreads();
+    // Table-memory accounting: the shared store keeps one backing
+    // copy plus the hot-row caches resident; legacy numeric mode kept
+    // a full copy inside every worker's workspace.
+    result.tableBytesOneCopy = modelEmbeddingBytes(model);
+    if (config.execMode != ExecMode::kProfileOnly) {
+        result.perWorkerTableBytes =
+            result.tableBytesOneCopy *
+            static_cast<uint64_t>(config.numWorkers);
+        if (store_model != nullptr) {
+            result.storeShared = true;
+            result.residentTableBytes = store_model->residentBytes();
+            result.storeStats = store_model->store().stats();
+        } else {
+            result.residentTableBytes = result.perWorkerTableBytes;
+        }
+    }
     if (result.batchesExecuted > 0) {
         result.hostSecondsPerBatch =
             result.hostSeconds /

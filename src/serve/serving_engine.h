@@ -35,6 +35,7 @@
 
 #include "graph/executor.h"
 #include "sched/serving_sim.h"
+#include "store/embedding_store.h"
 
 namespace recstack {
 
@@ -60,6 +61,17 @@ struct EngineConfig {
     /// default (RECSTACK_NUM_THREADS). Numerics are bit-identical at
     /// any width, so this only moves EngineResult::hostSeconds.
     int numThreads = 1;
+    /// Share one sharded EmbeddingStore across all workers when
+    /// running real numerics: workers bind shape-only table blobs
+    /// against it instead of materializing a private copy of every
+    /// table, cutting resident table bytes from O(workers) copies to
+    /// O(1 copy + cache). Numerics stay bit-identical. Ignored in
+    /// kProfileOnly (no table payloads exist there), and the env
+    /// hatch RECSTACK_DISABLE_STORE=1 forces the legacy per-worker
+    /// copies regardless.
+    bool sharedEmbeddingStore = true;
+    /// Shard / cache / tier knobs of the shared store.
+    StoreConfig storeConfig;
 };
 
 /** Result of one engine run. */
@@ -82,6 +94,25 @@ struct EngineResult {
     double hostSecondsPerBatch = 0.0;
     /// Resolved intra-op width the workers used.
     int intraOpThreads = 1;
+    /// True when workers served table lookups from one shared
+    /// EmbeddingStore instead of private per-worker copies.
+    bool storeShared = false;
+    /// Embedding-table bytes of one dense copy of the served model.
+    uint64_t tableBytesOneCopy = 0;
+    /// Table bytes resident across the engine at the end of the run:
+    /// shared-store mode = one backing copy + hot-row caches; legacy
+    /// numeric mode = workers x one copy; 0 in kProfileOnly.
+    uint64_t residentTableBytes = 0;
+    /// What per-worker dense copies would have kept resident
+    /// (workers x one copy) — the baseline the shared store saves
+    /// against. 0 in kProfileOnly.
+    uint64_t perWorkerTableBytes = 0;
+    /// Shard-aggregated store counters for this run (hit/miss/tier
+    /// traffic and modeled fetch seconds); empty when !storeShared.
+    /// Like hostSeconds, these are host-side measurement, not
+    /// virtual-time state: hit/miss splits depend on the order in
+    /// which concurrent workers touch the shared caches.
+    StoreStats storeStats;
 };
 
 /** Thread-pooled dynamic-batching inference server. */

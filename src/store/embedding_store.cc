@@ -1,0 +1,474 @@
+#include "store/embedding_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace recstack {
+namespace {
+
+/** 64-bit (table, row) cache key; rows stay far below 2^40. */
+uint64_t
+rowKey(int table, int64_t row)
+{
+    return (static_cast<uint64_t>(table) << 40) |
+           static_cast<uint64_t>(row);
+}
+
+double
+fetchCost(double latency_s, double bandwidth_gbs, uint64_t bytes)
+{
+    return latency_s +
+           static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
+}
+
+}  // namespace
+
+void
+ShardCounters::accumulate(const ShardCounters& other)
+{
+    lookups += other.lookups;
+    hits += other.hits;
+    nearFetches += other.nearFetches;
+    farFetches += other.farFetches;
+    evictions += other.evictions;
+    updates += other.updates;
+    prefetchedRows += other.prefetchedRows;
+    bytesFromCache += other.bytesFromCache;
+    bytesFromNear += other.bytesFromNear;
+    bytesFromFar += other.bytesFromFar;
+    cacheBytesUsed += other.cacheBytesUsed;
+    simSeconds += other.simSeconds;
+}
+
+double
+ShardCounters::hitRate() const
+{
+    return lookups > 0
+               ? static_cast<double>(hits) / static_cast<double>(lookups)
+               : 0.0;
+}
+
+double
+StoreStats::costPercentile(double p) const
+{
+    uint64_t n = 0;
+    for (const auto& [cost, count] : costHistogram) {
+        n += count;
+    }
+    if (n == 0) {
+        return 0.0;
+    }
+    const uint64_t rank = static_cast<uint64_t>(
+        std::min<double>(static_cast<double>(n - 1),
+                         std::max(0.0, p) * static_cast<double>(n)));
+    uint64_t seen = 0;
+    for (const auto& [cost, count] : costHistogram) {
+        seen += count;
+        if (seen > rank) {
+            return cost;
+        }
+    }
+    return costHistogram.rbegin()->first;
+}
+
+EmbeddingStore::EmbeddingStore(StoreConfig config)
+    : config_(config)
+{
+    RECSTACK_CHECK(config_.numShards >= 1,
+                   "store needs at least one shard");
+    RECSTACK_CHECK(config_.nearTierFraction >= 0.0 &&
+                       config_.nearTierFraction <= 1.0,
+                   "nearTierFraction must be in [0, 1]");
+    shards_.reserve(static_cast<size_t>(config_.numShards));
+    for (int s = 0; s < config_.numShards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->cache = std::make_unique<RowCache>(
+            config_.policy, config_.cacheBytesPerShard);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+EmbeddingStore::~EmbeddingStore()
+{
+    {
+        std::lock_guard<std::mutex> lock(prefetchMu_);
+        prefetchStop_ = true;
+    }
+    prefetchCv_.notify_all();
+    if (prefetchThread_.joinable()) {
+        prefetchThread_.join();
+    }
+}
+
+int
+EmbeddingStore::registerTable(const std::string& name, TableInfo info,
+                              Tensor data)
+{
+    RECSTACK_CHECK(tableByName_.count(name) == 0,
+                   "store already owns a table named '" << name << "'");
+    RECSTACK_CHECK(info.rows > 0 && info.dim > 0,
+                   "table '" << name << "' needs positive rows and dim");
+    info.name = name;
+    info.nearRows = std::min<int64_t>(
+        info.rows,
+        static_cast<int64_t>(std::ceil(
+            config_.nearTierFraction * static_cast<double>(info.rows))));
+    const int id = static_cast<int>(tables_.size());
+    Table t;
+    t.info = std::move(info);
+    t.data = std::move(data);
+    tables_.push_back(std::move(t));
+    tableByName_[name] = id;
+    return id;
+}
+
+int
+EmbeddingStore::addTable(const std::string& name, Tensor data)
+{
+    RECSTACK_CHECK(data.rank() == 2 && data.dtype() == DType::kFloat32,
+                   "store table '" << name << "' must be 2-D float");
+    RECSTACK_CHECK(data.materialized(),
+                   "addTable needs a materialized tensor; use "
+                   "declareTable for shape-only stacks");
+    TableInfo info;
+    info.rows = data.dim(0);
+    info.dim = data.dim(1);
+    info.materialized = true;
+    return registerTable(name, std::move(info), std::move(data));
+}
+
+int
+EmbeddingStore::declareTable(const std::string& name, int64_t rows,
+                             int64_t dim)
+{
+    TableInfo info;
+    info.rows = rows;
+    info.dim = dim;
+    info.materialized = false;
+    return registerTable(name, std::move(info),
+                         Tensor::shapeOnly({rows, dim}));
+}
+
+int
+EmbeddingStore::tableId(const std::string& name) const
+{
+    auto it = tableByName_.find(name);
+    return it == tableByName_.end() ? -1 : it->second;
+}
+
+const EmbeddingStore::TableInfo&
+EmbeddingStore::tableInfo(int table) const
+{
+    RECSTACK_CHECK(table >= 0 &&
+                       table < static_cast<int>(tables_.size()),
+                   "table id " << table << " out of range");
+    return tables_[static_cast<size_t>(table)].info;
+}
+
+size_t
+EmbeddingStore::shardOf(int table, int64_t row) const
+{
+    // Offsetting by the table id decorrelates the Zipf heads of
+    // co-stored tables (all hot at row 0) across shards.
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(row) + static_cast<uint64_t>(table)) %
+        static_cast<uint64_t>(config_.numShards));
+}
+
+const float*
+EmbeddingStore::fetchRowLocked(const Table& t, int table, int64_t row,
+                               Shard& shard)
+{
+    const uint64_t row_bytes =
+        static_cast<uint64_t>(t.info.dim) * sizeof(float);
+    ++shard.counters.lookups;
+    const uint64_t key = rowKey(table, row);
+    const float* cached = shard.cache->find(key);
+    if (cached != nullptr) {
+        ++shard.counters.hits;
+        shard.counters.bytesFromCache += row_bytes;
+        const double cost = config_.cacheHitLatencySeconds;
+        shard.counters.simSeconds += cost;
+        ++shard.costs[cost];
+        return cached;
+    }
+    RECSTACK_CHECK(t.info.materialized,
+                   "lookup on declared-only store table '"
+                       << t.info.name << "'");
+    const float* src =
+        t.data.data<float>() + row * t.info.dim;
+    double cost;
+    if (row < t.info.nearRows) {
+        ++shard.counters.nearFetches;
+        shard.counters.bytesFromNear += row_bytes;
+        cost = fetchCost(config_.nearLatencySeconds,
+                         config_.nearBandwidthGBs, row_bytes);
+    } else {
+        ++shard.counters.farFetches;
+        shard.counters.bytesFromFar += row_bytes;
+        cost = fetchCost(config_.farLatencySeconds,
+                         config_.farBandwidthGBs, row_bytes);
+    }
+    shard.counters.simSeconds += cost;
+    ++shard.costs[cost];
+    shard.cache->insert(key, src, row_bytes, &shard.counters.evictions);
+    return src;
+}
+
+void
+EmbeddingStore::lookupSum(int table, const int64_t* indices,
+                          const int64_t* offsets, int64_t b_lo,
+                          int64_t b_hi, float* out, const float* weights)
+{
+    const Table& t = tables_[static_cast<size_t>(
+        static_cast<uint64_t>(table))];
+    const int64_t dim = t.info.dim;
+    for (int64_t b = b_lo; b < b_hi; ++b) {
+        float* yrow = out + b * dim;
+        for (int64_t d = 0; d < dim; ++d) {
+            yrow[d] = 0.0f;
+        }
+        for (int64_t p = offsets[b]; p < offsets[b + 1]; ++p) {
+            const int64_t row = indices[p];
+            Shard& shard = *shards_[shardOf(table, row)];
+            std::lock_guard<std::mutex> lock(shard.mu);
+            const float* src = fetchRowLocked(t, table, row, shard);
+            if (weights != nullptr) {
+                const float scale = weights[p];
+                for (int64_t d = 0; d < dim; ++d) {
+                    yrow[d] += scale * src[d];
+                }
+            } else {
+                for (int64_t d = 0; d < dim; ++d) {
+                    yrow[d] += src[d];
+                }
+            }
+        }
+    }
+}
+
+void
+EmbeddingStore::lookupGather(int table, const int64_t* indices,
+                             int64_t lo, int64_t hi, float* out)
+{
+    const Table& t = tables_[static_cast<size_t>(
+        static_cast<uint64_t>(table))];
+    const int64_t dim = t.info.dim;
+    for (int64_t i = lo; i < hi; ++i) {
+        const int64_t row = indices[i];
+        float* dst = out + i * dim;
+        Shard& shard = *shards_[shardOf(table, row)];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const float* src = fetchRowLocked(t, table, row, shard);
+        std::memcpy(dst, src,
+                    static_cast<size_t>(dim) * sizeof(float));
+    }
+}
+
+void
+EmbeddingStore::update(int table, int64_t row, const float* values)
+{
+    Table& t = tables_[static_cast<size_t>(
+        static_cast<uint64_t>(table))];
+    RECSTACK_CHECK(t.info.materialized,
+                   "update on declared-only store table '"
+                       << t.info.name << "'");
+    RECSTACK_CHECK(row >= 0 && row < t.info.rows,
+                   "update row " << row << " out of range for '"
+                                 << t.info.name << "'");
+    const size_t row_bytes =
+        static_cast<size_t>(t.info.dim) * sizeof(float);
+    Shard& shard = *shards_[shardOf(table, row)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Write-through under the same lock readers of this row take, so
+    // a reader sees either the old or the new payload, never a blend,
+    // and any cached copy is refreshed before the lock is released.
+    std::memcpy(t.data.data<float>() + row * t.info.dim, values,
+                row_bytes);
+    shard.cache->refresh(rowKey(table, row), values, row_bytes);
+    ++shard.counters.updates;
+}
+
+void
+EmbeddingStore::warmRow(int table, int64_t row)
+{
+    const Table& t = tables_[static_cast<size_t>(
+        static_cast<uint64_t>(table))];
+    if (!t.info.materialized || row < 0 || row >= t.info.rows) {
+        return;
+    }
+    const uint64_t row_bytes =
+        static_cast<uint64_t>(t.info.dim) * sizeof(float);
+    Shard& shard = *shards_[shardOf(table, row)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const uint64_t key = rowKey(table, row);
+    if (shard.cache->find(key) != nullptr) {
+        return;  // already hot
+    }
+    const float* src = t.data.data<float>() + row * t.info.dim;
+    shard.cache->insert(key, src, row_bytes,
+                        &shard.counters.evictions);
+    ++shard.counters.prefetchedRows;
+    // Prefetch fetch time is overlapped with compute, so it is not
+    // charged to demand simSeconds / the cost histogram.
+}
+
+void
+EmbeddingStore::prefetch(int table, const int64_t* indices,
+                         int64_t count)
+{
+    for (int64_t i = 0; i < count; ++i) {
+        warmRow(table, indices[i]);
+    }
+}
+
+void
+EmbeddingStore::prefetchAsync(int table, std::vector<int64_t> indices)
+{
+    std::unique_lock<std::mutex> lock(prefetchMu_);
+    if (!prefetchThread_.joinable()) {
+        prefetchThread_ = std::thread([this] { prefetchLoop(); });
+    }
+    prefetchQueue_.push_back(PrefetchTask{table, std::move(indices)});
+    lock.unlock();
+    prefetchCv_.notify_one();
+}
+
+void
+EmbeddingStore::prefetchLoop()
+{
+    for (;;) {
+        PrefetchTask task;
+        {
+            std::unique_lock<std::mutex> lock(prefetchMu_);
+            prefetchCv_.wait(lock, [this] {
+                return prefetchStop_ || !prefetchQueue_.empty();
+            });
+            if (prefetchQueue_.empty()) {
+                return;  // stop requested with nothing pending
+            }
+            task = std::move(prefetchQueue_.front());
+            prefetchQueue_.pop_front();
+            prefetchBusy_ = true;
+        }
+        for (int64_t row : task.indices) {
+            warmRow(task.table, row);
+        }
+        {
+            std::lock_guard<std::mutex> lock(prefetchMu_);
+            prefetchBusy_ = false;
+        }
+        prefetchIdleCv_.notify_all();
+    }
+}
+
+void
+EmbeddingStore::drainPrefetch()
+{
+    std::unique_lock<std::mutex> lock(prefetchMu_);
+    prefetchIdleCv_.wait(lock, [this] {
+        return prefetchQueue_.empty() && !prefetchBusy_;
+    });
+}
+
+StoreStats
+EmbeddingStore::stats() const
+{
+    StoreStats out;
+    out.perShard.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        ShardCounters c = shard->counters;
+        c.cacheBytesUsed = shard->cache->bytesUsed();
+        out.perShard.push_back(c);
+        out.total.accumulate(c);
+        for (const auto& [cost, count] : shard->costs) {
+            out.costHistogram[cost] += count;
+        }
+    }
+    return out;
+}
+
+void
+EmbeddingStore::resetStats()
+{
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->counters = ShardCounters{};
+        shard->costs.clear();
+    }
+}
+
+uint64_t
+EmbeddingStore::tableBytes() const
+{
+    uint64_t n = 0;
+    for (const Table& t : tables_) {
+        if (t.info.materialized) {
+            n += static_cast<uint64_t>(t.data.byteSize());
+        }
+    }
+    return n;
+}
+
+uint64_t
+EmbeddingStore::cacheBytesUsed() const
+{
+    uint64_t n = 0;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        n += shard->cache->bytesUsed();
+    }
+    return n;
+}
+
+uint64_t
+EmbeddingStore::cacheCapacityBytes() const
+{
+    return static_cast<uint64_t>(config_.numShards) *
+           static_cast<uint64_t>(config_.cacheBytesPerShard);
+}
+
+double
+EmbeddingStore::expectedHitRate(int table, double zipf) const
+{
+    const TableInfo& info = tableInfo(table);
+    const uint64_t row_bytes =
+        static_cast<uint64_t>(info.dim) * sizeof(float);
+    const uint64_t share =
+        cacheCapacityBytes() / std::max<size_t>(1, tables_.size());
+    const uint64_t cache_rows = share / std::max<uint64_t>(1, row_bytes);
+    const ZipfSampler sampler(static_cast<uint64_t>(info.rows), zipf);
+    return sampler.cdf(cache_rows);
+}
+
+double
+EmbeddingStore::farTierFraction(int table, double zipf) const
+{
+    const TableInfo& info = tableInfo(table);
+    const uint64_t row_bytes =
+        static_cast<uint64_t>(info.dim) * sizeof(float);
+    const uint64_t share =
+        cacheCapacityBytes() / std::max<size_t>(1, tables_.size());
+    const uint64_t cache_rows = share / std::max<uint64_t>(1, row_bytes);
+    // Far fetches are lookups past both the cached head and the
+    // near-tier boundary.
+    const uint64_t covered = std::max<uint64_t>(
+        cache_rows, static_cast<uint64_t>(info.nearRows));
+    const ZipfSampler sampler(static_cast<uint64_t>(info.rows), zipf);
+    return 1.0 - sampler.cdf(covered);
+}
+
+bool
+EmbeddingStore::disabledByEnv()
+{
+    const char* v = std::getenv("RECSTACK_DISABLE_STORE");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace recstack

@@ -1,0 +1,251 @@
+#ifndef RECSTACK_STORE_EMBEDDING_STORE_H_
+#define RECSTACK_STORE_EMBEDDING_STORE_H_
+
+/**
+ * @file
+ * Sharded embedding parameter store.
+ *
+ * Production recommendation models keep GBs of embedding tables behind
+ * a parameter-server boundary rather than inside each inference
+ * worker; the lookup stream is strongly Zipfian (hot users/items), so
+ * a small hot-row cache absorbs most of the traffic while the cold
+ * tail lives in cheaper, slower memory (UPMEM/EmbedDB-style tiering).
+ * EmbeddingStore reproduces that structure in-process:
+ *
+ *  - All embedding tables of a model live in one store, row-partitioned
+ *    across N shards. Each shard has its own mutex, hot-row cache
+ *    (store/row_cache.h, LRU or CLOCK, byte-capacity bound) and
+ *    counters, so concurrent ServingEngine workers contend only on
+ *    rows that hash to the same shard.
+ *  - Backing rows are split into a near tier (resident, DRAM-like) and
+ *    a far tier (simulated high-latency / low-bandwidth memory). Every
+ *    cache miss is charged latency + bytes/bandwidth for its tier into
+ *    per-shard simulated seconds and a cost histogram (p99 lookup cost).
+ *  - lookupSum / lookupGather serve batched reads with numerics
+ *    bit-identical to reading a dense Workspace blob: cached copies are
+ *    verbatim row payloads and pooling order is the caller's.
+ *  - prefetchAsync warms the cache with the next batch's indices on a
+ *    background thread (the classic double-buffered embedding
+ *    prefetch), overlapping far-tier fetches with current-batch
+ *    compute.
+ *
+ * The env hatch RECSTACK_DISABLE_STORE=1 makes every integration point
+ * (ServingEngine, CLI) fall back to per-worker dense table copies.
+ */
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/row_cache.h"
+#include "tensor/tensor.h"
+
+namespace recstack {
+
+/** Shard / cache / tier knobs of an EmbeddingStore. */
+struct StoreConfig {
+    /// Row-partition count; also the lock granularity.
+    int numShards = 8;
+    /// Hot-row cache capacity per shard (bytes of row payload).
+    size_t cacheBytesPerShard = 1u << 20;
+    /// Replacement policy of every shard cache.
+    CachePolicy policy = CachePolicy::kLRU;
+    /// Leading fraction of each table's rows resident in the near
+    /// tier; the remainder lives in the simulated far tier. The Zipf
+    /// head is low row indices, so hot rows are near by construction.
+    double nearTierFraction = 1.0;
+    /// Cost model: per-row fetch pays tier latency + bytes/bandwidth.
+    double cacheHitLatencySeconds = 8e-9;    ///< on-package SRAM-ish
+    double nearLatencySeconds = 1.2e-7;      ///< local DRAM row fetch
+    double nearBandwidthGBs = 64.0;
+    double farLatencySeconds = 2.0e-6;       ///< CXL/NVM/remote-style
+    double farBandwidthGBs = 8.0;
+};
+
+/** Counters one shard accumulates under its lock. */
+struct ShardCounters {
+    uint64_t lookups = 0;        ///< demand row reads
+    uint64_t hits = 0;           ///< served from the hot-row cache
+    uint64_t nearFetches = 0;    ///< misses served by the near tier
+    uint64_t farFetches = 0;     ///< misses served by the far tier
+    uint64_t evictions = 0;
+    uint64_t updates = 0;
+    uint64_t prefetchedRows = 0; ///< rows warmed by prefetch, not demand
+    uint64_t bytesFromCache = 0;
+    uint64_t bytesFromNear = 0;
+    uint64_t bytesFromFar = 0;
+    uint64_t cacheBytesUsed = 0; ///< snapshot at stats() time
+    double simSeconds = 0.0;     ///< modeled fetch time, demand reads
+
+    void accumulate(const ShardCounters& other);
+    double hitRate() const;
+};
+
+/** Aggregated store statistics (stats() snapshot). */
+struct StoreStats {
+    std::vector<ShardCounters> perShard;
+    ShardCounters total;
+    /// Modeled per-row demand fetch cost -> occurrence count; the
+    /// domain is tiny (one cost per tier per table) so percentiles
+    /// are exact.
+    std::map<double, uint64_t> costHistogram;
+
+    double hitRate() const { return total.hitRate(); }
+    /** Exact p-th percentile (p in [0,1]) of per-row fetch cost. */
+    double costPercentile(double p) const;
+};
+
+/** Process-wide sharded embedding table store. See file comment. */
+class EmbeddingStore
+{
+  public:
+    explicit EmbeddingStore(StoreConfig config = {});
+    ~EmbeddingStore();
+
+    EmbeddingStore(const EmbeddingStore&) = delete;
+    EmbeddingStore& operator=(const EmbeddingStore&) = delete;
+
+    /** Table metadata. */
+    struct TableInfo {
+        std::string name;
+        int64_t rows = 0;
+        int64_t dim = 0;
+        int64_t nearRows = 0;      ///< rows [0, nearRows) are near-tier
+        bool materialized = false;
+    };
+
+    /**
+     * Move a materialized [rows, dim] float table into the store.
+     * Returns the table id ops use for lookups.
+     */
+    int addTable(const std::string& name, Tensor data);
+
+    /**
+     * Register table metadata without payload (profile-only stacks):
+     * lookups panic, but tableInfo / expectedHitRate / the profile
+     * stream split all work.
+     */
+    int declareTable(const std::string& name, int64_t rows, int64_t dim);
+
+    /** Table id for a blob name, or -1 if this store does not own it. */
+    int tableId(const std::string& name) const;
+    bool hasTable(const std::string& name) const { return tableId(name) >= 0; }
+    const TableInfo& tableInfo(int table) const;
+    size_t numTables() const { return tables_.size(); }
+
+    /**
+     * Segment-pooled batched read, the store-side half of
+     * SparseLengthsSum / SLWS / SLMean: for each output row b in
+     * [b_lo, b_hi), zero out[b*dim, (b+1)*dim) then accumulate the
+     * rows selected by indices[offsets[b], offsets[b+1]) in ascending
+     * order — the identical fp32 order of the dense kernels, so
+     * results are bit-identical. `weights`, when non-null, scales
+     * each row (SLWS's fused multiply-add order).
+     */
+    void lookupSum(int table, const int64_t* indices,
+                   const int64_t* offsets, int64_t b_lo, int64_t b_hi,
+                   float* out, const float* weights = nullptr);
+
+    /** Row-copy batched read (Gather): out[i] = table[indices[i]]. */
+    void lookupGather(int table, const int64_t* indices, int64_t lo,
+                      int64_t hi, float* out);
+
+    /**
+     * Write one row through to the backing table and refresh any
+     * cached copy, so no reader ever observes the stale payload.
+     */
+    void update(int table, int64_t row, const float* values);
+
+    /** Synchronously warm the cache with these rows (no demand stats). */
+    void prefetch(int table, const int64_t* indices, int64_t count);
+
+    /**
+     * Queue the next batch's indices for cache warming on the
+     * background prefetch thread (started lazily).
+     */
+    void prefetchAsync(int table, std::vector<int64_t> indices);
+
+    /** Block until the async prefetch queue is fully drained. */
+    void drainPrefetch();
+
+    StoreStats stats() const;
+    void resetStats();
+
+    /** Bytes of materialized backing tables. */
+    uint64_t tableBytes() const;
+    /** Bytes currently held by the shard caches. */
+    uint64_t cacheBytesUsed() const;
+    /** Total cache capacity across shards. */
+    uint64_t cacheCapacityBytes() const;
+    /** Backing + cache: the store's whole resident footprint. */
+    uint64_t residentBytes() const { return tableBytes() + cacheBytesUsed(); }
+
+    /**
+     * Analytical hit-rate expectation for a Zipf(zipf) stream over
+     * this table, from the sampler's own CDF: the cache is modeled as
+     * holding the hottest rows, with total capacity split evenly
+     * across tables. Exact for single-table stores at steady state;
+     * an upper-bound approximation under multi-table interleaving.
+     */
+    double expectedHitRate(int table, double zipf) const;
+
+    /**
+     * Expected fraction of lookups served by the far tier (misses
+     * past both the cache and the near-tier boundary).
+     */
+    double farTierFraction(int table, double zipf) const;
+
+    const StoreConfig& config() const { return config_; }
+
+    /** True when RECSTACK_DISABLE_STORE is set to a non-zero value. */
+    static bool disabledByEnv();
+
+  private:
+    struct Table {
+        TableInfo info;
+        Tensor data;
+    };
+    struct Shard {
+        mutable std::mutex mu;
+        std::unique_ptr<RowCache> cache;
+        ShardCounters counters;
+        std::map<double, uint64_t> costs;
+    };
+    struct PrefetchTask {
+        int table = 0;
+        std::vector<int64_t> indices;
+    };
+
+    int registerTable(const std::string& name, TableInfo info,
+                      Tensor data);
+    size_t shardOf(int table, int64_t row) const;
+    /// Returns the row payload (cache copy or backing row), valid
+    /// while the shard lock is held; charges stats for a demand read.
+    const float* fetchRowLocked(const Table& t, int table, int64_t row,
+                                Shard& shard);
+    void warmRow(int table, int64_t row);
+    void prefetchLoop();
+
+    StoreConfig config_;
+    std::vector<Table> tables_;
+    std::map<std::string, int> tableByName_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    std::mutex prefetchMu_;
+    std::condition_variable prefetchCv_;
+    std::condition_variable prefetchIdleCv_;
+    std::deque<PrefetchTask> prefetchQueue_;
+    std::thread prefetchThread_;
+    bool prefetchBusy_ = false;
+    bool prefetchStop_ = false;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_STORE_EMBEDDING_STORE_H_

@@ -1,0 +1,125 @@
+#include "store/row_cache.h"
+
+#include <cstring>
+
+namespace recstack {
+
+const char*
+cachePolicyName(CachePolicy policy)
+{
+    return policy == CachePolicy::kLRU ? "lru" : "clock";
+}
+
+RowCache::RowCache(CachePolicy policy, size_t capacity_bytes)
+    : policy_(policy), capacity_(capacity_bytes), hand_(entries_.end())
+{
+}
+
+const float*
+RowCache::find(uint64_t key)
+{
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        return nullptr;
+    }
+    EntryList::iterator entry = it->second;
+    if (policy_ == CachePolicy::kLRU) {
+        entries_.splice(entries_.begin(), entries_, entry);
+    } else {
+        entry->referenced = true;
+    }
+    return entry->values.data();
+}
+
+void
+RowCache::evictOne(uint64_t* evictions)
+{
+    if (entries_.empty()) {
+        return;
+    }
+    EntryList::iterator victim;
+    if (policy_ == CachePolicy::kLRU) {
+        victim = std::prev(entries_.end());
+    } else {
+        // Sweep the hand, granting one second chance per referenced
+        // entry; terminates because each pass clears a bit.
+        for (;;) {
+            if (hand_ == entries_.end()) {
+                hand_ = entries_.begin();
+            }
+            if (!hand_->referenced) {
+                victim = hand_;
+                ++hand_;
+                break;
+            }
+            hand_->referenced = false;
+            ++hand_;
+        }
+    }
+    used_ -= victim->values.size() * sizeof(float);
+    index_.erase(victim->key);
+    entries_.erase(victim);
+    if (evictions != nullptr) {
+        ++*evictions;
+    }
+}
+
+void
+RowCache::insert(uint64_t key, const float* row, size_t row_bytes,
+                 uint64_t* evictions)
+{
+    if (row_bytes > capacity_ || capacity_ == 0) {
+        return;  // bypass: a row the cache can never hold
+    }
+    if (index_.count(key) != 0) {
+        return;
+    }
+    while (used_ + row_bytes > capacity_) {
+        evictOne(evictions);
+    }
+    Entry entry;
+    entry.key = key;
+    entry.values.resize(row_bytes / sizeof(float));
+    std::memcpy(entry.values.data(), row, row_bytes);
+    entry.referenced = policy_ == CachePolicy::kClock;
+    entries_.push_front(std::move(entry));
+    index_[key] = entries_.begin();
+    used_ += row_bytes;
+    if (policy_ == CachePolicy::kClock && hand_ == entries_.end()) {
+        hand_ = entries_.begin();
+    }
+}
+
+bool
+RowCache::refresh(uint64_t key, const float* row, size_t row_bytes)
+{
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        return false;
+    }
+    Entry& entry = *it->second;
+    if (entry.values.size() * sizeof(float) != row_bytes) {
+        erase(key);
+        return false;
+    }
+    std::memcpy(entry.values.data(), row, row_bytes);
+    return true;
+}
+
+void
+RowCache::erase(uint64_t key)
+{
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        return;
+    }
+    EntryList::iterator entry = it->second;
+    used_ -= entry->values.size() * sizeof(float);
+    index_.erase(it);
+    if (policy_ == CachePolicy::kClock && hand_ == entry) {
+        ++hand_;
+    }
+    entries_.erase(entry);
+}
+
+}  // namespace recstack

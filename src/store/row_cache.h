@@ -1,0 +1,95 @@
+#ifndef RECSTACK_STORE_ROW_CACHE_H_
+#define RECSTACK_STORE_ROW_CACHE_H_
+
+/**
+ * @file
+ * Byte-capacity-bound hot-row cache used by one EmbeddingStore shard.
+ *
+ * Two replacement policies are supported:
+ *
+ *  - kLRU:   exact least-recently-used via an intrusive recency list;
+ *            every hit splices the entry to the front, eviction pops
+ *            the back.
+ *  - kClock: second-chance approximation; hits only set a reference
+ *            bit, the clock hand sweeps entries clearing bits and
+ *            evicts the first unreferenced one. Cheaper per hit than
+ *            LRU (no list surgery), which is why production caches
+ *            (and the EmbedDB-style embedded stores) favor it.
+ *
+ * The cache stores row payload copies keyed by a 64-bit (table, row)
+ * key. It is not internally synchronized: the owning shard's mutex
+ * guards every call, and pointers returned by find()/insert() are
+ * only valid while that lock is held.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace recstack {
+
+/** Replacement policy of a shard's hot-row cache. */
+enum class CachePolicy { kLRU, kClock };
+
+/** Printable policy name ("lru" / "clock"). */
+const char* cachePolicyName(CachePolicy policy);
+
+/** One shard's row cache; see file comment for locking rules. */
+class RowCache
+{
+  public:
+    RowCache(CachePolicy policy, size_t capacity_bytes);
+
+    /**
+     * Look up a cached row. Returns the cached payload (valid while
+     * the shard lock is held) or nullptr on miss. A hit updates
+     * recency state (LRU splice / CLOCK reference bit).
+     */
+    const float* find(uint64_t key);
+
+    /**
+     * Insert a row payload copy, evicting per policy until it fits.
+     * Rows larger than the whole capacity bypass the cache. Bumps
+     * *evictions once per victim. No-op if the key is already cached.
+     */
+    void insert(uint64_t key, const float* row, size_t row_bytes,
+                uint64_t* evictions);
+
+    /**
+     * Overwrite the cached payload for a key if (and only if) it is
+     * resident, keeping cached data coherent with a backing-store
+     * write. Returns true when a cached copy was refreshed.
+     */
+    bool refresh(uint64_t key, const float* row, size_t row_bytes);
+
+    /** Drop a key if cached. */
+    void erase(uint64_t key);
+
+    size_t bytesUsed() const { return used_; }
+    size_t capacityBytes() const { return capacity_; }
+    size_t entries() const { return entries_.size(); }
+    CachePolicy policy() const { return policy_; }
+
+  private:
+    struct Entry {
+        uint64_t key = 0;
+        std::vector<float> values;
+        bool referenced = false;  // CLOCK second-chance bit
+    };
+    using EntryList = std::list<Entry>;
+
+    void evictOne(uint64_t* evictions);
+
+    CachePolicy policy_;
+    size_t capacity_;
+    size_t used_ = 0;
+    EntryList entries_;
+    EntryList::iterator hand_;  // CLOCK sweep position
+    std::unordered_map<uint64_t, EntryList::iterator> index_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_STORE_ROW_CACHE_H_

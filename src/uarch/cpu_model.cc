@@ -160,12 +160,11 @@ CpuModel::simulateStream(const MemStream& s)
     if (s.pattern != AccessPattern::kRandom) {
         seq_start = rng_.nextBounded(chunks);
     }
-    ZipfSampler* zipf = nullptr;
-    ZipfSampler zipf_storage(1, 0.0);
-    if (s.pattern == AccessPattern::kRandom && s.zipfExponent > 0.0) {
-        zipf_storage = ZipfSampler(chunks, s.zipfExponent);
-        zipf = &zipf_storage;
-    }
+    // One sampler for every random stream: the sampler itself falls
+    // back to the identical uniform nextBounded draw at exponent 0.
+    const ZipfSampler chunk_zipf(
+        chunks,
+        s.pattern == AccessPattern::kRandom ? s.zipfExponent : 0.0);
 
     uint64_t raw_l1 = 0, raw_l2 = 0, raw_l3 = 0, raw_dram = 0;
     for (uint64_t i = 0; i < sim; ++i) {
@@ -183,8 +182,7 @@ CpuModel::simulateStream(const MemStream& s)
           }
           case AccessPattern::kRandom:
           default:
-            chunk_idx = zipf ? zipf->sample(rng_)
-                             : rng_.nextBounded(chunks);
+            chunk_idx = chunk_zipf.sample(rng_);
             break;
         }
         const uint64_t addr = base + chunk_idx * s.chunkBytes;

@@ -35,18 +35,12 @@ BatchGenerator::materialize(Workspace& ws, int64_t batch)
         const int64_t total = batch * cat.lookupsPerSample;
         Tensor indices({total}, DType::kInt64);
         int64_t* idx = indices.data<int64_t>();
-        if (cat.zipfExponent > 0.0) {
-            ZipfSampler zipf(static_cast<uint64_t>(cat.tableRows),
-                             cat.zipfExponent);
-            for (int64_t i = 0; i < total; ++i) {
-                idx[i] = static_cast<int64_t>(zipf.sample(rng));
-            }
-        } else {
-            for (int64_t i = 0; i < total; ++i) {
-                idx[i] = static_cast<int64_t>(
-                    rng.nextBounded(static_cast<uint64_t>(cat.tableRows)));
-            }
-        }
+        // ZipfSampler degenerates to uniform at exponent 0 with the
+        // identical nextBounded draw, so one synthesis path covers
+        // both skewed and uniform tables bit-for-bit.
+        const ZipfSampler zipf(static_cast<uint64_t>(cat.tableRows),
+                               cat.zipfExponent);
+        fillZipfIndices(zipf, rng, idx, total);
         ws.set(cat.indicesBlob, std::move(indices));
 
         Tensor lengths({batch}, DType::kInt32);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 
 #include "serve/batch_queue.h"
@@ -212,6 +213,84 @@ TEST_F(ServingEngineTest, CompilesTheModelOnceAcrossWorkersAndRuns)
     EXPECT_EQ(engine.compiled(), first);
     EXPECT_EQ(CompiledNet::compileCount(), before + 1)
         << "second run must reuse the compiled net";
+}
+
+TEST_F(ServingEngineTest, SharedStoreKeepsTableMemoryOffWorkerCount)
+{
+    // Regression for per-worker weight materialization: N numeric
+    // workers used to initParams() N private table copies. With the
+    // shared store the resident table footprint must be one backing
+    // copy plus the (configurable) hot-row caches — O(1 copy + cache),
+    // not O(workers).
+    ServingEngine engine(&sched_, ModelId::kRM2, 0);
+    EngineConfig cfg;
+    cfg.numWorkers = 4;
+    cfg.arrivalQps = 2000;
+    cfg.maxBatch = 64;
+    cfg.simSeconds = 0.1;
+    cfg.execMode = ExecMode::kNumericOnly;
+    cfg.storeConfig.numShards = 2;
+    cfg.storeConfig.cacheBytesPerShard = 0;  // isolate the copy count
+    const EngineResult r = engine.run(cfg);
+
+    EXPECT_TRUE(r.storeShared);
+    EXPECT_GT(r.tableBytesOneCopy, 0u);
+    EXPECT_EQ(r.perWorkerTableBytes, 4 * r.tableBytesOneCopy);
+    EXPECT_EQ(r.residentTableBytes, r.tableBytesOneCopy);
+    // The acceptance bound: sharing saves >= (workers-1)/workers of
+    // the per-worker baseline.
+    const double saved =
+        static_cast<double>(r.perWorkerTableBytes -
+                            r.residentTableBytes) /
+        static_cast<double>(r.perWorkerTableBytes);
+    EXPECT_GE(saved, 3.0 / 4.0);
+    // The workers really read through the store.
+    EXPECT_GT(r.storeStats.total.lookups, 0u);
+
+    // With caches enabled the footprint grows by at most the cache
+    // capacity, still independent of the worker count.
+    EngineConfig cached = cfg;
+    cached.storeConfig.cacheBytesPerShard = 4u << 10;
+    ServingEngine cached_engine(&sched_, ModelId::kRM2, 0);
+    const EngineResult rc = cached_engine.run(cached);
+    EXPECT_TRUE(rc.storeShared);
+    EXPECT_LE(rc.residentTableBytes,
+              rc.tableBytesOneCopy +
+                  2ull * cached.storeConfig.cacheBytesPerShard);
+    EXPECT_GT(rc.storeStats.total.hits, 0u);
+}
+
+TEST_F(ServingEngineTest, DisableHatchRestoresPerWorkerCopies)
+{
+    EngineConfig cfg;
+    cfg.numWorkers = 3;
+    cfg.arrivalQps = 2000;
+    cfg.maxBatch = 64;
+    cfg.simSeconds = 0.1;
+    cfg.execMode = ExecMode::kNumericOnly;
+
+    ServingEngine store_engine(&sched_, ModelId::kNCF, 0);
+    const EngineResult with_store = store_engine.run(cfg);
+
+    ASSERT_EQ(setenv("RECSTACK_DISABLE_STORE", "1", 1), 0);
+    ServingEngine dense_engine(&sched_, ModelId::kNCF, 0);
+    const EngineResult dense = dense_engine.run(cfg);
+    ASSERT_EQ(unsetenv("RECSTACK_DISABLE_STORE"), 0);
+
+    EXPECT_TRUE(with_store.storeShared);
+    EXPECT_FALSE(dense.storeShared);
+    EXPECT_EQ(dense.residentTableBytes, dense.perWorkerTableBytes);
+    EXPECT_EQ(dense.storeStats.total.lookups, 0u);
+    // The store is a memory-layout change only: the virtual-time
+    // serving statistics are identical either way.
+    EXPECT_EQ(with_store.aggregate.samplesServed,
+              dense.aggregate.samplesServed);
+    EXPECT_EQ(with_store.aggregate.batchesServed,
+              dense.aggregate.batchesServed);
+    EXPECT_DOUBLE_EQ(with_store.aggregate.meanLatency,
+                     dense.aggregate.meanLatency);
+    EXPECT_DOUBLE_EQ(with_store.aggregate.p99Latency,
+                     dense.aggregate.p99Latency);
 }
 
 TEST_F(ServingEngineTest, RejectsBadConfig)

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Differential harness for store-backed execution: routing every
+ * embedding-table read of a model through the sharded EmbeddingStore
+ * must produce bit-identical external outputs to the dense per-worker
+ * table copies, for all eight models, at batch 1 and 256, at intra-op
+ * widths 1 and 8, on both the interpreted and the compiled executor.
+ * This is the numerics contract of store/embedding_store.h: cached
+ * copies are verbatim row payloads and pooling preserves the dense
+ * kernels' exact fp32 accumulation order.
+ *
+ * Runs under `ctest -L sanitize` too, so the same executions are the
+ * ASan/TSan coverage of the store's locking and cache surgery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <tuple>
+
+#include "graph/compiled_net.h"
+#include "graph/executor.h"
+#include "models/model.h"
+#include "models/store_binding.h"
+
+namespace recstack {
+namespace {
+
+ModelOptions
+testOptions()
+{
+    ModelOptions opts = tinyOptions();
+    opts.tableScale = 0.01;
+    return opts;
+}
+
+/** Small shards + caches so eviction and both tiers are exercised. */
+StoreConfig
+testStoreConfig()
+{
+    StoreConfig cfg;
+    cfg.numShards = 4;
+    cfg.cacheBytesPerShard = 16u << 10;
+    cfg.nearTierFraction = 0.5;
+    return cfg;
+}
+
+/** Bitwise tensor equality, any dtype. */
+void
+expectTensorsIdentical(const std::string& blob, const Tensor& a,
+                       const Tensor& b)
+{
+    ASSERT_EQ(a.shape(), b.shape()) << "blob " << blob;
+    ASSERT_EQ(a.dtype(), b.dtype()) << "blob " << blob;
+    const void* pa = nullptr;
+    const void* pb = nullptr;
+    switch (a.dtype()) {
+      case DType::kFloat32:
+        pa = a.data<float>();
+        pb = b.data<float>();
+        break;
+      case DType::kInt32:
+        pa = a.data<int32_t>();
+        pb = b.data<int32_t>();
+        break;
+      case DType::kInt64:
+        pa = a.data<int64_t>();
+        pb = b.data<int64_t>();
+        break;
+    }
+    EXPECT_EQ(std::memcmp(pa, pb, a.byteSize()), 0)
+        << "blob '" << blob
+        << "' diverges between dense and store-backed execution";
+}
+
+class StoreDifferential
+    : public ::testing::TestWithParam<std::tuple<ModelId, int64_t>>
+{
+};
+
+TEST_P(StoreDifferential, StoreBackedOutputsBitIdenticalToDense)
+{
+    const ModelId id = std::get<0>(GetParam());
+    const int64_t batch = std::get<1>(GetParam());
+
+    const Model model = buildModel(id, testOptions());
+
+    // Dense reference: privately initialized tables, interpreted,
+    // serial. StoreBackedModel generates parameters with the same RNG
+    // stream as initParams, so the weights (and therefore outputs)
+    // must match byte for byte.
+    Workspace ref_ws;
+    model.initParams(ref_ws);
+    {
+        BatchGenerator gen(model.workload, /*seed=*/1234);
+        gen.materialize(ref_ws, batch);
+    }
+    ExecOptions ref_opts;
+    ref_opts.mode = ExecMode::kNumericOnly;
+    ref_opts.numThreads = 1;
+    Executor::run(model.net, ref_ws, ref_opts);
+
+    const StoreBackedModel store_model(model, testStoreConfig());
+    auto compiled = CompiledNet::compile(model.net);
+
+    for (int threads : {1, 8}) {
+        ExecOptions opts;
+        opts.mode = ExecMode::kNumericOnly;
+        opts.numThreads = threads;
+
+        // Interpreted store-backed run.
+        {
+            Workspace ws;
+            store_model.bind(ws);
+            BatchGenerator gen(model.workload, /*seed=*/1234);
+            gen.materialize(ws, batch);
+            Executor::run(model.net, ws, opts);
+            for (const std::string& blob :
+                 model.net.externalOutputs()) {
+                ASSERT_TRUE(ws.has(blob)) << blob;
+                expectTensorsIdentical(blob, ref_ws.get(blob),
+                                       ws.get(blob));
+            }
+        }
+
+        // Compiled store-backed run (fused schedule + arena plan).
+        {
+            Workspace ws;
+            Arena arena;
+            store_model.bind(ws);
+            BatchGenerator gen(model.workload, /*seed=*/1234);
+            gen.materialize(ws, batch);
+            Executor::run(*compiled, ws, arena, batch, opts);
+            for (const std::string& blob :
+                 model.net.externalOutputs()) {
+                ASSERT_TRUE(ws.has(blob)) << blob;
+                expectTensorsIdentical(blob, ref_ws.get(blob),
+                                       ws.get(blob));
+            }
+        }
+    }
+
+    // The runs above actually exercised the store path (unless the
+    // model has no embedding tables, which none of the eight does).
+    EXPECT_GT(store_model.store().stats().total.lookups, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, StoreDifferential,
+    ::testing::Combine(::testing::Values(ModelId::kNCF, ModelId::kRM1,
+                                         ModelId::kRM2, ModelId::kRM3,
+                                         ModelId::kWnD, ModelId::kMTWnD,
+                                         ModelId::kDIN, ModelId::kDIEN),
+                       ::testing::Values(int64_t{1}, int64_t{256})),
+    [](const ::testing::TestParamInfo<std::tuple<ModelId, int64_t>>&
+           info) {
+        std::string name = modelName(std::get<0>(info.param));
+        for (char& c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c))) {
+                c = '_';  // "MT-WnD" -> "MT_WnD"
+            }
+        }
+        return name + "_b" + std::to_string(std::get<1>(info.param));
+    });
+
+/** Position-weighted pooling (SLWS) through the store, bit-exact. */
+TEST(StoreDifferentialVariants, PositionWeightedPooling)
+{
+    ModelOptions opts = testOptions();
+    opts.positionWeighted = true;
+    const Model model = buildModel(ModelId::kRM2, opts);
+
+    Workspace ref_ws;
+    model.initParams(ref_ws);
+    BatchGenerator ref_gen(model.workload, /*seed=*/1234);
+    ref_gen.materialize(ref_ws, 64);
+    Executor::run(model.net, ref_ws, ExecMode::kNumericOnly);
+
+    const StoreBackedModel store_model(model, testStoreConfig());
+    Workspace ws;
+    store_model.bind(ws);
+    BatchGenerator gen(model.workload, /*seed=*/1234);
+    gen.materialize(ws, 64);
+    Executor::run(model.net, ws, ExecMode::kNumericOnly);
+    for (const std::string& blob : model.net.externalOutputs()) {
+        expectTensorsIdentical(blob, ref_ws.get(blob), ws.get(blob));
+    }
+}
+
+/** A locally materialized table blob overrides the attached store. */
+TEST(StoreDifferentialVariants, MaterializedBlobWinsOverStore)
+{
+    const Model model = buildModel(ModelId::kRM1, testOptions());
+    const StoreBackedModel store_model(model, testStoreConfig());
+
+    Workspace ws;
+    store_model.bind(ws);
+    // Re-materialize every parameter locally: identical values, but
+    // now the table blobs are dense in the workspace, so the executor
+    // must read them directly and never touch the store.
+    model.initParams(ws);
+    BatchGenerator gen(model.workload, /*seed=*/1234);
+    gen.materialize(ws, 32);
+    Executor::run(model.net, ws, ExecMode::kNumericOnly);
+    EXPECT_EQ(store_model.store().stats().total.lookups, 0u);
+}
+
+}  // namespace
+}  // namespace recstack

@@ -9,6 +9,7 @@
  *   recstack topdown <MODEL> <BATCH> <bdw|clx>
  *   recstack schedule <MODEL> <SLA_MS>
  *   recstack plan <MODEL> <BATCH> [--json]
+ *   recstack store <MODEL> <BATCH> [--json]
  *   recstack record <MODEL> <BATCH> <FILE>
  *   recstack replay <FILE> [platform-substring]
  *   recstack custom <CONFIG> <BATCH>
@@ -24,6 +25,7 @@
 #include "core/trace_runner.h"
 #include "graph/executor.h"
 #include "models/custom.h"
+#include "models/store_binding.h"
 #include "report/chart.h"
 #include "report/csv.h"
 #include "report/table.h"
@@ -49,6 +51,8 @@ usage()
         "  recstack schedule <MODEL> <SLA_MS>       SLA-aware routing\n"
         "  recstack plan <MODEL> <BATCH> [--json]   compiled schedule + "
         "arena memory plan\n"
+        "  recstack store <MODEL> <BATCH> [--json]  sharded embedding-"
+        "store hit/miss/tier report\n"
         "  recstack record <MODEL> <BATCH> <FILE>   capture a kernel "
         "trace\n"
         "  recstack replay <FILE> [PLATFORM]        re-simulate a "
@@ -465,6 +469,169 @@ cmdPlan(const std::string& model, int64_t batch, bool json)
     return 0;
 }
 
+/**
+ * Run a few real batches through the sharded embedding store and
+ * report per-shard cache hit/miss/tier traffic, the modeled lookup
+ * cost tail, and the serving memory saving versus per-worker copies.
+ */
+int
+cmdStore(const std::string& model_name, int64_t batch, bool json)
+{
+    if (EmbeddingStore::disabledByEnv()) {
+        std::printf("RECSTACK_DISABLE_STORE is set: store-backed "
+                    "execution is disabled, nothing to report.\n");
+        return 0;
+    }
+    const ModelId id = modelFromName(model_name);
+    // Full-size tables (RM2: 32 x 250k x 64 floats) are ~2 GB; a
+    // scaled-down store keeps the command interactive while the cache
+    // is still a small fraction of the tables.
+    ModelOptions opts;
+    opts.tableScale = 0.05;
+    const Model model = buildModel(id, opts);
+
+    StoreConfig cfg;
+    cfg.numShards = 8;
+    cfg.cacheBytesPerShard = 256u << 10;
+    cfg.nearTierFraction = 0.5;
+    const StoreBackedModel store_model(model, cfg);
+    EmbeddingStore& store = store_model.store();
+
+    Workspace ws;
+    store_model.bind(ws);
+    ExecOptions exec_opts;
+    exec_opts.mode = ExecMode::kNumericOnly;
+    // Serial execution: numerics are width-invariant, but shard
+    // hit/miss counters depend on the interleaving of concurrent
+    // chunks over the shared caches. A report should be reproducible.
+    exec_opts.numThreads = 1;
+    const int kBatches = 8;
+    for (int i = 0; i < kBatches; ++i) {
+        // Fresh generator seed per batch: a repeated seed would replay
+        // identical indices and make every batch after the first a
+        // pure cache hit.
+        BatchGenerator gen(model.workload,
+                           1234 + static_cast<uint64_t>(i));
+        gen.materialize(ws, batch);
+        Executor::run(model.net, ws, exec_opts);
+    }
+
+    const StoreStats stats = store.stats();
+    const uint64_t one_copy = store_model.embeddingBytesOneCopy();
+    const uint64_t resident = store_model.residentBytes();
+    const int kWorkers = 4;
+    const uint64_t per_worker =
+        one_copy * static_cast<uint64_t>(kWorkers);
+    const uint64_t total_bytes = stats.total.bytesFromCache +
+                                 stats.total.bytesFromNear +
+                                 stats.total.bytesFromFar;
+    const double dram_frac =
+        total_bytes > 0
+            ? static_cast<double>(stats.total.bytesFromNear +
+                                  stats.total.bytesFromFar) /
+                  static_cast<double>(total_bytes)
+            : 0.0;
+
+    if (json) {
+        std::printf("{\n  \"model\": \"%s\",\n  \"batch\": %lld,\n",
+                    model.name.c_str(), static_cast<long long>(batch));
+        std::printf("  \"batchesRun\": %d,\n  \"numShards\": %d,\n",
+                    kBatches, cfg.numShards);
+        std::printf("  \"cachePolicy\": \"%s\",\n",
+                    cachePolicyName(cfg.policy));
+        std::printf("  \"lookups\": %llu,\n  \"hits\": %llu,\n",
+                    static_cast<unsigned long long>(stats.total.lookups),
+                    static_cast<unsigned long long>(stats.total.hits));
+        std::printf("  \"hitRate\": %.4f,\n", stats.hitRate());
+        std::printf(
+            "  \"nearFetches\": %llu,\n  \"farFetches\": %llu,\n",
+            static_cast<unsigned long long>(stats.total.nearFetches),
+            static_cast<unsigned long long>(stats.total.farFetches));
+        std::printf("  \"evictions\": %llu,\n",
+                    static_cast<unsigned long long>(
+                        stats.total.evictions));
+        std::printf("  \"cacheFilteredTrafficFraction\": %.4f,\n",
+                    dram_frac);
+        std::printf("  \"simSeconds\": %.6e,\n", stats.total.simSeconds);
+        std::printf("  \"lookupCostP50\": %.3e,\n",
+                    stats.costPercentile(0.50));
+        std::printf("  \"lookupCostP99\": %.3e,\n",
+                    stats.costPercentile(0.99));
+        std::printf("  \"tableBytesOneCopy\": %llu,\n",
+                    static_cast<unsigned long long>(one_copy));
+        std::printf("  \"storeResidentBytes\": %llu,\n",
+                    static_cast<unsigned long long>(resident));
+        std::printf("  \"perWorkerBytesAt%dWorkers\": %llu,\n", kWorkers,
+                    static_cast<unsigned long long>(per_worker));
+        std::printf("  \"perShard\": [\n");
+        for (size_t s = 0; s < stats.perShard.size(); ++s) {
+            const ShardCounters& c = stats.perShard[s];
+            std::printf(
+                "    {\"shard\": %zu, \"lookups\": %llu, "
+                "\"hitRate\": %.4f, \"near\": %llu, \"far\": %llu, "
+                "\"evictions\": %llu, \"cacheBytes\": %llu}%s\n",
+                s, static_cast<unsigned long long>(c.lookups),
+                c.hitRate(),
+                static_cast<unsigned long long>(c.nearFetches),
+                static_cast<unsigned long long>(c.farFetches),
+                static_cast<unsigned long long>(c.evictions),
+                static_cast<unsigned long long>(c.cacheBytesUsed),
+                s + 1 < stats.perShard.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
+
+    std::printf("%s @ batch %lld: %d batches through a %d-shard "
+                "embedding store (%s, %zu KB cache/shard, near-tier "
+                "fraction %.2f)\n\n",
+                model.name.c_str(), static_cast<long long>(batch),
+                kBatches, cfg.numShards, cachePolicyName(cfg.policy),
+                cfg.cacheBytesPerShard >> 10, cfg.nearTierFraction);
+
+    TextTable shards({"shard", "lookups", "hit rate", "near", "far",
+                      "evictions", "cache KB"});
+    for (size_t s = 0; s < stats.perShard.size(); ++s) {
+        const ShardCounters& c = stats.perShard[s];
+        shards.addRow({std::to_string(s), std::to_string(c.lookups),
+                       TextTable::fmtPercent(c.hitRate()),
+                       std::to_string(c.nearFetches),
+                       std::to_string(c.farFetches),
+                       std::to_string(c.evictions),
+                       std::to_string(c.cacheBytesUsed >> 10)});
+    }
+    shards.addRow({"total", std::to_string(stats.total.lookups),
+                   TextTable::fmtPercent(stats.hitRate()),
+                   std::to_string(stats.total.nearFetches),
+                   std::to_string(stats.total.farFetches),
+                   std::to_string(stats.total.evictions),
+                   std::to_string(stats.total.cacheBytesUsed >> 10)});
+    std::printf("%s\n", shards.render().c_str());
+
+    std::printf("lookup cost: p50 %s, p99 %s; modeled fetch time %s\n",
+                TextTable::fmtSeconds(stats.costPercentile(0.50)).c_str(),
+                TextTable::fmtSeconds(stats.costPercentile(0.99)).c_str(),
+                TextTable::fmtSeconds(stats.total.simSeconds).c_str());
+    std::printf("cache-filtered table traffic: %s of lookup bytes "
+                "reach DRAM/far memory (rest served by hot-row "
+                "caches)\n",
+                TextTable::fmtPercent(dram_frac).c_str());
+    std::printf("table memory: one copy %llu KB, store resident %llu "
+                "KB, %d per-worker copies %llu KB (store saves "
+                "%s)\n",
+                static_cast<unsigned long long>(one_copy >> 10),
+                static_cast<unsigned long long>(resident >> 10),
+                kWorkers,
+                static_cast<unsigned long long>(per_worker >> 10),
+                TextTable::fmtPercent(
+                    per_worker > 0
+                        ? 1.0 - static_cast<double>(resident) /
+                                    static_cast<double>(per_worker)
+                        : 0.0)
+                    .c_str());
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -497,6 +664,10 @@ main(int argc, char** argv)
     if (cmd == "plan" && argc >= 4) {
         const bool json = argc > 4 && std::strcmp(argv[4], "--json") == 0;
         return cmdPlan(argv[2], std::atoll(argv[3]), json);
+    }
+    if (cmd == "store" && argc >= 4) {
+        const bool json = argc > 4 && std::strcmp(argv[4], "--json") == 0;
+        return cmdStore(argv[2], std::atoll(argv[3]), json);
     }
     if (cmd == "record" && argc >= 5) {
         return cmdRecord(argv[2], std::atoll(argv[3]), argv[4]);

@@ -2,15 +2,19 @@
 # Sanitizer passes over the suites that can hide memory/concurrency
 # bugs from the default build:
 #
-#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L sanitize`:
+#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|serving'`:
 #           the concurrency suites (thread pool, serving engine,
-#           parallel kernels, plan-vs-interpreted equivalence).
-#   asan  — RECSTACK_SANITIZE=address build, `ctest -L plan`:
-#           the compiled-net planner/arena suites. Arena aliasing
-#           assigns overlapping [offset, offset+bytes) ranges to
-#           blobs with disjoint lifetimes; an off-by-one in liveness
-#           or first-fit placement is exactly the kind of bug that
-#           stays numerically silent until ASan sees the overflow.
+#           parallel kernels, plan-vs-interpreted equivalence, the
+#           sharded embedding store's lock/prefetch machinery).
+#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|serving'`:
+#           the compiled-net planner/arena suites plus the embedding
+#           store. Arena aliasing assigns overlapping
+#           [offset, offset+bytes) ranges to blobs with disjoint
+#           lifetimes, and the store hands out cache-payload pointers
+#           under shard locks; an off-by-one in liveness, first-fit
+#           placement, or row-payload sizing is exactly the kind of
+#           bug that stays numerically silent until the sanitizer
+#           sees the bad access.
 #
 # Usage: tools/run_sanitize_checks.sh [tsan|asan|all]   (default: all)
 #
@@ -33,11 +37,11 @@ run_pass() {
 }
 
 case "${mode}" in
-    tsan) run_pass thread build-tsan sanitize ;;
-    asan) run_pass address build-asan plan ;;
+    tsan) run_pass thread build-tsan 'sanitize|store|serving' ;;
+    asan) run_pass address build-asan 'plan|store|serving' ;;
     all)
-        run_pass address build-asan plan
-        run_pass thread build-tsan sanitize
+        run_pass address build-asan 'plan|store|serving'
+        run_pass thread build-tsan 'sanitize|store|serving'
         ;;
     *)
         echo "usage: $0 [tsan|asan|all]" >&2
