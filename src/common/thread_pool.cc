@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace recstack {
 namespace {
@@ -66,6 +68,11 @@ class Pool
             fn(begin, end);
             return;
         }
+        {
+            static obs::Counter& chunks =
+                obs::MetricsRegistry::global().counter("pool.chunks");
+            chunks.add(static_cast<uint64_t>(parts));
+        }
         ensureWorkers(parts - 1);
 
         // Static partition: `parts` contiguous chunks of near-equal
@@ -84,7 +91,11 @@ class Pool
         }
         cv_.notify_all();
         // The caller owns the last chunk.
-        fn(end - base, end);
+        {
+            RECSTACK_SPAN("pool.chunk",
+                          {{"lo", end - base}, {"hi", end}});
+            fn(end - base, end);
+        }
         done.wait();
     }
 
@@ -140,7 +151,13 @@ class Pool
                 task = tasks_.front();
                 tasks_.pop_front();
             }
-            (*task.fn)(task.lo, task.hi);
+            {
+                // Scoped so the span commits before finishOne() can
+                // release a caller that might snapshot the buffer.
+                RECSTACK_SPAN("pool.chunk",
+                              {{"lo", task.lo}, {"hi", task.hi}});
+                (*task.fn)(task.lo, task.hi);
+            }
             task.done->finishOne();
         }
     }
@@ -177,8 +194,15 @@ parallelFor(int64_t begin, int64_t end, int64_t grain, const RangeFn& fn)
     }
     const int width = intraOpThreads();
     if (width <= 1) {
+        // Serial path stays span-free: this is the default width and
+        // must carry zero instrumentation cost.
         fn(begin, end);
         return;
+    }
+    {
+        static obs::Counter& calls =
+            obs::MetricsRegistry::global().counter("pool.parallel_for");
+        calls.add();
     }
     Pool::instance().run(begin, end, grain, width, fn);
 }

@@ -3,8 +3,41 @@
 #include <chrono>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace recstack {
+namespace {
+
+/// Registry handles are looked up once; updates are lock-free.
+obs::Counter&
+runsCounter()
+{
+    static obs::Counter& c =
+        obs::MetricsRegistry::global().counter("executor.runs");
+    return c;
+}
+
+obs::Counter&
+opsCounter()
+{
+    static obs::Counter& c =
+        obs::MetricsRegistry::global().counter("executor.ops");
+    return c;
+}
+
+/// Batch rows of an op's first output (post-run), -1 if unknowable.
+int64_t
+outputRows(const Workspace& ws, const Operator& op)
+{
+    if (op.outputs().empty() || !ws.has(op.outputs()[0])) {
+        return -1;
+    }
+    const Tensor& t = ws.get(op.outputs()[0]);
+    return t.shape().empty() ? -1 : t.dim(0);
+}
+
+}  // namespace
 
 NetExecResult
 Executor::run(const NetDef& net, Workspace& ws, const ExecOptions& opts)
@@ -16,11 +49,16 @@ Executor::run(const NetDef& net, Workspace& ws, const ExecOptions& opts)
     IntraOpScope intra_op(opts.numThreads);
 
     const bool numerics = opts.mode != ExecMode::kProfileOnly;
+    runsCounter().add();
+    opsCounter().add(net.opCount());
+    RECSTACK_SPAN("executor.run",
+                  {{"ops", static_cast<int64_t>(net.opCount())}});
     NetExecResult result;
     result.records.reserve(net.opCount());
     const auto net_start = Clock::now();
 
     for (const auto& op : net.ops()) {
+        obs::ScopedSpan op_span("op", op->type().c_str());
         op->inferShapes(ws);
         OpExecRecord record;
         if (numerics) {
@@ -29,6 +67,9 @@ Executor::run(const NetDef& net, Workspace& ws, const ExecOptions& opts)
             const auto end = Clock::now();
             record.hostSeconds =
                 std::chrono::duration<double>(end - start).count();
+        }
+        if (op_span.active()) {
+            op_span.arg("rows", outputRows(ws, *op));
         }
         if (opts.mode != ExecMode::kNumericOnly) {
             record.profile = op->profile(ws);
@@ -65,18 +106,29 @@ Executor::run(CompiledNet& net, Workspace& ws, Arena& arena, int64_t batch,
     using Clock = std::chrono::steady_clock;
 
     IntraOpScope intra_op(opts.numThreads);
-    const NetPlan& plan = net.plan(ws, batch);
+    runsCounter().add();
+    opsCounter().add(net.opCount());
+    RECSTACK_SPAN("executor.run",
+                  {{"ops", static_cast<int64_t>(net.opCount())},
+                   {"batch", batch}});
+    const NetPlan* plan = nullptr;
+    {
+        RECSTACK_SPAN("executor.plan_bind", {{"batch", batch}});
+        plan = &net.plan(ws, batch);
+    }
     const bool numerics = opts.mode != ExecMode::kProfileOnly;
 
     NetExecResult result;
     result.records.reserve(net.opCount());
     if (numerics) {
-        net.bind(ws, arena, plan);
+        RECSTACK_SPAN("executor.plan_bind", {{"batch", batch}});
+        net.bind(ws, arena, *plan);
     }
     const auto net_start = Clock::now();
 
     const auto& ops = net.ops();
     for (size_t i = 0; i < ops.size(); ++i) {
+        obs::ScopedSpan op_span("op", ops[i]->type().c_str());
         OpExecRecord record;
         if (numerics) {
             const auto start = Clock::now();
@@ -85,9 +137,12 @@ Executor::run(CompiledNet& net, Workspace& ws, Arena& arena, int64_t batch,
             record.hostSeconds =
                 std::chrono::duration<double>(end - start).count();
         }
+        if (op_span.active()) {
+            op_span.arg("rows", outputRows(ws, *ops[i]));
+        }
         if (opts.mode != ExecMode::kNumericOnly) {
             // Lowered once at plan time (unique-code rewrite included).
-            record.profile = plan.profiles[i];
+            record.profile = plan->profiles[i];
         }
         result.records.push_back(std::move(record));
     }

@@ -1,0 +1,331 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace recstack {
+namespace obs {
+namespace {
+
+/// obs sits below recstack_common, so it cannot use RECSTACK_CHECK;
+/// this is the same panic contract without the link dependency.
+void
+obsCheckFailed(const char* what)
+{
+    std::fprintf(stderr, "[obs] check failed: %s\n", what);
+    std::abort();
+}
+
+#define RECSTACK_OBS_CHECK(cond)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            obsCheckFailed(#cond);                                          \
+        }                                                                   \
+    } while (0)
+
+/// Stripe index of the calling thread: a cheap hash of a stable
+/// per-thread token so each thread sticks to one stripe.
+size_t
+threadStripe()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local const uint32_t token =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return token & (kCounterStripes - 1);
+}
+
+/// fetch_add for atomic<double> via CAS (portable pre-C++20-TS).
+void
+atomicAddDouble(std::atomic<double>& target, double delta)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/** Minimal JSON string escaping for metric names. */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+}  // namespace
+
+void
+Counter::add(uint64_t delta)
+{
+    stripes_[threadStripe()].v.fetch_add(delta,
+                                         std::memory_order_relaxed);
+}
+
+uint64_t
+Counter::value() const
+{
+    uint64_t sum = 0;
+    for (const Stripe& s : stripes_) {
+        sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+}
+
+void
+Counter::reset()
+{
+    for (Stripe& s : stripes_) {
+        s.v.store(0, std::memory_order_relaxed);
+    }
+}
+
+double
+HistogramSnapshot::percentile(double p) const
+{
+    if (total == 0 || counts.empty()) {
+        return 0.0;
+    }
+    if (p < 0.0) {
+        p = 0.0;
+    }
+    if (p > 1.0) {
+        p = 1.0;
+    }
+    // Rank in [0, total-1], matching percentileOfSorted's convention
+    // of interpolating over order statistics.
+    const double rank = p * static_cast<double>(total - 1);
+    const double width = bucketWidth();
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) {
+            continue;
+        }
+        const uint64_t lo_rank = seen;
+        seen += counts[i];
+        if (rank < static_cast<double>(seen)) {
+            // Spread the bucket's samples evenly across its width.
+            const double within =
+                (rank - static_cast<double>(lo_rank) + 0.5) /
+                static_cast<double>(counts[i]);
+            return lo + (static_cast<double>(i) + within) * width;
+        }
+    }
+    return hi;
+}
+
+LatencyHistogram::LatencyHistogram(double lo, double hi, size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets ? buckets : 1)),
+      counts_(buckets)
+{
+    RECSTACK_OBS_CHECK(buckets > 0);
+    RECSTACK_OBS_CHECK(hi > lo);
+}
+
+void
+LatencyHistogram::record(double x)
+{
+    int64_t idx = static_cast<int64_t>((x - lo_) / width_);
+    if (idx < 0) {
+        idx = 0;
+    }
+    const int64_t last = static_cast<int64_t>(counts_.size()) - 1;
+    if (idx > last) {
+        idx = last;
+    }
+    counts_[static_cast<size_t>(idx)].fetch_add(
+        1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    atomicAddDouble(sum_, x);
+}
+
+HistogramSnapshot
+LatencyHistogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.lo = lo_;
+    snap.hi = hi_;
+    snap.counts.resize(counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    }
+    snap.total = total_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto& c : counts_) {
+        c.store(0, std::memory_order_relaxed);
+    }
+    total_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string
+MetricsSnapshot::renderText() const
+{
+    std::string out;
+    char line[256];
+    for (const auto& [name, v] : counters) {
+        std::snprintf(line, sizeof(line), "counter  %-40s %" PRIu64 "\n",
+                      name.c_str(), v);
+        out += line;
+    }
+    for (const auto& [name, v] : gauges) {
+        std::snprintf(line, sizeof(line), "gauge    %-40s %.6g\n",
+                      name.c_str(), v);
+        out += line;
+    }
+    for (const auto& [name, h] : histograms) {
+        std::snprintf(line, sizeof(line),
+                      "hist     %-40s count=%" PRIu64
+                      " mean=%.6g p50=%.6g p95=%.6g p99=%.6g\n",
+                      name.c_str(), h.total, h.mean(), h.percentile(0.50),
+                      h.percentile(0.95), h.percentile(0.99));
+        out += line;
+    }
+    return out;
+}
+
+std::string
+MetricsSnapshot::renderJson() const
+{
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, v] : counters) {
+        out += first ? "\n" : ",\n";
+        out += "    \"" + jsonEscape(name) +
+               "\": " + std::to_string(v);
+        first = false;
+    }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, v] : gauges) {
+        out += first ? "\n" : ",\n";
+        out += "    \"" + jsonEscape(name) + "\": " + fmtDouble(v);
+        first = false;
+    }
+    out += "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms) {
+        out += first ? "\n" : ",\n";
+        out += "    \"" + jsonEscape(name) + "\": {\"count\": " +
+               std::to_string(h.total) + ", \"mean\": " +
+               fmtDouble(h.mean()) + ", \"p50\": " +
+               fmtDouble(h.percentile(0.50)) + ", \"p95\": " +
+               fmtDouble(h.percentile(0.95)) + ", \"p99\": " +
+               fmtDouble(h.percentile(0.99)) + "}";
+        first = false;
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    // Intentionally leaked: instrumentation handles (function-local
+    // statics all over the runtime) must outlive static destruction.
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (slot == nullptr) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (slot == nullptr) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+LatencyHistogram&
+MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                           size_t buckets)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (slot == nullptr) {
+        slot = std::make_unique<LatencyHistogram>(lo, hi, buckets);
+    }
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot snap;
+    for (const auto& [name, c] : counters_) {
+        snap.counters[name] = c->value();
+    }
+    for (const auto& [name, g] : gauges_) {
+        snap.gauges[name] = g->value();
+    }
+    for (const auto& [name, h] : histograms_) {
+        snap.histograms[name] = h->snapshot();
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) {
+        c->reset();
+    }
+    for (auto& [name, g] : gauges_) {
+        g->reset();
+    }
+    for (auto& [name, h] : histograms_) {
+        h->reset();
+    }
+}
+
+}  // namespace obs
+}  // namespace recstack

@@ -1,0 +1,197 @@
+#ifndef RECSTACK_OBS_METRICS_H_
+#define RECSTACK_OBS_METRICS_H_
+
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * fixed-bucket latency histograms with a lock-free update fast path.
+ *
+ * The runtime (executor, thread pool, batch queue, serving engine,
+ * embedding store) bumps metrics on hot paths, so updates must never
+ * serialize concurrent workers:
+ *
+ *  - Counter  — monotonic uint64, striped across cache-line-padded
+ *    atomics indexed by a thread-id hash; add() is one relaxed
+ *    fetch_add on a stripe that concurrent threads rarely share.
+ *  - Gauge    — last-writer-wins double (one relaxed atomic store).
+ *  - LatencyHistogram — fixed-width buckets over [lo, hi); record()
+ *    is one relaxed fetch_add on the bucket's atomic plus a CAS loop
+ *    on the running sum. Out-of-range samples clamp to the edge
+ *    buckets, so percentiles are exact only for in-range data (pick
+ *    bounds generously; the error is at most one bucket width for
+ *    in-range samples).
+ *
+ * Registration (counter()/gauge()/histogram()) takes a mutex and
+ * returns a reference that stays valid for the process lifetime —
+ * instrumentation sites look their handle up once (typically a
+ * function-local static) and never touch the lock again.
+ *
+ * snapshot() returns a consistent *copy* of every metric (each value
+ * read atomically; the set of metrics is frozen under the
+ * registration lock) that can be rendered as aligned text or JSON.
+ * reset() zeroes all values but keeps the registrations, so cached
+ * handles survive — the CLI and tests reset before a measured run.
+ *
+ * This header is dependency-free (standard library only) so that
+ * recstack_common — the bottom of the library stack — can link it.
+ * See docs/observability.md for naming conventions and overhead.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace recstack {
+namespace obs {
+
+/** Stripes per counter; a power of two so the index is a mask. */
+constexpr size_t kCounterStripes = 16;
+
+/** Monotonic counter, shard-striped to avoid write contention. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    /** Add @c delta on this thread's stripe (relaxed, lock-free). */
+    void add(uint64_t delta = 1);
+
+    /** Sum over all stripes (each stripe read atomically). */
+    uint64_t value() const;
+
+    /** Zero every stripe. Racy against concurrent add() by design. */
+    void reset();
+
+  private:
+    struct alignas(64) Stripe {
+        std::atomic<uint64_t> v{0};
+    };
+    Stripe stripes_[kCounterStripes];
+};
+
+/** Last-writer-wins instantaneous value. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/** Consistent copy of one histogram, with percentile queries. */
+struct HistogramSnapshot {
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+    double sum = 0.0;
+
+    double bucketWidth() const
+    {
+        return counts.empty() ? 0.0
+                              : (hi - lo) / static_cast<double>(counts.size());
+    }
+    /**
+     * p-th percentile (p in [0, 1]) with linear interpolation inside
+     * the bucket holding the rank; for in-range samples this is
+     * within one bucketWidth() of the exact order statistic. 0 on an
+     * empty histogram.
+     */
+    double percentile(double p) const;
+    double mean() const
+    {
+        return total ? sum / static_cast<double>(total) : 0.0;
+    }
+};
+
+/** Fixed-bucket concurrent histogram over [lo, hi). */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram(double lo, double hi, size_t buckets);
+    LatencyHistogram(const LatencyHistogram&) = delete;
+    LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+    /** Record one sample (clamped to the edge buckets). Lock-free. */
+    void record(double x);
+
+    HistogramSnapshot snapshot() const;
+    void reset();
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    size_t buckets() const { return counts_.size(); }
+    double bucketWidth() const { return width_; }
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::atomic<uint64_t>> counts_;
+    std::atomic<uint64_t> total_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Copy of every metric at one snapshot() call. */
+struct MetricsSnapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /** Aligned human-readable dump (one metric per line). */
+    std::string renderText() const;
+    /** JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}. */
+    std::string renderJson() const;
+};
+
+/** Named registry of counters/gauges/histograms. See file comment. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /** The process-wide registry every built-in metric lives in. */
+    static MetricsRegistry& global();
+
+    /**
+     * Find-or-create by name. References stay valid forever (metrics
+     * are never deregistered). For histogram(), the bounds of the
+     * first registration win; later calls with different bounds get
+     * the existing histogram unchanged.
+     */
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    LatencyHistogram& histogram(const std::string& name, double lo,
+                                double hi, size_t buckets);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every metric, keeping registrations (and handles) alive. */
+    void reset();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace recstack
+
+#endif  // RECSTACK_OBS_METRICS_H_

@@ -1,0 +1,190 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace recstack {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Dynamic initializer: honor RECSTACK_TRACE_RUNTIME before main().
+const bool g_env_init = [] {
+    const char* v = std::getenv("RECSTACK_TRACE_RUNTIME");
+    if (v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0) {
+        detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}();
+
+}  // namespace
+
+void
+setTraceEnabled(bool enabled)
+{
+    detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+traceEnabledByEnv()
+{
+    return g_env_init;
+}
+
+uint64_t
+nowNanos()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point anchor = clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             anchor)
+            .count());
+}
+
+uint32_t
+currentThreadId()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local const uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : slots_(capacity ? capacity : 1)
+{
+}
+
+TraceBuffer&
+TraceBuffer::global()
+{
+    // Leaked for the same reason as MetricsRegistry::global():
+    // detached pool workers may record during static destruction.
+    static TraceBuffer* buffer = new TraceBuffer();
+    return *buffer;
+}
+
+bool
+TraceBuffer::record(const SpanRecord& rec)
+{
+    const uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= slots_.size()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    Slot& slot = slots_[idx];
+    slot.rec = rec;
+    slot.ready.store(true, std::memory_order_release);
+    return true;
+}
+
+TraceSnapshot
+TraceBuffer::snapshot() const
+{
+    TraceSnapshot snap;
+    snap.spans.reserve(size());
+    for (const Slot& slot : slots_) {
+        if (slot.ready.load(std::memory_order_acquire)) {
+            snap.spans.push_back(slot.rec);
+        }
+    }
+    snap.dropped = dropped_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+void
+TraceBuffer::clear()
+{
+    const uint64_t used = next_.load(std::memory_order_relaxed);
+    const size_t upto = used < slots_.size()
+                            ? static_cast<size_t>(used)
+                            : slots_.size();
+    for (size_t i = 0; i < upto; ++i) {
+        slots_[i].ready.store(false, std::memory_order_relaxed);
+        slots_[i].rec = SpanRecord{};
+    }
+    next_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+size_t
+TraceBuffer::size() const
+{
+    const uint64_t used = next_.load(std::memory_order_relaxed);
+    return used < slots_.size() ? static_cast<size_t>(used)
+                                : slots_.size();
+}
+
+ScopedSpan::ScopedSpan(const char* name,
+                       std::initializer_list<SpanArg> args)
+    : active_(traceEnabled()),
+      prefix_(nullptr),
+      name_(name)
+{
+    if (active_) {
+        init(args);
+    }
+}
+
+ScopedSpan::ScopedSpan(const char* prefix, const char* name,
+                       std::initializer_list<SpanArg> args)
+    : active_(traceEnabled()),
+      prefix_(prefix),
+      name_(name)
+{
+    if (active_) {
+        init(args);
+    }
+}
+
+void
+ScopedSpan::init(std::initializer_list<SpanArg> args)
+{
+    startNs_ = nowNanos();
+    for (const SpanArg& a : args) {
+        arg(a.key, a.value);
+    }
+}
+
+void
+ScopedSpan::arg(const char* key, int64_t value)
+{
+    if (!active_ || numArgs_ >= kMaxSpanArgs) {
+        return;
+    }
+    SpanRecord::Arg& slot = args_[numArgs_++];
+    std::snprintf(slot.key, sizeof(slot.key), "%s", key);
+    slot.value = value;
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active_) {
+        return;
+    }
+    SpanRecord rec;
+    if (prefix_ != nullptr) {
+        std::snprintf(rec.name, sizeof(rec.name), "%s.%s", prefix_, name_);
+    } else {
+        std::snprintf(rec.name, sizeof(rec.name), "%s", name_);
+    }
+    rec.startNs = startNs_;
+    rec.endNs = nowNanos();
+    rec.tid = currentThreadId();
+    rec.numArgs = numArgs_;
+    for (uint32_t i = 0; i < numArgs_; ++i) {
+        rec.args[i] = args_[i];
+    }
+    TraceBuffer::global().record(rec);
+}
+
+}  // namespace obs
+}  // namespace recstack

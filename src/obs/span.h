@@ -1,0 +1,210 @@
+#ifndef RECSTACK_OBS_SPAN_H_
+#define RECSTACK_OBS_SPAN_H_
+
+/**
+ * @file
+ * Scoped runtime spans feeding a bounded in-memory trace buffer.
+ *
+ * A span is one timed interval on one thread — a batch in service, an
+ * operator kernel, a parallelFor chunk, a store lookup — recorded as
+ * a fixed-size POD (no heap) with:
+ *
+ *  - a dotted name ("executor.run", "op.FC", "queue.acquire"); the
+ *    prefix before the first '.' becomes the Chrome trace category,
+ *  - start/end nanosecond timestamps from one process-wide monotonic
+ *    clock (std::chrono::steady_clock, anchored at first use),
+ *  - a small per-process thread id, and
+ *  - up to kMaxSpanArgs integer key/value args.
+ *
+ * Tracing is DISABLED by default and the disabled path is the
+ * contract: RECSTACK_SPAN compiles to constructing a ScopedSpan whose
+ * constructor does one relaxed atomic load and returns — no clock
+ * read, no ring write, no allocation (tests/test_obs.cc locks the
+ * no-ring-write half down; the object itself lives on the stack).
+ * Enable with the RECSTACK_TRACE_RUNTIME=1 environment variable, via
+ * setTraceEnabled(true), or per serving run via
+ * EngineConfig::captureTrace.
+ *
+ * Completed spans land in TraceBuffer: a preallocated bounded buffer
+ * with a lock-free claim (one fetch_add). When full, new spans are
+ * counted in dropped() and discarded — the buffer keeps the *oldest*
+ * spans, which for a serving run means the ramp-up and steady state
+ * rather than a sliding tail, and makes every retained record stable
+ * for the exporter. snapshot() returns only fully-committed records
+ * (per-slot release/acquire flag), so it is safe to export while
+ * detached pool threads are still recording.
+ *
+ * Export with obs/trace_export.h (chrome://tracing / Perfetto).
+ * Dependency-free (standard library only): recstack_common links it.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace recstack {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/** Is span recording on? One relaxed load — the hot-path gate. */
+inline bool
+traceEnabled()
+{
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn span recording on/off at runtime. */
+void setTraceEnabled(bool enabled);
+
+/** True when RECSTACK_TRACE_RUNTIME is set to a non-zero value. */
+bool traceEnabledByEnv();
+
+constexpr size_t kSpanNameChars = 64;
+constexpr size_t kSpanArgKeyChars = 24;
+constexpr size_t kMaxSpanArgs = 4;
+constexpr size_t kDefaultTraceCapacity = 1u << 16;
+
+/** Key/value argument attached to a span (integer payloads only). */
+struct SpanArg {
+    const char* key;
+    int64_t value;
+};
+
+/** One completed span, fixed-size and self-contained. */
+struct SpanRecord {
+    char name[kSpanNameChars] = {0};
+    uint64_t startNs = 0;
+    uint64_t endNs = 0;
+    uint32_t tid = 0;
+    uint32_t numArgs = 0;
+    struct Arg {
+        char key[kSpanArgKeyChars];
+        int64_t value;
+    } args[kMaxSpanArgs] = {};
+};
+
+/** Copy of the buffer contents plus drop accounting. */
+struct TraceSnapshot {
+    std::vector<SpanRecord> spans;
+    uint64_t dropped = 0;
+};
+
+/** Bounded lock-free span sink. See file comment for semantics. */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(size_t capacity = kDefaultTraceCapacity);
+    TraceBuffer(const TraceBuffer&) = delete;
+    TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+    /** The process-wide buffer every ScopedSpan records into. */
+    static TraceBuffer& global();
+
+    /** Store a record; false (and one dropped() tick) when full. */
+    bool record(const SpanRecord& rec);
+
+    /** Copy out every committed record plus the drop count. */
+    TraceSnapshot snapshot() const;
+
+    /**
+     * Forget all records and zero the drop counter. Must not race
+     * with concurrent record() calls (quiesce writers first — the
+     * serving engine joins its workers before snapshotting, and the
+     * pool's detached workers only record while a parallelFor is in
+     * flight).
+     */
+    void clear();
+
+    /** Committed-or-claimed record count (<= capacity). */
+    size_t size() const;
+    size_t capacity() const { return slots_.size(); }
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Slot {
+        SpanRecord rec;
+        std::atomic<bool> ready{false};
+    };
+    std::vector<Slot> slots_;
+    std::atomic<uint64_t> next_{0};
+    std::atomic<uint64_t> dropped_{0};
+};
+
+/** Monotonic nanoseconds since the process trace anchor. */
+uint64_t nowNanos();
+
+/** Small stable per-thread id (assigned on first use, from 1). */
+uint32_t currentThreadId();
+
+/**
+ * RAII span. When tracing is disabled at construction this is a
+ * no-op shell; when enabled, the destructor stamps the end time and
+ * pushes one SpanRecord into TraceBuffer::global().
+ *
+ * The name pointers (and optional prefix) must stay valid until the
+ * destructor runs — string literals and strings owned by live
+ * objects (e.g. Operator::type()) both qualify; the text is copied
+ * into the fixed-size record only at destruction.
+ */
+class ScopedSpan
+{
+  public:
+    /** Span named verbatim: RECSTACK_SPAN("queue.acquire"). */
+    explicit ScopedSpan(const char* name,
+                        std::initializer_list<SpanArg> args = {});
+
+    /**
+     * Span named "<prefix>.<name>" without allocating — for dynamic
+     * second components like op types: ScopedSpan("op", type).
+     */
+    ScopedSpan(const char* prefix, const char* name,
+               std::initializer_list<SpanArg> args = {});
+
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    /** True when this span will be recorded at scope exit. */
+    bool active() const { return active_; }
+
+    /** Append an arg discovered mid-scope (ignored when inactive). */
+    void arg(const char* key, int64_t value);
+
+  private:
+    void init(std::initializer_list<SpanArg> args);
+
+    bool active_;
+    const char* prefix_;
+    const char* name_;
+    uint64_t startNs_ = 0;
+    uint32_t numArgs_ = 0;
+    SpanRecord::Arg args_[kMaxSpanArgs] = {};
+};
+
+#define RECSTACK_OBS_CONCAT_IMPL_(a, b) a##b
+#define RECSTACK_OBS_CONCAT_(a, b) RECSTACK_OBS_CONCAT_IMPL_(a, b)
+
+/**
+ * Open a scoped span covering the rest of the enclosing block:
+ *
+ *   RECSTACK_SPAN("executor.run", {{"ops", n}});
+ *
+ * Zero-cost (one relaxed load) when tracing is disabled.
+ */
+#define RECSTACK_SPAN(...)                                                  \
+    ::recstack::obs::ScopedSpan RECSTACK_OBS_CONCAT_(recstack_span_,        \
+                                                     __COUNTER__)(          \
+        __VA_ARGS__)
+
+}  // namespace obs
+}  // namespace recstack
+
+#endif  // RECSTACK_OBS_SPAN_H_

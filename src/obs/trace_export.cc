@@ -1,0 +1,112 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace recstack {
+namespace obs {
+namespace {
+
+/// Escape a NUL-terminated string for a JSON string literal.
+std::string
+jsonEscape(const char* s)
+{
+    std::string out;
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/// Category = the span-name prefix before the first '.', so
+/// "op.FC" groups under "op" and "queue.acquire" under "queue".
+std::string
+categoryOf(const char* name)
+{
+    const char* dot = std::strchr(name, '.');
+    if (dot == nullptr) {
+        return name;
+    }
+    return std::string(name, static_cast<size_t>(dot - name));
+}
+
+}  // namespace
+
+std::string
+renderChromeTrace(const TraceSnapshot& snap)
+{
+    std::string out = "{\"traceEvents\":[";
+    char buf[256];
+    bool first = true;
+    for (const SpanRecord& rec : snap.spans) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        // ts/dur are microseconds (the trace-event spec's unit);
+        // keep sub-microsecond precision with three decimals.
+        const double tsUs = static_cast<double>(rec.startNs) / 1e3;
+        const double durUs =
+            static_cast<double>(rec.endNs - rec.startNs) / 1e3;
+        out += "{\"name\":\"" + jsonEscape(rec.name) + "\",\"cat\":\"" +
+               categoryOf(rec.name) + "\",\"ph\":\"X\"";
+        std::snprintf(buf, sizeof(buf),
+                      ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+                      tsUs, durUs, rec.tid);
+        out += buf;
+        out += ",\"args\":{";
+        for (uint32_t i = 0; i < rec.numArgs && i < kMaxSpanArgs; ++i) {
+            if (i > 0) {
+                out += ",";
+            }
+            std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64,
+                          jsonEscape(rec.args[i].key).c_str(),
+                          rec.args[i].value);
+            out += buf;
+        }
+        out += "}}";
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\n],\"displayTimeUnit\":\"ms\","
+                  "\"recstack\":{\"dropped\":%" PRIu64 "}}\n",
+                  snap.dropped);
+    out += buf;
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string& path, const TraceSnapshot& snap,
+                 std::string* error)
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        if (error != nullptr) {
+            *error = "cannot open " + path + " for writing";
+        }
+        return false;
+    }
+    const std::string doc = renderChromeTrace(snap);
+    const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    const bool ok = written == doc.size() && std::fclose(f) == 0;
+    if (!ok && error != nullptr) {
+        *error = "short write to " + path;
+    }
+    return ok;
+}
+
+}  // namespace obs
+}  // namespace recstack

@@ -1,0 +1,37 @@
+#ifndef RECSTACK_OBS_TRACE_EXPORT_H_
+#define RECSTACK_OBS_TRACE_EXPORT_H_
+
+/**
+ * @file
+ * Chrome trace-event JSON export for TraceBuffer snapshots.
+ *
+ * Emits the `traceEvents` object format understood by
+ * chrome://tracing and https://ui.perfetto.dev: one complete event
+ * (ph "X") per SpanRecord with microsecond `ts`/`dur`, `pid` fixed at
+ * 1, `tid` from the span's per-process thread id, `cat` derived from
+ * the span-name prefix before the first '.', and the span's key/value
+ * args under `args`. docs/observability.md walks through opening the
+ * file in Perfetto.
+ */
+
+#include <string>
+
+#include "obs/span.h"
+
+namespace recstack {
+namespace obs {
+
+/** Render a snapshot as a Chrome trace-event JSON document. */
+std::string renderChromeTrace(const TraceSnapshot& snap);
+
+/**
+ * Write renderChromeTrace(snap) to @c path. Returns false (filling
+ * @c error when non-null) if the file cannot be written.
+ */
+bool writeChromeTrace(const std::string& path, const TraceSnapshot& snap,
+                      std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace recstack
+
+#endif  // RECSTACK_OBS_TRACE_EXPORT_H_

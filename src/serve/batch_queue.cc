@@ -3,8 +3,36 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace recstack {
+namespace {
+
+struct QueueMetrics {
+    obs::Counter& batches;
+    obs::Counter& samples;
+    obs::Counter& launchFull;
+    obs::Counter& launchWindow;
+    obs::Counter& launchDrain;
+
+    static QueueMetrics& get()
+    {
+        static QueueMetrics* m = [] {
+            auto& reg = obs::MetricsRegistry::global();
+            return new QueueMetrics{
+                reg.counter("queue.batches"),
+                reg.counter("queue.samples"),
+                reg.counter("queue.launch_batch_full"),
+                reg.counter("queue.launch_window_expired"),
+                reg.counter("queue.launch_drain"),
+            };
+        }();
+        return *m;
+    }
+};
+
+}  // namespace
 
 BatchQueue::BatchQueue(const Config& cfg)
     : cfg_(cfg), process_(cfg.arrivalQps, cfg.seed)
@@ -57,6 +85,7 @@ BatchQueue::acquire(int wid, const ServiceFn& service, BatchTicket* ticket,
 {
     RECSTACK_CHECK(wid >= 0 && wid < cfg_.numWorkers,
                    "worker id out of range");
+    obs::ScopedSpan span("queue.acquire", {{"worker", wid}});
     std::unique_lock<std::mutex> lock(mu_);
     RECSTACK_CHECK(active_[static_cast<size_t>(wid)],
                    "acquire on a retired worker");
@@ -66,10 +95,12 @@ BatchQueue::acquire(int wid, const ServiceFn& service, BatchTicket* ticket,
     // admission rule fires. This is the same event sequence the
     // analytical simulator steps through, so at one worker the two
     // systems serve identical batches.
+    QueueMetrics& qm = QueueMetrics::get();
     double t = readyTime_[static_cast<size_t>(wid)];
     admitUpTo(t);
     while (true) {
         if (static_cast<int64_t>(pending_.size()) >= cfg_.maxBatch) {
+            qm.launchFull.add();
             break;  // batch-full
         }
         if (exhausted_) {
@@ -78,10 +109,12 @@ BatchQueue::acquire(int wid, const ServiceFn& service, BatchTicket* ticket,
                 cv_.notify_all();
                 return false;  // drained: worker retires
             }
+            qm.launchDrain.add();
             break;  // draining: flush what is queued
         }
         if (!pending_.empty()) {
             if (t - pending_.front() >= cfg_.maxWaitSeconds) {
+                qm.launchWindow.add();
                 break;  // window-expired
             }
             const double expiry = pending_.front() + cfg_.maxWaitSeconds;
@@ -90,6 +123,7 @@ BatchQueue::acquire(int wid, const ServiceFn& service, BatchTicket* ticket,
                 admitOne();
             } else {
                 t = expiry;
+                qm.launchWindow.add();
                 break;  // window expires before the next arrival
             }
         } else {
@@ -124,6 +158,12 @@ BatchQueue::acquire(int wid, const ServiceFn& service, BatchTicket* ticket,
     readyTime_[static_cast<size_t>(wid)] = t + svc;
     *completion = t + svc;
     *busy_at_launch = busy;
+    qm.batches.add();
+    qm.samples.add(static_cast<uint64_t>(batch));
+    if (span.active()) {
+        span.arg("batch", batch);
+        span.arg("busy", busy);
+    }
     cv_.notify_all();
     return true;
 }

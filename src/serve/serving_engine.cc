@@ -6,11 +6,48 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "models/store_binding.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "serve/batch_queue.h"
 #include "serve/contention.h"
 
 namespace recstack {
 namespace {
+
+/// Per-query end-to-end latency in seconds: [0, 1) over 1000 buckets
+/// gives 1 ms resolution, so histogram percentiles agree with the
+/// exact percentileOfSorted path within 1 ms for sub-second tails
+/// (cross-checked in tests/test_obs.cc).
+obs::LatencyHistogram&
+queryLatencyHistogram()
+{
+    static obs::LatencyHistogram& h =
+        obs::MetricsRegistry::global().histogram(
+            "serve.query_latency_seconds", 0.0, 1.0, 1000);
+    return h;
+}
+
+obs::Counter&
+queriesCounter()
+{
+    static obs::Counter& c =
+        obs::MetricsRegistry::global().counter("serve.queries");
+    return c;
+}
+
+/// Flip tracing on for one engine run, restoring the previous state
+/// (env-driven or API-driven) on scope exit.
+struct TraceCaptureScope {
+    explicit TraceCaptureScope(bool capture)
+        : restore_(obs::traceEnabled())
+    {
+        if (capture) {
+            obs::setTraceEnabled(true);
+        }
+    }
+    ~TraceCaptureScope() { obs::setTraceEnabled(restore_); }
+    const bool restore_;
+};
 
 /** Stats a worker accumulates locally while it runs (no sharing). */
 struct WorkerLocal {
@@ -69,6 +106,11 @@ ServingEngine::run(const EngineConfig& config)
     RECSTACK_CHECK(config.simSeconds > 0.0, "duration must be > 0");
     RECSTACK_CHECK(config.numThreads >= 0,
                    "intra-op thread count must be >= 0");
+
+    TraceCaptureScope trace_scope(config.captureTrace);
+    RECSTACK_SPAN("engine.run",
+                  {{"workers", config.numWorkers},
+                   {"max_batch", config.maxBatch}});
 
     SweepCache* sweep = scheduler_->sweep();
     const Platform& platform = sweep->platforms()[platformIdx_];
@@ -169,11 +211,15 @@ ServingEngine::run(const EngineConfig& config)
             BatchTicket ticket;
             double completion = 0.0;
             int busy = 0;
+            obs::LatencyHistogram& lat_hist = queryLatencyHistogram();
+            obs::Counter& queries = queriesCounter();
             while (queue.acquire(wid, service, &ticket, &completion,
                                  &busy)) {
                 // Real execution of the served net on this worker's
                 // private workspace, outside the queue lock.
                 const int64_t batch = ticket.size();
+                RECSTACK_SPAN("engine.batch",
+                              {{"worker", wid}, {"batch", batch}});
                 if (config.execMode == ExecMode::kProfileOnly) {
                     gen.declare(ws, batch);
                 } else {
@@ -192,8 +238,10 @@ ServingEngine::run(const EngineConfig& config)
                 local.samplesServed +=
                     static_cast<uint64_t>(batch);
                 ++local.batchesServed;
+                queries.add(static_cast<uint64_t>(batch));
                 for (double arrival : ticket.arrivals) {
                     local.latencies.push_back(completion - arrival);
+                    lat_hist.record(completion - arrival);
                 }
             }
         });
@@ -269,6 +317,7 @@ ServingEngine::run(const EngineConfig& config)
             result.storeShared = true;
             result.residentTableBytes = store_model->residentBytes();
             result.storeStats = store_model->store().stats();
+            exportStoreStats(result.storeStats);
         } else {
             result.residentTableBytes = result.perWorkerTableBytes;
         }

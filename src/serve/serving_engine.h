@@ -72,6 +72,12 @@ struct EngineConfig {
     bool sharedEmbeddingStore = true;
     /// Shard / cache / tier knobs of the shared store.
     StoreConfig storeConfig;
+    /// Turn span tracing on for the duration of this run (restoring
+    /// the previous setting afterwards), so the run can be exported
+    /// as a Chrome trace without touching RECSTACK_TRACE_RUNTIME.
+    /// See docs/observability.md; the buffer is bounded, so long runs
+    /// keep the oldest spans and count the rest in dropped().
+    bool captureTrace = false;
 };
 
 /** Result of one engine run. */

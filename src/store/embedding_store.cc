@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace recstack {
 namespace {
@@ -228,6 +230,9 @@ EmbeddingStore::lookupSum(int table, const int64_t* indices,
     const Table& t = tables_[static_cast<size_t>(
         static_cast<uint64_t>(table))];
     const int64_t dim = t.info.dim;
+    RECSTACK_SPAN("store.lookup_sum",
+                  {{"table", table},
+                   {"rows", offsets[b_hi] - offsets[b_lo]}});
     for (int64_t b = b_lo; b < b_hi; ++b) {
         float* yrow = out + b * dim;
         for (int64_t d = 0; d < dim; ++d) {
@@ -259,6 +264,7 @@ EmbeddingStore::lookupGather(int table, const int64_t* indices,
     const Table& t = tables_[static_cast<size_t>(
         static_cast<uint64_t>(table))];
     const int64_t dim = t.info.dim;
+    RECSTACK_SPAN("store.gather", {{"table", table}, {"rows", hi - lo}});
     for (int64_t i = lo; i < hi; ++i) {
         const int64_t row = indices[i];
         float* dst = out + i * dim;
@@ -469,6 +475,19 @@ EmbeddingStore::disabledByEnv()
 {
     const char* v = std::getenv("RECSTACK_DISABLE_STORE");
     return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+void
+exportStoreStats(const StoreStats& stats)
+{
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("store.lookups").add(stats.total.lookups);
+    reg.counter("store.hits").add(stats.total.hits);
+    reg.counter("store.near_fetches").add(stats.total.nearFetches);
+    reg.counter("store.far_fetches").add(stats.total.farFetches);
+    reg.counter("store.evictions").add(stats.total.evictions);
+    reg.gauge("store.cache_bytes_used")
+        .set(static_cast<double>(stats.total.cacheBytesUsed));
 }
 
 }  // namespace recstack

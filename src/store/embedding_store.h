@@ -101,6 +101,16 @@ struct StoreStats {
     double costPercentile(double p) const;
 };
 
+/**
+ * Re-export a StoreStats snapshot's totals into the global
+ * MetricsRegistry (store.lookups / store.hits / store.near_fetches /
+ * store.far_fetches / store.evictions counters plus the
+ * store.cache_bytes_used gauge), so store health shows up in the same
+ * snapshot as executor/queue/serving metrics. Counters are cumulative
+ * across calls; reset the registry before a measured run.
+ */
+void exportStoreStats(const StoreStats& stats);
+
 /** Process-wide sharded embedding table store. See file comment. */
 class EmbeddingStore
 {

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Documentation hygiene checks, wired up as the `check_docs` ctest
+# (label `unit`). Three grep-based invariants keep the docs from
+# silently drifting away from the tree:
+#
+#   1. every docs/*.md file is referenced from README.md — the README
+#      doc index is the entry point, an unlinked doc is a dead doc;
+#   2. every relative markdown link in README.md and docs/*.md
+#      resolves to an existing file (http(s) links and pure #anchors
+#      are skipped);
+#   3. every RECSTACK_* name mentioned in README/docs (env vars such
+#      as RECSTACK_NUM_THREADS, macros such as RECSTACK_SPAN, CMake
+#      options such as RECSTACK_SANITIZE) still exists somewhere in
+#      the source tree, so the docs cannot describe knobs that were
+#      renamed or removed.
+#
+# Usage: tools/check_docs.sh   (run from anywhere; cds to repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+    echo "check_docs: FAIL: $*" >&2
+    fail=1
+}
+
+# -- 1. README links every doc -------------------------------------
+for doc in docs/*.md; do
+    if ! grep -q "$doc" README.md; then
+        err "README.md does not reference $doc"
+    fi
+done
+
+# -- 2. relative markdown links resolve ----------------------------
+for md in README.md docs/*.md; do
+    dir=$(dirname "$md")
+    # Pull out ](target) link targets; tolerate files with no links.
+    targets=$(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//' || true)
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+            http://* | https://* | mailto:* | '#'*) continue ;;
+            *' '*) continue ;;  # "](x, y)" inside a code sample, not a link
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            err "$md: broken relative link ($target)"
+        fi
+    done <<<"$targets"
+done
+
+# -- 3. RECSTACK_* names in docs exist in the tree -----------------
+names=$(grep -rhoE 'RECSTACK_[A-Z0-9_]+' README.md docs/*.md | sort -u)
+while IFS= read -r name; do
+    [ -z "$name" ] && continue
+    if ! grep -rqE "\b${name}\b" --include='*.h' --include='*.cc' \
+        --include='*.cpp' --include='*.txt' --include='*.cmake' \
+        --include='*.sh' src tools tests bench examples \
+        CMakeLists.txt 2>/dev/null; then
+        err "docs mention ${name}, which no longer appears in the source tree"
+    fi
+done <<<"$names"
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_docs: OK"

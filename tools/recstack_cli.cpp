@@ -10,11 +10,13 @@
  *   recstack schedule <MODEL> <SLA_MS>
  *   recstack plan <MODEL> <BATCH> [--json]
  *   recstack store <MODEL> <BATCH> [--json]
+ *   recstack obs <MODEL> <BATCH> [--trace out.json] [--metrics]
  *   recstack record <MODEL> <BATCH> <FILE>
  *   recstack replay <FILE> [platform-substring]
  *   recstack custom <CONFIG> <BATCH>
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -26,10 +28,14 @@
 #include "graph/executor.h"
 #include "models/custom.h"
 #include "models/store_binding.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 #include "report/chart.h"
 #include "report/csv.h"
 #include "report/table.h"
 #include "sched/query_scheduler.h"
+#include "serve/serving_engine.h"
 
 using namespace recstack;
 
@@ -53,6 +59,10 @@ usage()
         "arena memory plan\n"
         "  recstack store <MODEL> <BATCH> [--json]  sharded embedding-"
         "store hit/miss/tier report\n"
+        "  recstack obs <MODEL> <BATCH> [--trace FILE] [--metrics]\n"
+        "                                           serve real batches, "
+        "export a Chrome trace\n"
+        "                                           + metrics snapshot\n"
         "  recstack record <MODEL> <BATCH> <FILE>   capture a kernel "
         "trace\n"
         "  recstack replay <FILE> [PLATFORM]        re-simulate a "
@@ -632,6 +642,131 @@ cmdStore(const std::string& model_name, int64_t batch, bool json)
     return 0;
 }
 
+/** Histogram percentiles vs the exact-sorted ServingStats path. */
+struct MetricsSnapshotCross {
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    bool agrees = false;
+};
+
+MetricsSnapshotCross
+crossCheckLatency(const ServingStats& exact)
+{
+    MetricsSnapshotCross out;
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    const auto it = snap.histograms.find("serve.query_latency_seconds");
+    if (it == snap.histograms.end()) {
+        return out;
+    }
+    const obs::HistogramSnapshot& h = it->second;
+    out.p50 = h.percentile(0.50);
+    out.p95 = h.percentile(0.95);
+    out.p99 = h.percentile(0.99);
+    const double tol = h.bucketWidth();
+    out.agrees = std::abs(out.p50 - exact.p50Latency) <= tol &&
+                 std::abs(out.p95 - exact.p95Latency) <= tol &&
+                 std::abs(out.p99 - exact.p99Latency) <= tol;
+    return out;
+}
+
+/**
+ * Drive a short multi-worker serving run with real numerics and the
+ * shared embedding store, then report the observability layer's view
+ * of it: optionally a Chrome trace (--trace FILE, open in
+ * chrome://tracing or https://ui.perfetto.dev) and the full metrics
+ * snapshot (--metrics). See docs/observability.md.
+ */
+int
+cmdObs(const std::string& model_name, int64_t batch,
+       const std::string& trace_path, bool metrics)
+{
+    const ModelId id = modelFromName(model_name);
+    // Same scaling rationale as `recstack store`: full-size tables are
+    // GBs; a scaled model keeps a real-numerics serving run
+    // interactive while every subsystem still exercises.
+    ModelOptions opts;
+    opts.tableScale = 0.05;
+    SweepCache sweep(allPlatforms(), opts);
+    QueryScheduler sched(&sweep, {1, 16, 64, 256, 1024});
+    ServingEngine engine(&sched, id, 0);
+
+    EngineConfig cfg;
+    cfg.numWorkers = 4;
+    cfg.maxBatch = batch;
+    cfg.arrivalQps = 4000.0;
+    cfg.simSeconds = 0.25;
+    cfg.execMode = ExecMode::kNumericOnly;
+    // Width 2 so intra-op pool chunks show up in the trace alongside
+    // the inter-op worker lanes.
+    cfg.numThreads = 2;
+    cfg.captureTrace = true;
+
+    // Measure this run alone: both sinks are process-global and
+    // cumulative.
+    obs::MetricsRegistry::global().reset();
+    obs::TraceBuffer::global().clear();
+
+    const EngineResult result = engine.run(cfg);
+
+    std::printf("%s @ maxBatch %lld: %d workers, %llu batches, %llu "
+                "samples served\n",
+                modelName(id), static_cast<long long>(batch),
+                cfg.numWorkers,
+                static_cast<unsigned long long>(result.batchesExecuted),
+                static_cast<unsigned long long>(
+                    result.aggregate.samplesServed));
+
+    const MetricsSnapshotCross check =
+        crossCheckLatency(result.aggregate);
+    std::printf("query latency: exact p50 %s / p95 %s / p99 %s\n",
+                TextTable::fmtSeconds(result.aggregate.p50Latency).c_str(),
+                TextTable::fmtSeconds(result.aggregate.p95Latency).c_str(),
+                TextTable::fmtSeconds(result.aggregate.p99Latency).c_str());
+    std::printf("  histogram  p50 %s / p95 %s / p99 %s "
+                "(1 ms buckets, %s exact within one bucket)\n",
+                TextTable::fmtSeconds(check.p50).c_str(),
+                TextTable::fmtSeconds(check.p95).c_str(),
+                TextTable::fmtSeconds(check.p99).c_str(),
+                check.agrees ? "agrees with" : "DIVERGES from");
+    if (result.storeShared) {
+        std::printf("store: %llu lookups, hit rate %s, far-tier "
+                    "fetches %llu\n",
+                    static_cast<unsigned long long>(
+                        result.storeStats.total.lookups),
+                    TextTable::fmtPercent(result.storeStats.hitRate())
+                        .c_str(),
+                    static_cast<unsigned long long>(
+                        result.storeStats.total.farFetches));
+    }
+
+    const obs::TraceSnapshot trace = obs::TraceBuffer::global().snapshot();
+    std::printf("trace: %zu spans captured, %llu dropped "
+                "(buffer capacity %zu)\n",
+                trace.spans.size(),
+                static_cast<unsigned long long>(trace.dropped),
+                obs::TraceBuffer::global().capacity());
+    if (!trace_path.empty()) {
+        std::string error;
+        if (!obs::writeChromeTrace(trace_path, trace, &error)) {
+            std::printf("error: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("wrote %s — open in chrome://tracing or "
+                    "https://ui.perfetto.dev\n",
+                    trace_path.c_str());
+    }
+    if (metrics) {
+        std::printf("\n%s",
+                    obs::MetricsRegistry::global()
+                        .snapshot()
+                        .renderText()
+                        .c_str());
+    }
+    return check.agrees ? 0 : 1;
+}
+
 }  // namespace
 
 int
@@ -641,6 +776,10 @@ main(int argc, char** argv)
         return usage();
     }
     const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        usage();
+        return 0;
+    }
     if (cmd == "models") {
         return cmdModels();
     }
@@ -668,6 +807,20 @@ main(int argc, char** argv)
     if (cmd == "store" && argc >= 4) {
         const bool json = argc > 4 && std::strcmp(argv[4], "--json") == 0;
         return cmdStore(argv[2], std::atoll(argv[3]), json);
+    }
+    if (cmd == "obs" && argc >= 4) {
+        std::string trace_path;
+        bool metrics = false;
+        for (int i = 4; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+                trace_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--metrics") == 0) {
+                metrics = true;
+            } else {
+                return usage();
+            }
+        }
+        return cmdObs(argv[2], std::atoll(argv[3]), trace_path, metrics);
     }
     if (cmd == "record" && argc >= 5) {
         return cmdRecord(argv[2], std::atoll(argv[3]), argv[4]);

@@ -2,11 +2,11 @@
 # Sanitizer passes over the suites that can hide memory/concurrency
 # bugs from the default build:
 #
-#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|serving'`:
+#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|serving|obs'`:
 #           the concurrency suites (thread pool, serving engine,
 #           parallel kernels, plan-vs-interpreted equivalence, the
 #           sharded embedding store's lock/prefetch machinery).
-#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|serving'`:
+#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|serving|obs'`:
 #           the compiled-net planner/arena suites plus the embedding
 #           store. Arena aliasing assigns overlapping
 #           [offset, offset+bytes) ranges to blobs with disjoint
@@ -15,6 +15,12 @@
 #           placement, or row-payload sizing is exactly the kind of
 #           bug that stays numerically silent until the sanitizer
 #           sees the bad access.
+#
+# Both passes include the `obs` label: the metrics registry and span
+# trace buffer are written from every worker thread on lock-free
+# paths, so the observability layer must stay clean under TSan (the
+# striped counters, the per-slot ready flags) and ASan (fixed-size
+# record copies).
 #
 # Usage: tools/run_sanitize_checks.sh [tsan|asan|all]   (default: all)
 #
@@ -37,11 +43,11 @@ run_pass() {
 }
 
 case "${mode}" in
-    tsan) run_pass thread build-tsan 'sanitize|store|serving' ;;
-    asan) run_pass address build-asan 'plan|store|serving' ;;
+    tsan) run_pass thread build-tsan 'sanitize|store|serving|obs' ;;
+    asan) run_pass address build-asan 'plan|store|serving|obs' ;;
     all)
-        run_pass address build-asan 'plan|store|serving'
-        run_pass thread build-tsan 'sanitize|store|serving'
+        run_pass address build-asan 'plan|store|serving|obs'
+        run_pass thread build-tsan 'sanitize|store|serving|obs'
         ;;
     *)
         echo "usage: $0 [tsan|asan|all]" >&2
