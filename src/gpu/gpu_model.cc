@@ -98,9 +98,17 @@ GpuModel::simulateNet(const std::vector<KernelProfile>& kernels,
         r.kernelSeconds += t.seconds;
         r.opTimes.push_back(std::move(t));
     }
+    // A net with no input payload and no input blobs stages no
+    // cudaMemcpy at all: charging even one PCIe latency there (the old
+    // max(1, input_blobs)) skewed dataCommFraction for tiny nets. Any
+    // nonzero payload still pays at least one per-copy latency, even
+    // if the caller forgot to count blobs.
+    const size_t copies =
+        (input_bytes == 0 && input_blobs == 0)
+            ? 0
+            : std::max<size_t>(1, input_blobs);
     r.transferSeconds =
-        cfg_.pcieLatencySec * static_cast<double>(
-                                  std::max<size_t>(1, input_blobs)) +
+        cfg_.pcieLatencySec * static_cast<double>(copies) +
         static_cast<double>(input_bytes) / (cfg_.pcieGBs * 1e9);
     r.totalSeconds = r.kernelSeconds + r.transferSeconds;
     return r;

@@ -1,0 +1,170 @@
+#include "sched/hill_climb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace recstack {
+namespace {
+
+void
+validate(const HillClimbConfig& cfg)
+{
+    RECSTACK_CHECK(!cfg.thresholdGrid.empty(),
+                   "threshold grid must be non-empty");
+    RECSTACK_CHECK(cfg.slaSeconds > 0.0, "SLA must be > 0");
+    RECSTACK_CHECK(cfg.epochSeconds > 0.0, "epoch duration must be > 0");
+    RECSTACK_CHECK(cfg.maxEpochs >= 1, "need at least one epoch");
+    int64_t prev = 0;
+    for (int64_t t : cfg.thresholdGrid) {
+        RECSTACK_CHECK(t >= 1, "thresholds must be >= 1");
+        RECSTACK_CHECK(t > prev, "threshold grid must be ascending");
+        prev = t;
+    }
+}
+
+/**
+ * Memoizing measurement harness: reset histogram -> epoch -> read the
+ * snapshot back. One EpochFn call per distinct grid index, so a climb
+ * that revisits a neighbor pays nothing (the engine is deterministic
+ * at a fixed config — re-measuring would reproduce the same numbers).
+ */
+class Measurer
+{
+  public:
+    Measurer(const HillClimbConfig& cfg, const EpochFn& epoch,
+             HillClimbResult* result)
+        : cfg_(cfg),
+          epoch_(epoch),
+          result_(result),
+          // Bounds only matter if nothing registered the histogram
+          // yet (first registration wins); these match the serving
+          // engine's canonical query-latency histogram.
+          hist_(obs::MetricsRegistry::global().histogram(
+              cfg.histogramName, 0.0, 1.0, 1000))
+    {
+    }
+
+    /** Measure grid index @c i (memoized). */
+    const ThresholdMeasurement& at(size_t i)
+    {
+        auto it = memo_.find(i);
+        if (it != memo_.end()) {
+            return it->second;
+        }
+        const int64_t threshold = cfg_.thresholdGrid[i];
+        hist_.reset();
+        epoch_(threshold);
+        const obs::HistogramSnapshot snap = hist_.snapshot();
+
+        ThresholdMeasurement m;
+        m.threshold = threshold;
+        m.qps = static_cast<double>(snap.total) / cfg_.epochSeconds;
+        m.p99 = snap.percentile(0.99);
+        m.feasible = m.p99 <= cfg_.slaSeconds;
+        result_->history.push_back(m);
+        ++result_->epochs;
+        return memo_.emplace(i, m).first->second;
+    }
+
+    bool budgetLeft() const { return result_->epochs < cfg_.maxEpochs; }
+    bool measured(size_t i) const { return memo_.count(i) != 0; }
+
+  private:
+    const HillClimbConfig& cfg_;
+    const EpochFn& epoch_;
+    HillClimbResult* result_;
+    obs::LatencyHistogram& hist_;
+    std::map<size_t, ThresholdMeasurement> memo_;
+};
+
+/** Fill best/bestThreshold/anyFeasible from the measured history. */
+void
+finalize(HillClimbResult* result)
+{
+    RECSTACK_CHECK(!result->history.empty(), "no epochs ran");
+    const ThresholdMeasurement* best = &result->history.front();
+    for (const ThresholdMeasurement& m : result->history) {
+        if (thresholdMeasurementBetter(m, *best)) {
+            best = &m;
+        }
+        result->anyFeasible = result->anyFeasible || m.feasible;
+    }
+    result->best = *best;
+    result->bestThreshold = best->threshold;
+}
+
+}  // namespace
+
+bool
+thresholdMeasurementBetter(const ThresholdMeasurement& a,
+                           const ThresholdMeasurement& b)
+{
+    if (a.feasible != b.feasible) {
+        return a.feasible;
+    }
+    // At a fixed offered load the engine drains every query, so QPS
+    // across thresholds agrees to rounding; treat near-equal rates as
+    // a tie and fall through to the tail.
+    const double scale = std::max(a.qps, b.qps);
+    if (std::abs(a.qps - b.qps) > 1e-9 * std::max(1.0, scale)) {
+        return a.qps > b.qps;
+    }
+    return a.p99 < b.p99;
+}
+
+HillClimbResult
+hillClimbThreshold(const HillClimbConfig& cfg, const EpochFn& epoch)
+{
+    validate(cfg);
+    HillClimbResult result;
+    Measurer measure(cfg, epoch, &result);
+
+    const size_t n = cfg.thresholdGrid.size();
+    size_t cur = std::min(cfg.startIndex, n - 1);
+    measure.at(cur);
+    while (measure.budgetLeft()) {
+        // Evaluate the unmeasured neighbors and step to the best of
+        // {left, cur, right}; a step that lands back on cur means a
+        // local optimum under the SLA-aware objective.
+        size_t best = cur;
+        const size_t neighbors[2] = {cur > 0 ? cur - 1 : cur,
+                                     cur + 1 < n ? cur + 1 : cur};
+        for (size_t j : neighbors) {
+            if (j == cur) {
+                continue;
+            }
+            if (!measure.measured(j) && !measure.budgetLeft()) {
+                continue;  // budget exhausted mid-neighborhood
+            }
+            if (thresholdMeasurementBetter(measure.at(j),
+                                           measure.at(best))) {
+                best = j;
+            }
+        }
+        if (best == cur) {
+            break;
+        }
+        cur = best;
+    }
+    finalize(&result);
+    return result;
+}
+
+HillClimbResult
+exhaustiveThreshold(const HillClimbConfig& cfg, const EpochFn& epoch)
+{
+    validate(cfg);
+    HillClimbResult result;
+    Measurer measure(cfg, epoch, &result);
+    for (size_t i = 0; i < cfg.thresholdGrid.size(); ++i) {
+        measure.at(i);
+    }
+    finalize(&result);
+    return result;
+}
+
+}  // namespace recstack

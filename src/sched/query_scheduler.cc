@@ -4,6 +4,22 @@
 
 namespace recstack {
 
+double
+extrapolateLatencyAboveGrid(int64_t b0, double s0, int64_t b1, double s1,
+                            int64_t batch)
+{
+    const double slope = (s1 - s0) / static_cast<double>(b1 - b0);
+    const double linear = s1 + slope * static_cast<double>(batch - b1);
+    // Floor: the last knot's per-sample cost scaled to this batch. A
+    // healthy grid (latency sub-linear in batch, so the marginal slope
+    // stays below the average s1/b1) extrapolates above the floor and
+    // is returned unchanged; a noisy segment with s1 < s0 would cross
+    // zero at batch = b1 + s1/|slope| and goes negative beyond it.
+    const double floor_seconds =
+        s1 * static_cast<double>(batch) / static_cast<double>(b1);
+    return std::max(linear, floor_seconds);
+}
+
 QueryScheduler::QueryScheduler(SweepCache* sweep,
                                std::vector<int64_t> batch_grid)
     : sweep_(sweep), batchGrid_(std::move(batch_grid))
@@ -40,9 +56,7 @@ QueryScheduler::latency(ModelId model, size_t platform_idx, int64_t batch)
         }
         const int64_t b0 = batchGrid_[anchor - 1];
         const double s0 = sweep_->get(model, platform_idx, b0).seconds;
-        const double slope =
-            (s1 - s0) / static_cast<double>(hi_batch - b0);
-        return s1 + slope * static_cast<double>(batch - hi_batch);
+        return extrapolateLatencyAboveGrid(b0, s0, hi_batch, s1, batch);
     }
     const auto it = std::lower_bound(batchGrid_.begin(), batchGrid_.end(),
                                      batch);
@@ -86,6 +100,20 @@ QueryScheduler::maxBatchUnderSla(ModelId model, size_t platform_idx,
         }
     }
     return best;
+}
+
+void
+QueryScheduler::setGpuThreshold(ModelId model, int64_t threshold)
+{
+    RECSTACK_CHECK(threshold > 0, "threshold must be positive");
+    gpuThresholds_[model] = threshold;
+}
+
+int64_t
+QueryScheduler::gpuThreshold(ModelId model) const
+{
+    const auto it = gpuThresholds_.find(model);
+    return it == gpuThresholds_.end() ? kNoGpuThreshold : it->second;
 }
 
 ThroughputPoint

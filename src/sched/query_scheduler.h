@@ -16,12 +16,30 @@
  */
 
 #include <cstdint>
+#include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/sweep.h"
 
 namespace recstack {
+
+/**
+ * Linear extrapolation of the latency curve above the last grid knot
+ * (@c b0 < @c b1 <= @c batch, with measured seconds @c s0 and @c s1),
+ * clamped so a noisy last segment can never produce a nonsensical
+ * prediction: a measurement blip with s1 < s0 gives a negative slope,
+ * which for large enough batches extrapolates straight through zero
+ * into negative latency. The clamp floors the result at the last
+ * knot's per-sample scaling, s1 * batch / b1 — the latency the batch
+ * would take if every sample cost what a batch-b1 sample costs — which
+ * is positive and strictly increasing in batch. Exposed as a free
+ * function so the regression test can drive it with a noisy segment
+ * directly (the characterization grid itself is monotone).
+ */
+double extrapolateLatencyAboveGrid(int64_t b0, double s0, int64_t b1,
+                                   double s1, int64_t batch);
 
 /** Routing decision for one (model, batch) query. */
 struct ScheduleDecision {
@@ -61,7 +79,11 @@ class QueryScheduler
     /** Expected latency of (model, batch) on one platform. */
     double latency(ModelId model, size_t platform_idx, int64_t batch);
 
-    /** Route one query of the given batch to the fastest platform. */
+    /**
+     * Route one query of the given batch to the fastest platform.
+     * Ties resolve deterministically to the lowest platform index
+     * (platforms() order: CPUs before GPUs).
+     */
     ScheduleDecision route(ModelId model, int64_t batch,
                            double sla_seconds);
 
@@ -84,9 +106,43 @@ class QueryScheduler
     /** The underlying characterization grid (not owned). */
     SweepCache* sweep() const { return sweep_; }
 
+    // ------------------------------------------------------------------
+    // DeepRecSys-style CPU/GPU split: per-model batch-size thresholds.
+    //
+    // The heterogeneous serving engine asks the scheduler, per dynamic
+    // batch, whether the batch should stay on the CPU worker pool
+    // (small / latency-critical) or defer to the accelerator lane
+    // (large / throughput-oriented). The decision is a single per-model
+    // threshold on the batch size, tuned online by the hill-climbing
+    // tuner (sched/hill_climb.h) against the p99 SLA. Not synchronized:
+    // callers serialize externally (the engine reads thresholds under
+    // its queue lock; the tuner writes between engine runs).
+    // ------------------------------------------------------------------
+
+    /** Threshold meaning "never defer to the accelerator" (default). */
+    static constexpr int64_t kNoGpuThreshold =
+        std::numeric_limits<int64_t>::max();
+
+    /**
+     * Set the model's CPU/GPU split point: batches of size >=
+     * threshold defer to the accelerator lane. Must be >= 1; a
+     * threshold of 1 routes every batch, kNoGpuThreshold routes none.
+     */
+    void setGpuThreshold(ModelId model, int64_t threshold);
+
+    /** The model's split point (kNoGpuThreshold when never set). */
+    int64_t gpuThreshold(ModelId model) const;
+
+    /** True when a batch of this size defers to the accelerator. */
+    bool routesToGpu(ModelId model, int64_t batch) const
+    {
+        return batch >= gpuThreshold(model);
+    }
+
   private:
     SweepCache* sweep_;
     std::vector<int64_t> batchGrid_;
+    std::map<ModelId, int64_t> gpuThresholds_;
 };
 
 }  // namespace recstack

@@ -144,14 +144,11 @@ BatchQueue::acquire(int wid, const ServiceFn& service, BatchTicket* ticket,
     }
 
     // Occupancy at launch: workers whose current batch is still in
-    // virtual service when this one starts, plus the caller.
-    int busy = 1;
-    for (size_t v = 0; v < readyTime_.size(); ++v) {
-        if (v != static_cast<size_t>(wid) && active_[v] &&
-            readyTime_[v] > t) {
-            ++busy;
-        }
-    }
+    // virtual service when this one starts, plus the caller. See
+    // busyAtLaunch() in batch_queue.h for the completion-tie
+    // convention.
+    const int busy =
+        busyAtLaunch(readyTime_, active_, static_cast<size_t>(wid), t);
 
     const double svc = service(*ticket, busy);
     RECSTACK_CHECK(svc > 0.0, "service time must be > 0");
@@ -166,6 +163,22 @@ BatchQueue::acquire(int wid, const ServiceFn& service, BatchTicket* ticket,
     }
     cv_.notify_all();
     return true;
+}
+
+int
+BatchQueue::busyAtLaunch(const std::vector<double>& ready_times,
+                         const std::vector<bool>& active, size_t wid,
+                         double t)
+{
+    int busy = 1;  // the caller
+    for (size_t v = 0; v < ready_times.size(); ++v) {
+        // Strict >: service occupies [launch, completion), so a worker
+        // completing exactly at t is idle at t (header contract).
+        if (v != wid && active[v] && ready_times[v] > t) {
+            ++busy;
+        }
+    }
+    return busy;
 }
 
 uint64_t

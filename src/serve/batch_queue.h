@@ -85,6 +85,30 @@ class BatchQueue
     bool acquire(int wid, const ServiceFn& service, BatchTicket* ticket,
                  double* completion, int* busy_at_launch);
 
+    /**
+     * Occupancy at a batch launch: the caller plus every other active
+     * worker whose current batch is still in virtual service at time
+     * @c t.
+     *
+     * Tie convention (pinned): a batch occupies its worker over the
+     * half-open interval [launch, completion) — a worker whose batch
+     * completes *exactly* at @c t is idle at @c t, not busy. This is
+     * the same convention under which the launching worker itself is
+     * free to take a new batch at its own completion instant
+     * (readyTime_[wid] == t), so the two sides of the accounting
+     * agree: occupancy counts exactly the workers that could not
+     * launch at @c t. The contention model (serve/contention.h) keys
+     * its slowdown factor off this count, so the convention is locked
+     * in by a virtual-time tie regression test in
+     * tests/test_serving_engine.cc.
+     *
+     * Exposed as a pure static so the tie case can be tested with
+     * exact doubles; acquire() uses it under the queue lock.
+     */
+    static int busyAtLaunch(const std::vector<double>& ready_times,
+                            const std::vector<bool>& active, size_t wid,
+                            double t);
+
     /** Samples admitted from the arrival stream so far. */
     uint64_t samplesArrived() const;
 

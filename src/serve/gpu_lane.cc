@@ -1,0 +1,93 @@
+#include "serve/gpu_lane.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace recstack {
+
+GpuLane::GpuLane(QueryScheduler* scheduler, ModelId model,
+                 size_t gpu_platform, const GpuLaneConfig& cfg)
+    : scheduler_(scheduler),
+      model_(model),
+      gpuPlatform_(gpu_platform),
+      cfg_(cfg)
+{
+    RECSTACK_CHECK(scheduler_ != nullptr, "lane needs a scheduler");
+    RECSTACK_CHECK(gpu_platform < scheduler_->sweep()->platforms().size(),
+                   "GPU platform index out of range");
+    RECSTACK_CHECK(scheduler_->sweep()->platforms()[gpu_platform].kind ==
+                       PlatformKind::kGpu,
+                   "lane platform must be a GPU");
+    RECSTACK_CHECK(cfg_.maxBatch > 0, "lane batch cap must be > 0");
+    RECSTACK_CHECK(cfg_.maxWaitSeconds >= 0.0,
+                   "lane window must be >= 0");
+}
+
+void
+GpuLane::launch(double trigger, GpuLaunch::Reason reason)
+{
+    const int64_t batch = std::min<int64_t>(
+        cfg_.maxBatch, static_cast<int64_t>(pending_.size()));
+    RECSTACK_CHECK(batch > 0, "lane launch with nothing pending");
+
+    // Serialize behind the device: the accelerator runs one batch at
+    // a time on the virtual clock.
+    const double launch_time = std::max(trigger, readyTime_);
+    const double service =
+        scheduler_->latency(model_, gpuPlatform_, batch);
+    const double completion = launch_time + service;
+
+    GpuLaunch rec;
+    rec.launchTime = launch_time;
+    rec.completionTime = completion;
+    rec.batch = batch;
+    rec.reason = reason;
+    launches_.push_back(rec);
+
+    for (int64_t i = 0; i < batch; ++i) {
+        latencies_.push_back(completion - pending_.front().arrival);
+        pending_.pop_front();
+    }
+    samplesServed_ += static_cast<uint64_t>(batch);
+    ++batchesServed_;
+    busySeconds_ += service;
+    lastCompletion_ = std::max(lastCompletion_, completion);
+    readyTime_ = completion;
+}
+
+void
+GpuLane::advanceTo(double now)
+{
+    while (!pending_.empty() &&
+           pending_.front().submit + cfg_.maxWaitSeconds <= now) {
+        launch(pending_.front().submit + cfg_.maxWaitSeconds,
+               GpuLaunch::Reason::kWindow);
+    }
+}
+
+void
+GpuLane::submit(const BatchTicket& ticket, double now)
+{
+    // Fire any window expiry that came due strictly before this
+    // hand-off, so launches interleave with submissions in virtual-
+    // time order.
+    advanceTo(now);
+    for (double arrival : ticket.arrivals) {
+        pending_.push_back({arrival, now});
+    }
+    while (static_cast<int64_t>(pending_.size()) >= cfg_.maxBatch) {
+        launch(now, GpuLaunch::Reason::kFull);
+    }
+}
+
+void
+GpuLane::drain()
+{
+    while (!pending_.empty()) {
+        launch(pending_.front().submit + cfg_.maxWaitSeconds,
+               GpuLaunch::Reason::kDrain);
+    }
+}
+
+}  // namespace recstack

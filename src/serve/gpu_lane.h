@@ -1,0 +1,138 @@
+#ifndef RECSTACK_SERVE_GPU_LANE_H_
+#define RECSTACK_SERVE_GPU_LANE_H_
+
+/**
+ * @file
+ * GpuLane: the accelerator backend of the heterogeneous serving
+ * engine (DeepRecSys's accelInferenceEngine, in virtual time).
+ *
+ * The serving engine's CPU workers pull dynamic batches from the
+ * BatchQueue; with heterogeneous serving enabled, batches at or above
+ * the model's GPU threshold (QueryScheduler::gpuThreshold) are not
+ * serviced on the worker — the worker only pays the host dispatch
+ * cost of handing the batch over, and the samples land here. The lane
+ * is a single virtual accelerator with its own dynamic batcher in
+ * front of it:
+ *
+ *  - deferred samples accumulate in a pending queue; a GPU batch
+ *    launches when maxBatch samples are pending (batch-full) or when
+ *    the oldest pending sample has sat in the lane for
+ *    maxWaitSeconds (window-expired), whichever virtual instant comes
+ *    first;
+ *  - a launch is serialized behind the device (launch time =
+ *    max(trigger, device-ready)), and its service time comes from the
+ *    same characterization oracle as the CPU workers'
+ *    (QueryScheduler::latency on the GPU platform, i.e. the batch is
+ *    priced by GpuModel::simulateNet through the sweep grid), so CPU
+ *    and GPU completions live on one consistent virtual clock;
+ *  - per-sample latency is end-to-end: completion minus the sample's
+ *    *original* arrival time, batching delay of both queues included.
+ *
+ * Determinism: the engine invokes submit()/advanceTo() under the
+ * BatchQueue lock, in the strict virtual-time launch order the queue
+ * already enforces, and drain() after the workers have joined. The
+ * lane itself is therefore single-threaded by construction and its
+ * stats are a pure function of the offered ticket sequence.
+ *
+ * Drain semantics: when the arrival stream is exhausted, remaining
+ * pending samples launch at what would have been their window-expiry
+ * instant (oldest submit + maxWaitSeconds), exactly as if the stream
+ * had continued without filling the batch — so a lane-side drain
+ * never completes a sample *earlier* than the live admission rules
+ * would have.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sched/query_scheduler.h"
+#include "serve/batch_queue.h"
+
+namespace recstack {
+
+/** Dynamic-batching knobs of the accelerator lane. */
+struct GpuLaneConfig {
+    /// Accumulation cap: a GPU batch never exceeds this many samples.
+    int64_t maxBatch = 1024;
+    /// Accumulation window measured from the oldest pending sample's
+    /// hand-off time (not its original arrival).
+    double maxWaitSeconds = 2e-3;
+};
+
+/** One GPU batch the lane launched (for reporting / tests). */
+struct GpuLaunch {
+    double launchTime = 0.0;
+    double completionTime = 0.0;
+    int64_t batch = 0;
+    /// Why the batch launched: batch-full, window-expired, or drain.
+    enum class Reason { kFull, kWindow, kDrain } reason = Reason::kFull;
+};
+
+/** Single virtual accelerator with an accumulation queue in front. */
+class GpuLane
+{
+  public:
+    /**
+     * @param scheduler     latency oracle (not owned; must outlive)
+     * @param model         served model
+     * @param gpu_platform  index of a GPU platform in the scheduler's
+     *                      sweep
+     */
+    GpuLane(QueryScheduler* scheduler, ModelId model, size_t gpu_platform,
+            const GpuLaneConfig& cfg);
+
+    /**
+     * Hand one deferred dynamic batch to the lane at virtual time
+     * @c now (the ticket's launch time on the CPU side). Calls must
+     * arrive in non-decreasing @c now order; window expiries due at or
+     * before @c now fire first, then the ticket's samples join the
+     * pending queue, then any batch-full launches fire.
+     */
+    void submit(const BatchTicket& ticket, double now);
+
+    /** Fire window expiries due at or before @c now (no new work). */
+    void advanceTo(double now);
+
+    /** Stream over: flush what is pending (see drain semantics). */
+    void drain();
+
+    // Accessors (call after drain() for final values).
+    uint64_t samplesServed() const { return samplesServed_; }
+    uint64_t batchesServed() const { return batchesServed_; }
+    double busySeconds() const { return busySeconds_; }
+    double lastCompletion() const { return lastCompletion_; }
+    const std::vector<double>& latencies() const { return latencies_; }
+    const std::vector<GpuLaunch>& launches() const { return launches_; }
+    int64_t pendingSamples() const
+    {
+        return static_cast<int64_t>(pending_.size());
+    }
+
+  private:
+    struct PendingSample {
+        double arrival = 0.0;  ///< original query arrival time
+        double submit = 0.0;   ///< hand-off time into the lane
+    };
+
+    void launch(double trigger, GpuLaunch::Reason reason);
+
+    QueryScheduler* scheduler_;
+    ModelId model_;
+    size_t gpuPlatform_;
+    GpuLaneConfig cfg_;
+
+    std::deque<PendingSample> pending_;
+    double readyTime_ = 0.0;  ///< device virtual free time
+
+    uint64_t samplesServed_ = 0;
+    uint64_t batchesServed_ = 0;
+    double busySeconds_ = 0.0;
+    double lastCompletion_ = 0.0;
+    std::vector<double> latencies_;
+    std::vector<GpuLaunch> launches_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_SERVE_GPU_LANE_H_

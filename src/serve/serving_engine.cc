@@ -59,6 +59,12 @@ struct WorkerLocal {
     double slowdownMax = 1.0;
     uint64_t samplesServed = 0;
     uint64_t batchesServed = 0;
+    /// Batches this worker serviced itself (slowdown factors summed
+    /// over exactly these; == batchesServed outside heterogeneous
+    /// runs).
+    uint64_t cpuServicedBatches = 0;
+    /// Batches handed over to the GPU lane (heterogeneous runs only).
+    uint64_t deferredTickets = 0;
 };
 
 /** Reduce a latency sample into ServingStats tail/mean fields. */
@@ -148,6 +154,29 @@ ServingEngine::run(const EngineConfig& config)
             config.numWorkers);
     }
 
+    // Heterogeneous split (docs/scheduling.md): build the accelerator
+    // lane and prewarm the GPU platform's grid before threads exist,
+    // mirroring the CPU prewarm above. The lane is only touched under
+    // the queue lock (inside the ServiceFn) and after join (drain), so
+    // it is single-threaded by construction.
+    std::unique_ptr<GpuLane> lane;
+    double handoff_seconds = 0.0;
+    if (config.heterogeneous) {
+        RECSTACK_CHECK(config.gpuPlatformIdx < sweep->platforms().size(),
+                       "GPU platform index out of range");
+        const Platform& gpu = sweep->platforms()[config.gpuPlatformIdx];
+        RECSTACK_CHECK(gpu.kind == PlatformKind::kGpu,
+                       "heterogeneous serving needs a GPU platform");
+        for (int64_t b : scheduler_->batchGrid()) {
+            scheduler_->latency(model_, config.gpuPlatformIdx, b);
+        }
+        lane = std::make_unique<GpuLane>(
+            scheduler_, model_, config.gpuPlatformIdx, config.gpuLane);
+        // A deferred batch costs the worker only the hand-off staging;
+        // BatchQueue requires a strictly positive service time.
+        handoff_seconds = std::max(1e-9, gpu.gpu.hostDispatchSec);
+    }
+
     // One parameter store for the whole engine run: workers bind
     // against it instead of each materializing every table. Built
     // before the worker threads exist, like the compiled net.
@@ -194,8 +223,20 @@ ServingEngine::run(const EngineConfig& config)
 
             // Invoked under the queue lock (the memoized sweep is not
             // thread-safe); prices this batch's virtual service time.
+            // Batches at or above the GPU threshold hand over to the
+            // lane here — still under the lock, in the queue's strict
+            // virtual-time launch order (GpuLane's determinism
+            // contract) — and cost the worker only the dispatch.
+            bool deferred = false;
             const BatchQueue::ServiceFn service =
                 [&](const BatchTicket& ticket, int busy) {
+                    if (lane != nullptr &&
+                        scheduler_->routesToGpu(model_, ticket.size())) {
+                        lane->submit(ticket, ticket.launchTime);
+                        deferred = true;
+                        return handoff_seconds;
+                    }
+                    deferred = false;
                     const double base = scheduler_->latency(
                         model_, platformIdx_, ticket.size());
                     const int k =
@@ -215,9 +256,18 @@ ServingEngine::run(const EngineConfig& config)
             obs::Counter& queries = queriesCounter();
             while (queue.acquire(wid, service, &ticket, &completion,
                                  &busy)) {
+                const int64_t batch = ticket.size();
+                if (deferred) {
+                    // The samples belong to the lane now; the worker
+                    // accounted only the hand-off and moves on.
+                    local.busySeconds += completion - ticket.launchTime;
+                    local.lastCompletion =
+                        std::max(local.lastCompletion, completion);
+                    ++local.deferredTickets;
+                    continue;
+                }
                 // Real execution of the served net on this worker's
                 // private workspace, outside the queue lock.
-                const int64_t batch = ticket.size();
                 RECSTACK_SPAN("engine.batch",
                               {{"worker", wid}, {"batch", batch}});
                 if (config.execMode == ExecMode::kProfileOnly) {
@@ -238,6 +288,7 @@ ServingEngine::run(const EngineConfig& config)
                 local.samplesServed +=
                     static_cast<uint64_t>(batch);
                 ++local.batchesServed;
+                ++local.cpuServicedBatches;
                 queries.add(static_cast<uint64_t>(batch));
                 for (double arrival : ticket.arrivals) {
                     local.latencies.push_back(completion - arrival);
@@ -250,9 +301,25 @@ ServingEngine::run(const EngineConfig& config)
         t.join();
     }
 
+    if (lane != nullptr) {
+        // Stream over: flush the lane and fold its served queries into
+        // the same obs surface the workers feed (the hill-climbing
+        // tuner reads the p99 of this histogram).
+        lane->drain();
+        obs::LatencyHistogram& lat_hist = queryLatencyHistogram();
+        obs::Counter& queries = queriesCounter();
+        queries.add(lane->samplesServed());
+        for (double lat : lane->latencies()) {
+            lat_hist.record(lat);
+        }
+    }
+
     double horizon = config.simSeconds;
     for (const WorkerLocal& local : locals) {
         horizon = std::max(horizon, local.lastCompletion);
+    }
+    if (lane != nullptr) {
+        horizon = std::max(horizon, lane->lastCompletion());
     }
 
     EngineResult result;
@@ -285,6 +352,36 @@ ServingEngine::run(const EngineConfig& config)
         result.hostSeconds += local.hostSeconds;
         result.batchesExecuted += local.batchesServed;
         total_busy += local.busySeconds;
+        result.deferredTickets += local.deferredTickets;
+    }
+
+    if (lane != nullptr) {
+        result.heterogeneous = true;
+        result.gpuThreshold = scheduler_->gpuThreshold(model_);
+        ServingStats& g = result.gpuLaneStats;
+        g.samplesArrived = lane->samplesServed();
+        g.samplesServed = lane->samplesServed();
+        g.batchesServed = lane->batchesServed();
+        g.meanBatch =
+            g.batchesServed > 0
+                ? static_cast<double>(g.samplesServed) /
+                      static_cast<double>(g.batchesServed)
+                : 0.0;
+        g.utilization = std::min(1.0, lane->busySeconds() / horizon);
+        g.offeredLoad = lane->busySeconds() / config.simSeconds;
+        g.throughputQps =
+            static_cast<double>(g.samplesServed) / horizon;
+        std::vector<double> lane_latencies = lane->latencies();
+        all_latencies.insert(all_latencies.end(),
+                             lane_latencies.begin(),
+                             lane_latencies.end());
+        fillLatencyStats(lane_latencies, &g);
+
+        // The aggregate spans both sides of the split; utilization /
+        // offeredLoad below divide by numWorkers + 1 servers.
+        result.aggregate.samplesServed += g.samplesServed;
+        result.aggregate.batchesServed += g.batchesServed;
+        total_busy += lane->busySeconds();
     }
 
     result.aggregate.samplesArrived = queue.samplesArrived();
@@ -294,7 +391,9 @@ ServingEngine::run(const EngineConfig& config)
                   static_cast<double>(result.aggregate.batchesServed)
             : 0.0;
     const double capacity =
-        static_cast<double>(config.numWorkers);
+        lane != nullptr
+            ? static_cast<double>(config.numWorkers) + 1.0
+            : static_cast<double>(config.numWorkers);
     result.aggregate.utilization =
         std::min(1.0, total_busy / (capacity * horizon));
     result.aggregate.offeredLoad =
@@ -327,16 +426,21 @@ ServingEngine::run(const EngineConfig& config)
             result.hostSeconds /
             static_cast<double>(result.batchesExecuted);
     }
-    if (result.aggregate.batchesServed > 0) {
-        double slow_sum = 0.0;
-        for (const WorkerLocal& local : locals) {
-            slow_sum += local.slowdownSum;
-            result.maxSlowdown =
-                std::max(result.maxSlowdown, local.slowdownMax);
-        }
+    // Slowdown factors were summed over CPU-serviced batches only
+    // (deferred hand-offs and the GPU lane see no socket contention),
+    // so average over exactly those. Outside heterogeneous runs the
+    // count equals aggregate.batchesServed, as before.
+    uint64_t cpu_batches = 0;
+    double slow_sum = 0.0;
+    for (const WorkerLocal& local : locals) {
+        cpu_batches += local.cpuServicedBatches;
+        slow_sum += local.slowdownSum;
+        result.maxSlowdown =
+            std::max(result.maxSlowdown, local.slowdownMax);
+    }
+    if (cpu_batches > 0) {
         result.meanSlowdown =
-            slow_sum /
-            static_cast<double>(result.aggregate.batchesServed);
+            slow_sum / static_cast<double>(cpu_batches);
     }
     return result;
 }

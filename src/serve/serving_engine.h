@@ -35,6 +35,7 @@
 
 #include "graph/executor.h"
 #include "sched/serving_sim.h"
+#include "serve/gpu_lane.h"
 #include "store/embedding_store.h"
 
 namespace recstack {
@@ -78,6 +79,20 @@ struct EngineConfig {
     /// See docs/observability.md; the buffer is bounded, so long runs
     /// keep the oldest spans and count the rest in dropped().
     bool captureTrace = false;
+    /// Heterogeneous serving (DeepRecSys loop, docs/scheduling.md):
+    /// dynamic batches at or above the scheduler's per-model GPU
+    /// threshold (QueryScheduler::gpuThreshold) are not serviced on
+    /// the CPU worker — the worker pays only the host dispatch cost
+    /// and the samples defer to a GpuLane accumulation queue priced
+    /// by the GPU platform's characterization (GpuModel::simulateNet
+    /// through the sweep), on the same virtual clock. Off by default:
+    /// single-platform runs are bit-identical to the legacy engine.
+    bool heterogeneous = false;
+    /// Index of a kGpu platform in the scheduler's sweep (checked
+    /// when heterogeneous is set).
+    size_t gpuPlatformIdx = 3;
+    /// Accumulation knobs of the GPU lane.
+    GpuLaneConfig gpuLane;
 };
 
 /** Result of one engine run. */
@@ -119,6 +134,20 @@ struct EngineResult {
     /// virtual-time state: hit/miss splits depend on the order in
     /// which concurrent workers touch the shared caches.
     StoreStats storeStats;
+    /// True when this run served through the CPU/GPU split. The
+    /// fields below are only populated then; aggregate combines both
+    /// sides (its utilization/offeredLoad are over numWorkers + 1
+    /// servers).
+    bool heterogeneous = false;
+    /// The accelerator lane's own serving view: samples/batches it
+    /// served, its mean accumulated batch, device utilization, and
+    /// the latency tail of GPU-served samples.
+    ServingStats gpuLaneStats;
+    /// Dynamic batches the CPU workers handed over to the lane.
+    uint64_t deferredTickets = 0;
+    /// The per-model threshold the run routed with
+    /// (QueryScheduler::kNoGpuThreshold when none was set).
+    int64_t gpuThreshold = 0;
 };
 
 /** Thread-pooled dynamic-batching inference server. */

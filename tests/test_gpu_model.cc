@@ -148,6 +148,24 @@ TEST(GpuModel, TransferModel)
     EXPECT_LT(r.dataCommFraction(), 1.0);
 }
 
+TEST(GpuModel, ZeroInputNetPaysNoTransfer)
+{
+    // Regression: a net with no input payload and no input blobs used
+    // to be charged one full PCIe latency anyway (the per-copy term
+    // was max(1, input_blobs)), skewing dataCommFraction for tiny
+    // nets. No staged bytes and no blobs means no cudaMemcpy at all.
+    const GpuConfig cfg = gtx1080TiConfig();
+    GpuModel gpu(cfg);
+    const GpuRunResult r = gpu.simulateNet({bigGemm()}, 0, 0);
+    EXPECT_DOUBLE_EQ(r.transferSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(r.dataCommFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(r.totalSeconds, r.kernelSeconds);
+    // A nonzero payload still pays at least one per-copy latency even
+    // if the caller forgot to count blobs.
+    const GpuRunResult with_bytes = gpu.simulateNet({bigGemm()}, 4096, 0);
+    EXPECT_GE(with_bytes.transferSeconds, cfg.pcieLatencySec);
+}
+
 TEST(GpuModel, DataCommFractionGrowsWithBytes)
 {
     GpuModel gpu(gtx1080TiConfig());

@@ -156,9 +156,91 @@ TEST_F(SchedulerTest, LooseSlaPrefersLargeBatchAccelerator)
     EXPECT_EQ(platform.kind, PlatformKind::kGpu);
 }
 
+TEST(ExtrapolateAboveGrid, NoisySegmentNeverGoesNegative)
+{
+    // Regression: with a noisy last segment (s1 < s0) the raw linear
+    // extrapolation has negative slope and, far enough above the
+    // grid, predicted *negative* latency. The clamp floors the
+    // prediction at the last knot's per-sample scaling.
+    const double far =
+        extrapolateLatencyAboveGrid(256, 1.0, 4096, 0.9, 1 << 20);
+    EXPECT_GT(far, 0.0);
+    EXPECT_DOUBLE_EQ(far, 0.9 * static_cast<double>(1 << 20) / 4096.0);
+}
+
+TEST(ExtrapolateAboveGrid, FloorIsPerSampleScalingOfLastKnot)
+{
+    // Just above the grid the negative-slope line is still positive
+    // but already below s1's per-sample scaling; the floor binds
+    // everywhere, not only once the line crosses zero.
+    const double just_above =
+        extrapolateLatencyAboveGrid(256, 1.0, 4096, 0.9, 5000);
+    EXPECT_DOUBLE_EQ(just_above, 0.9 * 5000.0 / 4096.0);
+}
+
+TEST(ExtrapolateAboveGrid, SuperlinearSegmentKeepsLinearContinuation)
+{
+    // When the last segment is steeper than per-sample scaling the
+    // linear continuation lies above the floor and is kept as-is:
+    // b0=1 s0=0.5, b1=2 s1=1.5 -> slope 1.0/sample; at batch 4 the
+    // line gives 3.5 while the floor is only 1.5 * 4 / 2 = 3.0.
+    EXPECT_DOUBLE_EQ(extrapolateLatencyAboveGrid(1, 0.5, 2, 1.5, 4),
+                     3.5);
+}
+
+TEST(SchedulerRouteTie, ResolvesToLowestPlatformIndex)
+{
+    // Two byte-identical platforms produce exactly equal latencies at
+    // every batch; route() must deterministically keep the first.
+    const Platform twin = allPlatforms()[0];
+    SweepCache sweep({twin, twin}, []() {
+        ModelOptions opts = tinyOptions();
+        opts.tableScale = 0.01;
+        return opts;
+    }());
+    QueryScheduler sched(&sweep, {16, 256});
+    ASSERT_DOUBLE_EQ(sched.latency(ModelId::kRM1, 0, 64),
+                     sched.latency(ModelId::kRM1, 1, 64));
+    const ScheduleDecision d = sched.route(ModelId::kRM1, 64, 1.0);
+    EXPECT_EQ(d.platformIdx, 0u);
+}
+
+TEST_F(SchedulerTest, InfeasibleSlaReportsEmptyOperatingPoint)
+{
+    const ThroughputPoint tp =
+        sched_.bestThroughputUnderSla(ModelId::kDIEN, 1e-15);
+    EXPECT_FALSE(tp.feasible);
+    EXPECT_EQ(tp.samplesPerSecond, 0.0);
+    EXPECT_EQ(tp.batch, 0);
+}
+
+TEST_F(SchedulerTest, GpuThresholdDefaultsToRouteNothing)
+{
+    EXPECT_EQ(sched_.gpuThreshold(ModelId::kRM1),
+              QueryScheduler::kNoGpuThreshold);
+    EXPECT_FALSE(sched_.routesToGpu(ModelId::kRM1, int64_t{1} << 40));
+}
+
+TEST_F(SchedulerTest, GpuThresholdSplitsAtOrAbovePerModel)
+{
+    sched_.setGpuThreshold(ModelId::kRM1, 64);
+    EXPECT_FALSE(sched_.routesToGpu(ModelId::kRM1, 63));
+    EXPECT_TRUE(sched_.routesToGpu(ModelId::kRM1, 64));
+    EXPECT_TRUE(sched_.routesToGpu(ModelId::kRM1, 65));
+    // Per-model: other models keep the route-nothing default.
+    EXPECT_FALSE(sched_.routesToGpu(ModelId::kRM2, 1024));
+    // Threshold 1 routes every batch.
+    sched_.setGpuThreshold(ModelId::kRM2, 1);
+    EXPECT_TRUE(sched_.routesToGpu(ModelId::kRM2, 1));
+    // Re-set overwrites.
+    sched_.setGpuThreshold(ModelId::kRM1, 128);
+    EXPECT_EQ(sched_.gpuThreshold(ModelId::kRM1), 128);
+}
+
 TEST_F(SchedulerTest, RejectsBadInputs)
 {
     EXPECT_DEATH(sched_.latency(ModelId::kRM1, 0, 0), "positive");
+    EXPECT_DEATH(sched_.setGpuThreshold(ModelId::kRM1, 0), "positive");
     EXPECT_DEATH(QueryScheduler(nullptr), "sweep cache");
     SweepCache local(allPlatforms(), tinyOptions());
     EXPECT_DEATH(QueryScheduler(&local, {16, 4, 1}), "ascending");

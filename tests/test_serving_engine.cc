@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <set>
 
@@ -306,6 +307,130 @@ TEST_F(ServingEngineTest, RejectsBadConfig)
                  "needs a scheduler");
     EXPECT_DEATH(ServingEngine(&sched_, ModelId::kNCF, 99),
                  "platform index");
+}
+
+TEST_F(ServingEngineTest, HeterogeneousNoThresholdMatchesLegacyStats)
+{
+    // With the lane enabled but no threshold set (kNoGpuThreshold =
+    // route nothing), every batch still lands on the CPU workers and
+    // the serving stats must match the legacy path exactly. Only the
+    // capacity-normalized fields (utilization / offeredLoad) may
+    // differ: the heterogeneous aggregate divides by numWorkers + 1
+    // servers by contract.
+    const EngineResult off = run(ModelId::kRM1, 0, 2, 8000);
+    ServingEngine engine(&sched_, ModelId::kRM1, 0);
+    EngineConfig cfg;
+    cfg.numWorkers = 2;
+    cfg.arrivalQps = 8000;
+    cfg.simSeconds = 0.25;
+    cfg.heterogeneous = true;
+    const EngineResult on = engine.run(cfg);
+
+    EXPECT_TRUE(on.heterogeneous);
+    EXPECT_FALSE(off.heterogeneous);
+    EXPECT_EQ(on.gpuThreshold, QueryScheduler::kNoGpuThreshold);
+    EXPECT_EQ(on.deferredTickets, 0u);
+    EXPECT_EQ(on.gpuLaneStats.samplesServed, 0u);
+    EXPECT_EQ(on.gpuLaneStats.batchesServed, 0u);
+    EXPECT_EQ(off.aggregate.samplesArrived, on.aggregate.samplesArrived);
+    EXPECT_EQ(off.aggregate.samplesServed, on.aggregate.samplesServed);
+    EXPECT_EQ(off.aggregate.batchesServed, on.aggregate.batchesServed);
+    EXPECT_DOUBLE_EQ(off.aggregate.meanLatency,
+                     on.aggregate.meanLatency);
+    EXPECT_DOUBLE_EQ(off.aggregate.p99Latency, on.aggregate.p99Latency);
+    EXPECT_DOUBLE_EQ(off.aggregate.throughputQps,
+                     on.aggregate.throughputQps);
+    EXPECT_DOUBLE_EQ(off.meanSlowdown, on.meanSlowdown);
+}
+
+TEST_F(ServingEngineTest, HeterogeneousRoutesLargeBatchesToLane)
+{
+    sched_.setGpuThreshold(ModelId::kRM1, 32);
+    ServingEngine engine(&sched_, ModelId::kRM1, 0);
+    EngineConfig cfg;
+    cfg.numWorkers = 2;
+    cfg.arrivalQps = 40000;  // ~40 samples per 1 ms window
+    cfg.simSeconds = 0.25;
+    cfg.heterogeneous = true;
+    const EngineResult r = engine.run(cfg);
+
+    EXPECT_TRUE(r.heterogeneous);
+    EXPECT_EQ(r.gpuThreshold, 32);
+    EXPECT_GT(r.deferredTickets, 0u);
+    EXPECT_GT(r.gpuLaneStats.samplesServed, 0u);
+    EXPECT_GT(r.gpuLaneStats.batchesServed, 0u);
+    EXPECT_GT(r.gpuLaneStats.p99Latency, 0.0);
+    EXPECT_GT(r.gpuLaneStats.utilization, 0.0);
+
+    // Conservation across the split: every arrived sample was served
+    // exactly once, by a CPU worker or by the lane.
+    uint64_t cpu_served = 0;
+    uint64_t cpu_batches = 0;
+    for (const ServingStats& w : r.perWorker) {
+        cpu_served += w.samplesServed;
+        cpu_batches += w.batchesServed;
+    }
+    EXPECT_EQ(cpu_served + r.gpuLaneStats.samplesServed,
+              r.aggregate.samplesServed);
+    EXPECT_EQ(r.aggregate.samplesServed, r.aggregate.samplesArrived);
+    EXPECT_EQ(cpu_batches + r.gpuLaneStats.batchesServed,
+              r.aggregate.batchesServed);
+    // Deferred batches were not executed on the host.
+    EXPECT_EQ(r.batchesExecuted, cpu_batches);
+}
+
+TEST_F(ServingEngineTest, HeterogeneousDeterministicAcrossRuns)
+{
+    sched_.setGpuThreshold(ModelId::kRM1, 16);
+    ServingEngine engine(&sched_, ModelId::kRM1, 0);
+    EngineConfig cfg;
+    cfg.numWorkers = 4;
+    cfg.arrivalQps = 30000;
+    cfg.simSeconds = 0.25;
+    cfg.heterogeneous = true;
+    const EngineResult a = engine.run(cfg);
+    const EngineResult b = engine.run(cfg);
+
+    EXPECT_EQ(a.aggregate.samplesServed, b.aggregate.samplesServed);
+    EXPECT_EQ(a.aggregate.batchesServed, b.aggregate.batchesServed);
+    EXPECT_EQ(a.deferredTickets, b.deferredTickets);
+    EXPECT_EQ(a.gpuLaneStats.samplesServed, b.gpuLaneStats.samplesServed);
+    EXPECT_EQ(a.gpuLaneStats.batchesServed, b.gpuLaneStats.batchesServed);
+    EXPECT_DOUBLE_EQ(a.gpuLaneStats.p99Latency, b.gpuLaneStats.p99Latency);
+    EXPECT_DOUBLE_EQ(a.aggregate.meanLatency, b.aggregate.meanLatency);
+    EXPECT_DOUBLE_EQ(a.aggregate.p99Latency, b.aggregate.p99Latency);
+}
+
+TEST_F(ServingEngineTest, HeterogeneousRejectsCpuLanePlatform)
+{
+    ServingEngine engine(&sched_, ModelId::kNCF, 0);
+    EngineConfig bad;
+    bad.heterogeneous = true;
+    bad.gpuPlatformIdx = 0;  // Bdw is a CPU
+    EXPECT_DEATH(engine.run(bad), "GPU platform");
+}
+
+TEST(BatchQueueTest, OccupancyTieCountsCompletingWorkerIdle)
+{
+    // Regression pinning the tie convention (batch_queue.h): service
+    // occupies the half-open interval [launch, completion), so a peer
+    // whose completion lands *exactly* on this launch instant is idle
+    // — it must not inflate the contention occupancy. Driven through
+    // the pure helper because Poisson arrival times never produce an
+    // exact FP tie via acquire().
+    const std::vector<double> ready = {0.5, 0.25};
+    const std::vector<bool> active = {true, true};
+    // Worker 1 launches exactly when worker 0 completes: idle peer.
+    EXPECT_EQ(BatchQueue::busyAtLaunch(ready, active, 1, 0.5), 1);
+    // One representable instant earlier the peer is still in service.
+    EXPECT_EQ(BatchQueue::busyAtLaunch(ready, active, 1,
+                                       std::nextafter(0.5, 0.0)),
+              2);
+    // Strictly later: idle too.
+    EXPECT_EQ(BatchQueue::busyAtLaunch(ready, active, 1, 0.75), 1);
+    // Retired peers never count, and the caller always counts once.
+    const std::vector<bool> one_left = {false, true};
+    EXPECT_EQ(BatchQueue::busyAtLaunch(ready, one_left, 1, 0.1), 1);
 }
 
 TEST(BatchQueueTest, AdmissionRespectsBatchCapAndWindow)

@@ -11,6 +11,7 @@
  *   recstack plan <MODEL> <BATCH> [--json]
  *   recstack store <MODEL> <BATCH> [--json]
  *   recstack obs <MODEL> <BATCH> [--trace out.json] [--metrics]
+ *   recstack hetero <MODEL> [--json]
  *   recstack record <MODEL> <BATCH> <FILE>
  *   recstack replay <FILE> [platform-substring]
  *   recstack custom <CONFIG> <BATCH>
@@ -34,6 +35,7 @@
 #include "report/chart.h"
 #include "report/csv.h"
 #include "report/table.h"
+#include "sched/hill_climb.h"
 #include "sched/query_scheduler.h"
 #include "serve/serving_engine.h"
 
@@ -63,6 +65,8 @@ usage()
         "                                           serve real batches, "
         "export a Chrome trace\n"
         "                                           + metrics snapshot\n"
+        "  recstack hetero <MODEL> [--json]         tune the CPU/GPU "
+        "routing threshold online\n"
         "  recstack record <MODEL> <BATCH> <FILE>   capture a kernel "
         "trace\n"
         "  recstack replay <FILE> [PLATFORM]        re-simulate a "
@@ -767,6 +771,153 @@ cmdObs(const std::string& model_name, int64_t batch,
     return check.agrees ? 0 : 1;
 }
 
+/**
+ * Close the heterogeneous-serving loop interactively: offer the model
+ * a rate only the CPU-pool + GPU-lane split can hold, then let the
+ * hill climber walk the routing-threshold grid reading its p99
+ * feedback from the live serve.query_latency_seconds histogram. The
+ * per-epoch measurements, the tuned threshold, and the final split
+ * are printed (or emitted as JSON with --json). See
+ * docs/scheduling.md.
+ */
+int
+cmdHetero(const std::string& model_name, bool json)
+{
+    const ModelId id = modelFromName(model_name);
+    // Same scaling rationale as `recstack obs`: scaled tables keep the
+    // multi-epoch tuning loop interactive while the full virtual-time
+    // serving path (batch queue, GPU lane, metrics feedback) still
+    // exercises.
+    ModelOptions opts;
+    opts.tableScale = 0.05;
+    SweepCache sweep(allPlatforms(), opts);
+    QueryScheduler sched(&sweep, {1, 16, 64, 256, 1024});
+    const size_t cpu_idx = 0;  // Broadwell worker pool
+    const size_t gpu_idx = 3;  // T4 accelerator lane
+    ServingEngine engine(&sched, id, cpu_idx);
+
+    EngineConfig cfg;
+    cfg.numWorkers = 2;
+    cfg.maxBatch = 256;
+    cfg.maxWaitSeconds = 1e-3;
+    cfg.simSeconds = 0.1;
+    cfg.heterogeneous = true;
+    cfg.gpuPlatformIdx = gpu_idx;
+    // Match the lane's accumulation to the front queue: GPU service is
+    // near-linear in batch past the amortization knee, so batching
+    // beyond the front queue's cap stretches the tail for nothing.
+    cfg.gpuLane.maxBatch = cfg.maxBatch;
+    cfg.gpuLane.maxWaitSeconds = cfg.maxWaitSeconds;
+
+    // SLA = 3x the worse of the two platforms' half-load tails; the
+    // tuning rate is 80% of the combined capacity estimate, past the
+    // CPU pool's knee so the threshold choice actually matters (same
+    // recipe bench_ext_hetero validates against exhaustive search).
+    const double cap_cpu = cfg.numWorkers * 256.0 /
+                           sched.latency(id, cpu_idx, 256);
+    const double cap_gpu = 256.0 / sched.latency(id, gpu_idx, 256);
+    ServingEngine gpu_engine(&sched, id, gpu_idx);
+    EngineConfig probe = cfg;
+    probe.heterogeneous = false;
+    probe.arrivalQps = 0.5 * cap_cpu;
+    const double cpu_tail = engine.run(probe).aggregate.p99Latency;
+    probe.arrivalQps = 0.5 * cap_gpu;
+    const double gpu_tail = gpu_engine.run(probe).aggregate.p99Latency;
+    const double sla = 3.0 * std::max(cpu_tail, gpu_tail);
+    cfg.arrivalQps = 0.8 * (cap_cpu + cap_gpu);
+
+    HillClimbConfig tune;
+    tune.slaSeconds = sla;
+    tune.thresholdGrid = {16, 64, 128, 256,
+                          QueryScheduler::kNoGpuThreshold};
+    tune.startIndex = 2;
+    tune.epochSeconds = cfg.simSeconds;
+    const HillClimbResult hc =
+        hillClimbThreshold(tune, [&](int64_t threshold) {
+            sched.setGpuThreshold(id, threshold);
+            engine.run(cfg);
+        });
+
+    // Re-serve at the tuned threshold for the final split report.
+    sched.setGpuThreshold(id, hc.bestThreshold);
+    const EngineResult tuned = engine.run(cfg);
+    const double gpu_share =
+        tuned.aggregate.samplesServed > 0
+            ? static_cast<double>(tuned.gpuLaneStats.samplesServed) /
+                  static_cast<double>(tuned.aggregate.samplesServed)
+            : 0.0;
+    const auto threshold_label = [](int64_t t) {
+        return t == QueryScheduler::kNoGpuThreshold
+                   ? std::string("none")
+                   : std::to_string(t);
+    };
+    // JSON encodes "route nothing" as -1: kNoGpuThreshold is int64
+    // max, which does not survive a round trip through a JSON double.
+    const auto threshold_json = [](int64_t t) {
+        return t == QueryScheduler::kNoGpuThreshold
+                   ? static_cast<long long>(-1)
+                   : static_cast<long long>(t);
+    };
+
+    if (json) {
+        std::printf("{\n  \"model\": \"%s\",\n", modelName(id));
+        std::printf("  \"slaSeconds\": %.6e,\n", sla);
+        std::printf("  \"offeredQps\": %.1f,\n", cfg.arrivalQps);
+        std::printf("  \"history\": [\n");
+        for (size_t i = 0; i < hc.history.size(); ++i) {
+            const ThresholdMeasurement& m = hc.history[i];
+            std::printf("    {\"threshold\": %lld, \"qps\": %.1f, "
+                        "\"p99\": %.6e, \"feasible\": %s}%s\n",
+                        threshold_json(m.threshold), m.qps, m.p99,
+                        m.feasible ? "true" : "false",
+                        i + 1 < hc.history.size() ? "," : "");
+        }
+        std::printf("  ],\n");
+        std::printf("  \"epochs\": %d,\n", hc.epochs);
+        std::printf("  \"anyFeasible\": %s,\n",
+                    hc.anyFeasible ? "true" : "false");
+        std::printf("  \"bestThreshold\": %lld,\n",
+                    threshold_json(hc.bestThreshold));
+        std::printf("  \"bestQps\": %.1f,\n", hc.best.qps);
+        std::printf("  \"bestP99\": %.6e,\n", hc.best.p99);
+        std::printf("  \"gpuSampleShare\": %.4f,\n", gpu_share);
+        std::printf("  \"deferredTickets\": %llu\n",
+                    static_cast<unsigned long long>(
+                        tuned.deferredTickets));
+        std::printf("}\n");
+        return 0;
+    }
+
+    std::printf("%s: %d Broadwell workers + T4 lane, offered %s qps, "
+                "SLA p99 <= %s\n\n",
+                modelName(id), cfg.numWorkers,
+                TextTable::fmt(cfg.arrivalQps, 0).c_str(),
+                TextTable::fmtSeconds(sla).c_str());
+    TextTable table({"epoch", "threshold", "served qps", "p99", "SLA"});
+    for (size_t i = 0; i < hc.history.size(); ++i) {
+        const ThresholdMeasurement& m = hc.history[i];
+        table.addRow({std::to_string(i + 1),
+                      threshold_label(m.threshold),
+                      TextTable::fmt(m.qps, 0),
+                      TextTable::fmtSeconds(m.p99),
+                      m.feasible ? "ok" : "MISS"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("tuned threshold %s after %d epochs: %s qps at p99 %s "
+                "(%s of samples on the GPU lane, %llu deferred "
+                "batches)\n",
+                threshold_label(hc.bestThreshold).c_str(), hc.epochs,
+                TextTable::fmt(hc.best.qps, 0).c_str(),
+                TextTable::fmtSeconds(hc.best.p99).c_str(),
+                TextTable::fmtPercent(gpu_share).c_str(),
+                static_cast<unsigned long long>(tuned.deferredTickets));
+    if (!hc.anyFeasible) {
+        std::printf("no threshold on the grid held the SLA; reported "
+                    "point has the least-bad tail\n");
+    }
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -821,6 +972,10 @@ main(int argc, char** argv)
             }
         }
         return cmdObs(argv[2], std::atoll(argv[3]), trace_path, metrics);
+    }
+    if (cmd == "hetero" && argc >= 3) {
+        const bool json = argc > 3 && std::strcmp(argv[3], "--json") == 0;
+        return cmdHetero(argv[2], json);
     }
     if (cmd == "record" && argc >= 5) {
         return cmdRecord(argv[2], std::atoll(argv[3]), argv[4]);

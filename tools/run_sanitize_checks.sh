@@ -2,11 +2,11 @@
 # Sanitizer passes over the suites that can hide memory/concurrency
 # bugs from the default build:
 #
-#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|serving|obs'`:
+#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|serving|obs|sched'`:
 #           the concurrency suites (thread pool, serving engine,
 #           parallel kernels, plan-vs-interpreted equivalence, the
 #           sharded embedding store's lock/prefetch machinery).
-#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|serving|obs'`:
+#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|serving|obs|sched'`:
 #           the compiled-net planner/arena suites plus the embedding
 #           store. Arena aliasing assigns overlapping
 #           [offset, offset+bytes) ranges to blobs with disjoint
@@ -21,6 +21,12 @@
 # paths, so the observability layer must stay clean under TSan (the
 # striped counters, the per-slot ready flags) and ASan (fixed-size
 # record copies).
+#
+# The `sched` label covers the heterogeneous scheduling suites
+# (threshold router, GPU lane, hill-climb tuner): the lane is driven
+# from every worker thread under the batch-queue lock and the tuner
+# reads the shared metrics registry, so those paths run under both
+# sanitizers too.
 #
 # Usage: tools/run_sanitize_checks.sh [tsan|asan|all]   (default: all)
 #
@@ -43,11 +49,11 @@ run_pass() {
 }
 
 case "${mode}" in
-    tsan) run_pass thread build-tsan 'sanitize|store|serving|obs' ;;
-    asan) run_pass address build-asan 'plan|store|serving|obs' ;;
+    tsan) run_pass thread build-tsan 'sanitize|store|serving|obs|sched' ;;
+    asan) run_pass address build-asan 'plan|store|serving|obs|sched' ;;
     all)
-        run_pass address build-asan 'plan|store|serving|obs'
-        run_pass thread build-tsan 'sanitize|store|serving|obs'
+        run_pass address build-asan 'plan|store|serving|obs|sched'
+        run_pass thread build-tsan 'sanitize|store|serving|obs|sched'
         ;;
     *)
         echo "usage: $0 [tsan|asan|all]" >&2
