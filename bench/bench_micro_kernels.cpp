@@ -2,11 +2,19 @@
  * @file
  * google-benchmark microbenchmarks of the numeric kernels and the
  * simulator primitives themselves (host performance of recstack, not
- * figure regeneration).
+ * figure regeneration), followed by an EXT-SIMD PAPER-CHECK section
+ * comparing the vectorized kernel tier against scalar at one thread
+ * (docs/vectorization.md). Kernel benches take a trailing tier arg
+ * (0 = scalar, 1 = avx2); avx2 rows self-skip on hosts without
+ * AVX2+FMA.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_util.h"
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "graph/executor.h"
 #include "models/model.h"
@@ -20,11 +28,28 @@
 namespace recstack {
 namespace {
 
+/** Tier from a benchmark range arg; false = skip (unsupported). */
+bool
+tierFromArg(benchmark::State& state, int64_t arg, KernelIsa* isa)
+{
+    *isa = arg == 0 ? KernelIsa::kScalar : KernelIsa::kAvx2;
+    if (!kernelIsaSupported(*isa)) {
+        state.SkipWithError("kernel tier unsupported on this host");
+        return false;
+    }
+    return true;
+}
+
 void
 BM_FCKernel(benchmark::State& state)
 {
     const int64_t m = state.range(0);
     const int64_t nk = state.range(1);
+    KernelIsa isa;
+    if (!tierFromArg(state, state.range(2), &isa)) {
+        return;
+    }
+    IsaScope tier(isa);
     Workspace ws;
     ws.set("x", Tensor({m, nk}));
     ws.set("w", Tensor({nk, nk}));
@@ -36,8 +61,15 @@ BM_FCKernel(benchmark::State& state)
         benchmark::DoNotOptimize(ws.get("y").data<float>());
     }
     state.SetItemsProcessed(state.iterations() * 2 * m * nk * nk);
+    state.SetLabel(kernelIsaName(isa));
 }
-BENCHMARK(BM_FCKernel)->Args({16, 64})->Args({16, 256})->Args({64, 256});
+BENCHMARK(BM_FCKernel)
+    ->Args({16, 64, 0})
+    ->Args({16, 64, 1})
+    ->Args({16, 256, 0})
+    ->Args({16, 256, 1})
+    ->Args({64, 256, 0})
+    ->Args({64, 256, 1});
 
 void
 BM_SparseLengthsSum(benchmark::State& state)
@@ -45,6 +77,11 @@ BM_SparseLengthsSum(benchmark::State& state)
     const int64_t lookups = state.range(0);
     const int64_t rows = 100000;
     const int64_t dim = 64;
+    KernelIsa isa;
+    if (!tierFromArg(state, state.range(1), &isa)) {
+        return;
+    }
+    IsaScope tier(isa);
     Workspace ws;
     ws.set("table", Tensor({rows, dim}));
     Rng rng(1);
@@ -62,8 +99,15 @@ BM_SparseLengthsSum(benchmark::State& state)
         benchmark::DoNotOptimize(ws.get("y").data<float>());
     }
     state.SetItemsProcessed(state.iterations() * lookups);
+    state.SetLabel(kernelIsaName(isa));
 }
-BENCHMARK(BM_SparseLengthsSum)->Arg(80)->Arg(1280)->Arg(10240);
+BENCHMARK(BM_SparseLengthsSum)
+    ->Args({80, 0})
+    ->Args({80, 1})
+    ->Args({1280, 0})
+    ->Args({1280, 1})
+    ->Args({10240, 0})
+    ->Args({10240, 1});
 
 void
 BM_CacheHierarchyAccess(benchmark::State& state)
@@ -140,7 +184,94 @@ BM_ZipfSampler(benchmark::State& state)
 }
 BENCHMARK(BM_ZipfSampler);
 
+/** Best-of-N single-thread numeric latency under one kernel tier. */
+double
+bestSeconds(const Model& model, Workspace& ws, KernelIsa isa, int reps)
+{
+    IsaScope tier(isa);
+    ExecOptions opts;
+    opts.mode = ExecMode::kNumericOnly;
+    opts.numThreads = 1;
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Executor::run(model.net, ws, opts);
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+/**
+ * EXT-SIMD: the kernel-tier headline number. FC-heavy models at one
+ * intra-op thread, avx2 tier vs scalar tier, same inputs. Printed
+ * after the google-benchmark table so `--benchmark_filter` runs still
+ * end with the qualitative check.
+ */
+void
+runSimdTierCheck()
+{
+    bench::banner("EXT-SIMD",
+                  "vectorized kernel tier vs scalar, 1 intra-op thread");
+    if (!kernelIsaSupported(KernelIsa::kAvx2)) {
+        bench::checkHeader();
+        std::printf(
+            "  [SKIPPED   ] host/build lacks AVX2+FMA; the >=2x "
+            "tier check needs the avx2 tier\n");
+        return;
+    }
+
+    ModelOptions opts;  // full-size models: FC work dominates
+    opts.tableScale = 0.05;
+    const int64_t batch = 256;
+    const int reps = 5;
+
+    double min_speedup = 1e30;
+    std::printf("\n%-8s  %-6s  %-14s  %-14s  %s\n", "model", "batch",
+                "scalar sec", "avx2 sec", "speedup");
+    for (const ModelId id : {ModelId::kRM1, ModelId::kWnD}) {
+        const Model model = buildModel(id, opts);
+        Workspace ws;
+        model.initParams(ws);
+        BatchGenerator gen(model.workload, /*seed=*/7);
+        gen.materialize(ws, batch);
+        bestSeconds(model, ws, KernelIsa::kScalar, 1);  // warm allocs
+        const double scalar =
+            bestSeconds(model, ws, KernelIsa::kScalar, reps);
+        const double avx2 =
+            bestSeconds(model, ws, KernelIsa::kAvx2, reps);
+        const double speedup = scalar / avx2;
+        min_speedup = std::min(min_speedup, speedup);
+        std::printf("%-8s  %-6lld  %14.6f  %14.6f  %6.2fx\n",
+                    modelName(id), static_cast<long long>(batch),
+                    scalar, avx2, speedup);
+    }
+
+    bench::checkHeader();
+    bench::check(min_speedup >= 2.0,
+                 "FC-heavy models (RM1, WnD) run >=2x faster "
+                 "single-thread on the avx2 kernel tier");
+}
+
 }  // namespace
 }  // namespace recstack
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    char arg0_default[] = "benchmark";
+    char* args_default = arg0_default;
+    if (!argv) {
+        argc = 1;
+        argv = &args_default;
+    }
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    recstack::runSimdTierCheck();
+    return 0;
+}

@@ -8,9 +8,11 @@
  * The pool partitions each kernel over disjoint output rows, so the
  * numerics are bit-identical at every width (tests/
  * test_parallel_equivalence.cc); this bench reports what that buys in
- * wall-clock. The >=2x-at-8-threads check only runs when the machine
- * actually has 8 hardware threads; on smaller hosts the table is
- * still printed and the check is skipped with a note.
+ * wall-clock, per kernel tier (scalar and, when the host supports it,
+ * avx2 — the two dimensions compose: docs/vectorization.md). The
+ * >=2x-at-8-threads check only runs when the machine actually has 8
+ * hardware threads; on smaller hosts the table is still printed and
+ * the check is skipped with a note.
  */
 
 #include <chrono>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "graph/executor.h"
 #include "models/model.h"
@@ -62,29 +65,44 @@ runBench()
     const std::vector<int> widths = {1, 2, 4, 8};
     const int reps = 3;
 
-    double speedup_8t_b256 = 0.0;
-    std::printf("\n%-8s", "batch");
-    for (int w : widths) {
-        std::printf("  t=%-2d seconds  speedup", w);
+    std::vector<KernelIsa> tiers = {KernelIsa::kScalar};
+    if (kernelIsaSupported(KernelIsa::kAvx2)) {
+        tiers.push_back(KernelIsa::kAvx2);
+    } else {
+        std::printf("(avx2 kernel tier unsupported on this host/build; "
+                    "scalar only)\n");
     }
-    std::printf("\n");
-    for (int64_t batch : batches) {
-        gen.materialize(ws, batch);
-        bestSeconds(model, ws, 1, 1);  // warm allocations
-        std::printf("%-8lld", static_cast<long long>(batch));
-        double serial = 0.0;
+
+    // Thread scaling must hold on every kernel tier: vectorization
+    // shrinks per-chunk work but not the disjoint-row partitioning.
+    double speedup_8t_b256 = 0.0;
+    for (const KernelIsa isa : tiers) {
+        IsaScope tier(isa);
+        std::printf("\nkernel tier: %s\n%-8s", kernelIsaName(isa),
+                    "batch");
         for (int w : widths) {
-            const double secs = bestSeconds(model, ws, w, reps);
-            if (w == 1) {
-                serial = secs;
-            }
-            const double speedup = serial / secs;
-            std::printf("  %12.6f  %6.2fx", secs, speedup);
-            if (w == 8 && batch >= 256 && speedup > speedup_8t_b256) {
-                speedup_8t_b256 = speedup;
-            }
+            std::printf("  t=%-2d seconds  speedup", w);
         }
         std::printf("\n");
+        for (int64_t batch : batches) {
+            gen.materialize(ws, batch);
+            bestSeconds(model, ws, 1, 1);  // warm allocations
+            std::printf("%-8lld", static_cast<long long>(batch));
+            double serial = 0.0;
+            for (int w : widths) {
+                const double secs = bestSeconds(model, ws, w, reps);
+                if (w == 1) {
+                    serial = secs;
+                }
+                const double speedup = serial / secs;
+                std::printf("  %12.6f  %6.2fx", secs, speedup);
+                if (w == 8 && batch >= 256 &&
+                    speedup > speedup_8t_b256) {
+                    speedup_8t_b256 = speedup;
+                }
+            }
+            std::printf("\n");
+        }
     }
 
     // Serving engine: same pool shared by the inter-op workers.

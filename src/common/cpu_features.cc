@@ -1,0 +1,152 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace recstack {
+namespace {
+
+/// Encoding of the override / cache atomics: -1 = unset, else the
+/// KernelIsa enumerator value.
+constexpr int kUnset = -1;
+
+std::atomic<int> process_override{kUnset};
+std::atomic<int> env_cache{kUnset};
+
+/// Thread-local IsaScope stack top; kUnset when no scope is active.
+thread_local int scope_isa = kUnset;
+
+bool
+hostHasAvx2()
+{
+#if defined(RECSTACK_HAVE_AVX2_BUILD) && \
+    (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+}  // namespace
+
+const char*
+kernelIsaName(KernelIsa isa)
+{
+    switch (isa) {
+      case KernelIsa::kScalar: return "scalar";
+      case KernelIsa::kAvx2: return "avx2";
+    }
+    return "?";
+}
+
+bool
+kernelIsaSupported(KernelIsa isa)
+{
+    switch (isa) {
+      case KernelIsa::kScalar:
+        return true;
+      case KernelIsa::kAvx2: {
+        // The CPUID probe is constant for the process lifetime; cache
+        // it so activeKernelIsa stays a couple of atomic loads.
+        static const bool supported = hostHasAvx2();
+        return supported;
+      }
+    }
+    return false;
+}
+
+KernelIsa
+detectKernelIsa()
+{
+    return kernelIsaSupported(KernelIsa::kAvx2) ? KernelIsa::kAvx2
+                                                : KernelIsa::kScalar;
+}
+
+KernelIsa
+resolveKernelIsa(const char* spec, std::string* why)
+{
+    if (spec == nullptr || spec[0] == '\0') {
+        return detectKernelIsa();
+    }
+    if (std::strcmp(spec, "scalar") == 0) {
+        return KernelIsa::kScalar;
+    }
+    if (std::strcmp(spec, "avx2") == 0) {
+        if (kernelIsaSupported(KernelIsa::kAvx2)) {
+            return KernelIsa::kAvx2;
+        }
+        if (why != nullptr) {
+            *why = "avx2 requested but this host/build does not "
+                   "support AVX2+FMA; using scalar";
+        }
+        return KernelIsa::kScalar;
+    }
+    if (why != nullptr) {
+        *why = std::string("unknown RECSTACK_ISA value '") + spec +
+               "' (expected 'scalar' or 'avx2'); using scalar";
+    }
+    return KernelIsa::kScalar;
+}
+
+KernelIsa
+activeKernelIsa()
+{
+    if (scope_isa != kUnset) {
+        return static_cast<KernelIsa>(scope_isa);
+    }
+    const int forced = process_override.load(std::memory_order_relaxed);
+    if (forced != kUnset) {
+        return static_cast<KernelIsa>(forced);
+    }
+    int cached = env_cache.load(std::memory_order_relaxed);
+    if (cached == kUnset) {
+        std::string why;
+        const KernelIsa resolved =
+            resolveKernelIsa(std::getenv("RECSTACK_ISA"), &why);
+        if (!why.empty()) {
+            RECSTACK_WARN(why);
+        }
+        cached = static_cast<int>(resolved);
+        // Concurrent first calls race benignly: every thread resolves
+        // the same environment to the same tier.
+        env_cache.store(cached, std::memory_order_relaxed);
+    }
+    return static_cast<KernelIsa>(cached);
+}
+
+void
+setKernelIsa(KernelIsa isa)
+{
+    if (!kernelIsaSupported(isa)) {
+        RECSTACK_WARN("setKernelIsa(" << kernelIsaName(isa)
+                      << "): unsupported on this host/build; "
+                      << "using scalar");
+        isa = KernelIsa::kScalar;
+    }
+    process_override.store(static_cast<int>(isa),
+                           std::memory_order_relaxed);
+}
+
+void
+clearKernelIsa()
+{
+    process_override.store(kUnset, std::memory_order_relaxed);
+    env_cache.store(kUnset, std::memory_order_relaxed);
+}
+
+IsaScope::IsaScope(KernelIsa isa) : prev_(scope_isa)
+{
+    scope_isa = static_cast<int>(
+        kernelIsaSupported(isa) ? isa : KernelIsa::kScalar);
+}
+
+IsaScope::~IsaScope()
+{
+    scope_isa = prev_;
+}
+
+}  // namespace recstack

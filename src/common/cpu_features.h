@@ -1,0 +1,109 @@
+#ifndef RECSTACK_COMMON_CPU_FEATURES_H_
+#define RECSTACK_COMMON_CPU_FEATURES_H_
+
+/**
+ * @file
+ * Host-CPU feature probe and kernel-ISA dispatch for the vectorized
+ * kernel tier (src/ops/kernels.h).
+ *
+ * Every numeric kernel dispatches through a KernelIsa tier resolved
+ * once per Operator::run call (never inside a parallelFor chunk, so
+ * one run never mixes tiers). The tier is resolved per calling
+ * thread, mirroring the intra-op width rules in thread_pool.h:
+ *
+ *   1. an active IsaScope on this thread (Executor's compiled fast
+ *      path installs one from NetPlan::kernelIsa, so a plan lowered
+ *      for a tier always executes with that tier),
+ *   2. else the programmatic default set by setKernelIsa(),
+ *   3. else the RECSTACK_ISA environment variable ("scalar" or
+ *      "avx2"; anything else warns once and falls back to scalar),
+ *   4. else the best tier the host CPU — and this build — supports.
+ *
+ * The scalar tier is always available and is byte-identical to the
+ * original pre-SIMD kernels; requesting "avx2" on a host (or build)
+ * without AVX2+FMA demotes to scalar with a warning instead of
+ * crashing (docs/vectorization.md describes the tolerance policy per
+ * kernel family).
+ */
+
+#include <string>
+
+namespace recstack {
+
+/** A vectorization tier of the numeric kernels. */
+enum class KernelIsa {
+    kScalar,  ///< portable scalar loops; the reference numerics
+    kAvx2,    ///< AVX2 + FMA intrinsics (x86-64 only)
+};
+
+/** Human-readable tier name ("scalar", "avx2"). */
+const char* kernelIsaName(KernelIsa isa);
+
+/**
+ * True when this host can execute @c isa AND the binary was built
+ * with the matching kernels (a non-x86 or old-compiler build reports
+ * false for kAvx2 even on an AVX2 host). kScalar is always true.
+ */
+bool kernelIsaSupported(KernelIsa isa);
+
+/** Best supported tier of this host + build. */
+KernelIsa detectKernelIsa();
+
+/**
+ * Pure resolution of an ISA request string (what the RECSTACK_ISA
+ * environment variable and the CLI accept):
+ *
+ *   - nullptr / ""         -> detectKernelIsa()
+ *   - "scalar"             -> kScalar
+ *   - "avx2"               -> kAvx2 when supported, else kScalar
+ *   - anything else        -> kScalar
+ *
+ * Never fatal. When the request could not be honored verbatim,
+ * @c why (optional) receives a one-line explanation and the caller
+ * is expected to warn; resolveKernelIsa itself does not log, which
+ * keeps it a pure function for the dispatch property tests.
+ */
+KernelIsa resolveKernelIsa(const char* spec, std::string* why = nullptr);
+
+/**
+ * The tier kernels dispatch to on this thread right now. Resolution
+ * is cached; repeated calls under an unchanged configuration return
+ * the same tier (the stability property the dispatch tests pin).
+ */
+KernelIsa activeKernelIsa();
+
+/**
+ * Set the process-wide kernel tier programmatically (tests, benches,
+ * the golden-figure regeneration pin). Demotes to scalar with a
+ * warning when @c isa is unsupported. Thread-safe.
+ */
+void setKernelIsa(KernelIsa isa);
+
+/**
+ * Drop the programmatic override and re-read RECSTACK_ISA on the
+ * next activeKernelIsa() call (tests flip the environment variable
+ * between runs; production processes never need this).
+ */
+void clearKernelIsa();
+
+/**
+ * RAII override of the calling thread's kernel tier; how a compiled
+ * plan's lowering-time ISA choice reaches the kernels without
+ * threading an argument through every Operator::run signature.
+ */
+class IsaScope
+{
+  public:
+    explicit IsaScope(KernelIsa isa);
+    ~IsaScope();
+
+    IsaScope(const IsaScope&) = delete;
+    IsaScope& operator=(const IsaScope&) = delete;
+
+  private:
+    int prev_;
+};
+
+}  // namespace recstack
+
+#endif  // RECSTACK_COMMON_CPU_FEATURES_H_

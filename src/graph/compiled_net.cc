@@ -519,6 +519,9 @@ CompiledNet::specialize(const Workspace& ws, int64_t batch) const
 {
     auto plan = std::make_unique<NetPlan>();
     plan->batch = batch;
+    // Lowering-time ISA choice: the plan is pinned to the tier active
+    // when it was specialized (see NetPlan::kernelIsa).
+    plan->kernelIsa = activeKernelIsa();
 
     // Static shape inference over the fused schedule, in a shape-only
     // scratch workspace seeded with the caller's external-input shapes.

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "graph/net.h"
 
 namespace recstack {
@@ -101,6 +102,13 @@ inline constexpr size_t kNoArenaOffset = static_cast<size_t>(-1);
  */
 struct NetPlan {
     int64_t batch = 0;
+
+    /// Kernel tier captured at specialize() time (the lowering-time
+    /// resolution of RECSTACK_ISA / setKernelIsa / host detection).
+    /// Executor::run installs an IsaScope of this tier around the
+    /// compiled schedule, so a plan always executes with the kernels
+    /// it was lowered for even if the environment changes later.
+    KernelIsa kernelIsa = KernelIsa::kScalar;
 
     // Per-blob (aligned with CompiledNet::blobs()).
     std::vector<std::vector<int64_t>> shapes;

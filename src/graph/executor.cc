@@ -118,6 +118,12 @@ Executor::run(CompiledNet& net, Workspace& ws, Arena& arena, int64_t batch,
     }
     const bool numerics = opts.mode != ExecMode::kProfileOnly;
 
+    // Execute with the kernels the plan was lowered for, regardless of
+    // what RECSTACK_ISA resolves to by now (the scope wins the
+    // per-thread dispatch in activeKernelIsa, and ops capture it
+    // before fanning out to pool workers).
+    IsaScope isa_scope(plan->kernelIsa);
+
     NetExecResult result;
     result.records.reserve(net.opCount());
     if (numerics) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "ops/kernels.h"
 #include "ops/op_costs.h"
 #include "store/embedding_store.h"
 
@@ -209,7 +210,9 @@ SparseLengthsSumOp::run(Workspace& ws)
         "SLS", name(), lengths, batch, indices, idx_t.numel(), rows);
     // Each chunk owns a disjoint band of output rows and pools its
     // lookups in the same ascending order as the serial cursor; the
-    // store path preserves that order exactly (bit-identical pooling).
+    // store path preserves that order exactly, and rowAdd keeps the
+    // per-element order on every ISA tier (bit-identical pooling).
+    const KernelIsa isa = activeKernelIsa();
     parallelFor(0, batch, poolingGrain(dim, idx_t.numel(), batch),
                 [&](int64_t lo, int64_t hi) {
         if (sref.store != nullptr) {
@@ -224,10 +227,7 @@ SparseLengthsSumOp::run(Workspace& ws)
             }
             for (int64_t p = offsets[static_cast<size_t>(b)];
                  p < offsets[static_cast<size_t>(b) + 1]; ++p) {
-                const float* src = data + indices[p] * dim;
-                for (int64_t d = 0; d < dim; ++d) {
-                    yrow[d] += src[d];
-                }
+                kern::rowAdd(isa, yrow, data + indices[p] * dim, dim);
             }
         }
     });
@@ -320,6 +320,7 @@ SparseLengthsWeightedSumOp::run(Workspace& ws)
 
     const std::vector<int64_t> offsets = segmentOffsets(
         "SLWS", name(), lengths, batch, indices, idx_t.numel(), rows);
+    const KernelIsa isa = activeKernelIsa();
     parallelFor(0, batch, poolingGrain(dim, idx_t.numel(), batch),
                 [&](int64_t lo, int64_t hi) {
         if (sref.store != nullptr) {
@@ -334,11 +335,8 @@ SparseLengthsWeightedSumOp::run(Workspace& ws)
             }
             for (int64_t p = offsets[static_cast<size_t>(b)];
                  p < offsets[static_cast<size_t>(b) + 1]; ++p) {
-                const float scale = w[p];
-                const float* src = data + indices[p] * dim;
-                for (int64_t d = 0; d < dim; ++d) {
-                    yrow[d] += scale * src[d];
-                }
+                kern::rowAddScaled(isa, yrow, data + indices[p] * dim,
+                                   w[p], dim);
             }
         }
     });
@@ -421,6 +419,7 @@ SparseLengthsMeanOp::run(Workspace& ws)
 
     const std::vector<int64_t> offsets = segmentOffsets(
         "SLMean", name(), lengths, batch, indices, idx_t.numel(), rows);
+    const KernelIsa isa = activeKernelIsa();
     parallelFor(0, batch, poolingGrain(dim, idx_t.numel(), batch),
                 [&](int64_t lo, int64_t hi) {
         if (sref.store != nullptr) {
@@ -430,12 +429,9 @@ SparseLengthsMeanOp::run(Workspace& ws)
                                   lo, hi, y);
             for (int64_t b = lo; b < hi; ++b) {
                 if (lengths[b] > 0) {
-                    float* yrow = y + b * dim;
-                    const float inv =
-                        1.0f / static_cast<float>(lengths[b]);
-                    for (int64_t d = 0; d < dim; ++d) {
-                        yrow[d] *= inv;
-                    }
+                    kern::rowScale(
+                        isa, y + b * dim,
+                        1.0f / static_cast<float>(lengths[b]), dim);
                 }
             }
             return;
@@ -447,16 +443,12 @@ SparseLengthsMeanOp::run(Workspace& ws)
             }
             for (int64_t p = offsets[static_cast<size_t>(b)];
                  p < offsets[static_cast<size_t>(b) + 1]; ++p) {
-                const float* src = data + indices[p] * dim;
-                for (int64_t d = 0; d < dim; ++d) {
-                    yrow[d] += src[d];
-                }
+                kern::rowAdd(isa, yrow, data + indices[p] * dim, dim);
             }
             if (lengths[b] > 0) {
-                const float inv = 1.0f / static_cast<float>(lengths[b]);
-                for (int64_t d = 0; d < dim; ++d) {
-                    yrow[d] *= inv;
-                }
+                kern::rowScale(isa, yrow,
+                               1.0f / static_cast<float>(lengths[b]),
+                               dim);
             }
         }
     });
@@ -535,6 +527,7 @@ GatherOp::run(Workspace& ws)
                        "Gather '" << name() << "': index " << indices[i]
                                   << " out of range");
     }
+    const KernelIsa isa = activeKernelIsa();
     parallelFor(0, lookups, grainForCost(static_cast<uint64_t>(dim)),
                 [=](int64_t lo, int64_t hi) {
         if (sref.store != nullptr) {
@@ -542,11 +535,8 @@ GatherOp::run(Workspace& ws)
             return;
         }
         for (int64_t i = lo; i < hi; ++i) {
-            const float* src = data + indices[i] * dim;
-            float* dst = y + i * dim;
-            for (int64_t d = 0; d < dim; ++d) {
-                dst[d] = src[d];
-            }
+            kern::rowCopy(isa, y + i * dim, data + indices[i] * dim,
+                          dim);
         }
     });
 }
@@ -605,7 +595,9 @@ ReduceSumOp::run(Workspace& ws)
     const int64_t pool = xt.dim(1);
     const int64_t dim = xt.dim(2);
     // Per-sample reductions are independent; chunks own disjoint
-    // output rows and keep the serial p-ascending accumulation order.
+    // output rows and keep the serial p-ascending accumulation order
+    // (rowAdd preserves it per element on every tier).
+    const KernelIsa isa = activeKernelIsa();
     parallelFor(0, batch,
                 grainForCost(static_cast<uint64_t>(pool * dim)),
                 [=](int64_t lo, int64_t hi) {
@@ -615,10 +607,7 @@ ReduceSumOp::run(Workspace& ws)
                 yrow[d] = 0.0f;
             }
             for (int64_t p = 0; p < pool; ++p) {
-                const float* src = x + (b * pool + p) * dim;
-                for (int64_t d = 0; d < dim; ++d) {
-                    yrow[d] += src[d];
-                }
+                kern::rowAdd(isa, yrow, x + (b * pool + p) * dim, dim);
             }
         }
     });

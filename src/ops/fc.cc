@@ -1,6 +1,7 @@
 #include "ops/fc.h"
 
 #include "common/thread_pool.h"
+#include "ops/kernels.h"
 #include "ops/op_costs.h"
 
 namespace recstack {
@@ -47,21 +48,13 @@ FCOp::run(Workspace& ws)
 
     // Row-blocked: each chunk owns a disjoint band of output rows, so
     // no accumulator crosses a chunk boundary and any thread count is
-    // bit-identical to serial.
+    // bit-identical to serial. The ISA tier is resolved once here —
+    // never inside the chunk lambda — so pool workers all run the
+    // calling thread's tier.
+    const KernelIsa isa = activeKernelIsa();
     parallelFor(0, m, grainForCost(static_cast<uint64_t>(n * k)),
                 [=](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-            const float* xrow = x + i * k;
-            float* yrow = y + i * n;
-            for (int64_t j = 0; j < n; ++j) {
-                const float* wrow = w + j * k;
-                float acc = b[j];
-                for (int64_t c = 0; c < k; ++c) {
-                    acc += xrow[c] * wrow[c];
-                }
-                yrow[j] = acc;
-            }
-        }
+        kern::fcRows(isa, x, w, b, y, lo, hi, n, k, kern::FcAct::kNone);
     });
 }
 

@@ -3,10 +3,23 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "ops/kernels.h"
 #include "ops/op_costs.h"
 
 namespace recstack {
 namespace {
+
+kern::FcAct
+toFcAct(FusedAct act)
+{
+    switch (act) {
+      case FusedAct::kNone: return kern::FcAct::kNone;
+      case FusedAct::kRelu: return kern::FcAct::kRelu;
+      case FusedAct::kSigmoid: return kern::FcAct::kSigmoid;
+      case FusedAct::kTanh: return kern::FcAct::kTanh;
+    }
+    return kern::FcAct::kNone;
+}
 
 std::vector<std::string>
 fcInputs(std::vector<std::string> xs, std::string w, std::string b)
@@ -116,40 +129,32 @@ FusedFCOp::run(Workspace& ws)
     float* y = yt.data<float>();
     const FusedAct act = act_;
 
-    // Row-blocked exactly like FCOp; per output element the blocks are
-    // accumulated in concat order, so every multiply-add happens in
-    // the same sequence as FC over a materialized concat row, and the
-    // activation maps the float accumulator exactly as the standalone
-    // elementwise op would.
+    // Row-blocked exactly like FCOp, running the same fcRows kernel so
+    // every output element matches FC over a materialized concat row
+    // bit-for-bit on every ISA tier: with one X block the kernel reads
+    // the block directly; with several, each chunk gathers the blocks
+    // into a scratch concat row first (a pure copy — the multiply-add
+    // sequence is untouched), then runs the identical kernel. The
+    // fused activation maps the float accumulator exactly as the
+    // standalone elementwise op would.
+    const KernelIsa isa = activeKernelIsa();
+    const kern::FcAct fc_act = toFcAct(act);
     parallelFor(0, m, grainForCost(static_cast<uint64_t>(n * k)),
-                [&, act](int64_t lo, int64_t hi) {
+                [&, fc_act](int64_t lo, int64_t hi) {
+        if (nx == 1) {
+            kern::fcRows(isa, xs[0], w, b, y, lo, hi, n, k, fc_act);
+            return;
+        }
+        std::vector<float> xcat(static_cast<size_t>(k));
         for (int64_t i = lo; i < hi; ++i) {
-            float* yrow = y + i * n;
-            for (int64_t j = 0; j < n; ++j) {
-                const float* wrow = w + j * k;
-                float acc = b[j];
-                int64_t col = 0;
-                for (size_t s = 0; s < nx; ++s) {
-                    const float* xrow = xs[s] + i * ks[s];
-                    for (int64_t c = 0; c < ks[s]; ++c) {
-                        acc += xrow[c] * wrow[col++];
-                    }
-                }
-                switch (act) {
-                  case FusedAct::kNone:
-                    break;
-                  case FusedAct::kRelu:
-                    acc = acc > 0.0f ? acc : 0.0f;
-                    break;
-                  case FusedAct::kSigmoid:
-                    acc = 1.0f / (1.0f + std::exp(-acc));
-                    break;
-                  case FusedAct::kTanh:
-                    acc = std::tanh(acc);
-                    break;
-                }
-                yrow[j] = acc;
+            int64_t col = 0;
+            for (size_t s = 0; s < nx; ++s) {
+                kern::rowCopy(isa, xcat.data() + col,
+                              xs[s] + i * ks[s], ks[s]);
+                col += ks[s];
             }
+            kern::fcRows(isa, xcat.data(), w, b, y + i * n, 0, 1, n, k,
+                         fc_act);
         }
     });
 }
@@ -282,10 +287,12 @@ GRUStepOp::run(Workspace& ws)
     float* y = yt.data<float>();
 
     // Batch rows are independent; per-chunk gate scratch keeps the
-    // accumulation order of the unfused FC ops. Every arithmetic step
-    // below mirrors one elementwise op of the unrolled window, in the
-    // same order and in fp32, so the result is bit-identical to the
-    // interpreted chain.
+    // accumulation order of the unfused FC ops: the gate matmuls call
+    // the same canonical dotBias the interpreted window's FCOp runs,
+    // so the result is bit-identical to the unfused chain on every
+    // ISA tier. Every arithmetic step below mirrors one elementwise
+    // op of the unrolled window, in the same order and in fp32.
+    const KernelIsa isa = activeKernelIsa();
     const uint64_t row_cost =
         static_cast<uint64_t>(6 * hidden * (in_dim + hidden));
     parallelFor(0, batch, grainForCost(row_cost),
@@ -296,20 +303,12 @@ GRUStepOp::run(Workspace& ws)
             const float* xrow = seq + (b * steps + t) * in_dim;
             const float* hrow = h + b * hidden;
             for (int64_t g = 0; g < 3 * hidden; ++g) {
-                const float* wrow = wx + g * in_dim;
-                float acc = bx[g];
-                for (int64_t c = 0; c < in_dim; ++c) {
-                    acc += xrow[c] * wrow[c];
-                }
-                gx[static_cast<size_t>(g)] = acc;
+                gx[static_cast<size_t>(g)] = kern::dotBias(
+                    isa, bx[g], xrow, wx + g * in_dim, in_dim);
             }
             for (int64_t g = 0; g < 3 * hidden; ++g) {
-                const float* wrow = wh + g * hidden;
-                float acc = bh[g];
-                for (int64_t c = 0; c < hidden; ++c) {
-                    acc += hrow[c] * wrow[c];
-                }
-                gh[static_cast<size_t>(g)] = acc;
+                gh[static_cast<size_t>(g)] = kern::dotBias(
+                    isa, bh[g], hrow, wh + g * hidden, hidden);
             }
             const float a = att != nullptr ? att[b * steps + t] : 1.0f;
             float* yrow = y + b * hidden;

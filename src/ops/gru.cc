@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "ops/kernels.h"
 #include "ops/op_costs.h"
 
 namespace recstack {
@@ -88,7 +89,11 @@ GRULayerOp::run(Workspace& ws)
     // Timesteps are inherently serial (h(t) feeds h(t+1)); within a
     // step the batch partitions across the pool. Each sample b only
     // reads and writes its own h/hseq rows, and each chunk carries
-    // private gate scratch, so any thread count is bit-identical.
+    // private gate scratch, so any thread count is bit-identical. The
+    // gate matmuls ride the canonical dotBias contract (ops/kernels.h)
+    // so the layer matches a step-unrolled FC chain bit-for-bit on
+    // every tier.
+    const KernelIsa isa = activeKernelIsa();
     const int64_t step_grain = grainForCost(
         static_cast<uint64_t>(3 * hidden * (input + hidden)));
     float* hbase = h.data();
@@ -100,18 +105,10 @@ GRULayerOp::run(Workspace& ws)
                 const float* xrow = x + (t * batch + b) * input;
                 const float* hrow = hbase + b * hidden;
                 for (int64_t g = 0; g < 3 * hidden; ++g) {
-                    float accx = bias[g];
-                    const float* wxrow = wx + g * input;
-                    for (int64_t i = 0; i < input; ++i) {
-                        accx += wxrow[i] * xrow[i];
-                    }
-                    gx[static_cast<size_t>(g)] = accx;
-                    float acch = 0.0f;
-                    const float* whrow = wh + g * hidden;
-                    for (int64_t i = 0; i < hidden; ++i) {
-                        acch += whrow[i] * hrow[i];
-                    }
-                    gh[static_cast<size_t>(g)] = acch;
+                    gx[static_cast<size_t>(g)] = kern::dotBias(
+                        isa, bias[g], xrow, wx + g * input, input);
+                    gh[static_cast<size_t>(g)] = kern::dotBias(
+                        isa, 0.0f, hrow, wh + g * hidden, hidden);
                 }
                 float* hout = hbase + b * hidden;
                 float* hseq_row = hseq + (t * batch + b) * hidden;

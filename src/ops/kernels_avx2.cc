@@ -1,0 +1,285 @@
+/**
+ * @file
+ * AVX2+FMA kernel tier. This translation unit is the only one built
+ * with -mavx2 -mfma (and -ffp-contract=off, so scalar tail code and
+ * the mul-then-add pooling primitives keep the scalar tier's
+ * rounding); the dispatch layer never routes here unless the host
+ * CPU reports AVX2+FMA at runtime.
+ *
+ * Two numerics classes (see ops/kernels.h and docs/vectorization.md):
+ *
+ *  - Lane-parallel kernels (rowAdd/rowAddScaled/rowScale/rowCopy,
+ *    batchMatMulRows): each output element sees exactly the scalar
+ *    tier's operation sequence, so these are bit-identical to scalar.
+ *  - K-reduction kernels (dotBias, fcRows): the reduction is split
+ *    over the 8 lanes of ONE accumulator (lane l sums the c ≡ l
+ *    mod 8 products, FMA-fused), reduced by a fixed pairwise tree,
+ *    with the <8 leftover elements added sequentially after the
+ *    reduction. Reordering + FMA changes rounding vs scalar
+ *    (tolerance applies), but the order is canonical within the
+ *    tier: fcRows' 4-wide j-blocking gives each output column its
+ *    own accumulator running this exact recipe, so FCOp, FusedFCOp
+ *    (over a gathered concat row) and the GRU gate matmuls all
+ *    produce bit-identical values for the same (bias, x, w, k).
+ *
+ * On builds without AVX2 support every entry point forwards to the
+ * scalar tier (and kernelIsaSupported(kAvx2) is false, so they are
+ * unreachable through normal dispatch anyway).
+ */
+
+#include "ops/kernels_impl.h"
+
+#if defined(RECSTACK_HAVE_AVX2_BUILD) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace recstack {
+namespace kern {
+namespace detail {
+namespace {
+
+/**
+ * Fixed pairwise horizontal sum:
+ * ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+ */
+inline float
+hsum8(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);               // l + l+4
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));      // + lanes 2,3
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));  // + lane 1
+    return _mm_cvtss_f32(s);
+}
+
+}  // namespace
+
+float
+dotBiasAvx2(float bias, const float* x, const float* w, int64_t k)
+{
+    const int64_t kv = k & ~int64_t{7};
+    float r = bias;
+    if (kv > 0) {
+        __m256 acc = _mm256_setzero_ps();
+        for (int64_t c = 0; c < kv; c += 8) {
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + c),
+                                  _mm256_loadu_ps(w + c), acc);
+        }
+        r += hsum8(acc);
+    }
+    for (int64_t c = kv; c < k; ++c) {
+        r += x[c] * w[c];
+    }
+    return r;
+}
+
+void
+fcRowsAvx2(const float* x, const float* w, const float* b, float* y,
+           int64_t lo, int64_t hi, int64_t n, int64_t k, FcAct act)
+{
+    const int64_t kv = k & ~int64_t{7};
+    for (int64_t i = lo; i < hi; ++i) {
+        const float* xrow = x + i * k;
+        float* yrow = y + i * n;
+        int64_t j = 0;
+        // 4 output columns share each x load; every column keeps its
+        // own single accumulator so its value is bit-identical to a
+        // standalone dotBiasAvx2 call (the GRU/FusedFC contract).
+        for (; j + 4 <= n; j += 4) {
+            const float* w0 = w + j * k;
+            const float* w1 = w0 + k;
+            const float* w2 = w1 + k;
+            const float* w3 = w2 + k;
+            __m256 a0 = _mm256_setzero_ps();
+            __m256 a1 = _mm256_setzero_ps();
+            __m256 a2 = _mm256_setzero_ps();
+            __m256 a3 = _mm256_setzero_ps();
+            for (int64_t c = 0; c < kv; c += 8) {
+                const __m256 xv = _mm256_loadu_ps(xrow + c);
+                a0 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w0 + c), a0);
+                a1 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w1 + c), a1);
+                a2 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w2 + c), a2);
+                a3 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w3 + c), a3);
+            }
+            float r0 = b[j];
+            float r1 = b[j + 1];
+            float r2 = b[j + 2];
+            float r3 = b[j + 3];
+            if (kv > 0) {
+                r0 += hsum8(a0);
+                r1 += hsum8(a1);
+                r2 += hsum8(a2);
+                r3 += hsum8(a3);
+            }
+            for (int64_t c = kv; c < k; ++c) {
+                const float xc = xrow[c];
+                r0 += xc * w0[c];
+                r1 += xc * w1[c];
+                r2 += xc * w2[c];
+                r3 += xc * w3[c];
+            }
+            yrow[j] = applyFcAct(act, r0);
+            yrow[j + 1] = applyFcAct(act, r1);
+            yrow[j + 2] = applyFcAct(act, r2);
+            yrow[j + 3] = applyFcAct(act, r3);
+        }
+        for (; j < n; ++j) {
+            yrow[j] =
+                applyFcAct(act, dotBiasAvx2(b[j], xrow, w + j * k, k));
+        }
+    }
+}
+
+void
+batchMatMulRowsAvx2(const float* a, const float* b, float* c, int64_t lo,
+                    int64_t hi, int64_t m, int64_t k, int64_t n)
+{
+    const int64_t nv = n & ~int64_t{7};
+    for (int64_t r = lo; r < hi; ++r) {
+        const int64_t bb = r / m;
+        const int64_t i = r % m;
+        const float* arow = a + (bb * m + i) * k;
+        const float* bbase = b + bb * k * n;
+        float* crow = c + (bb * m + i) * n;
+        // Lane j accumulates arow[q] * b[q][j] in ascending q with
+        // mul-then-add — the scalar sequence per output element.
+        for (int64_t j = 0; j < nv; j += 8) {
+            __m256 acc = _mm256_setzero_ps();
+            const float* bcol = bbase + j;
+            for (int64_t q = 0; q < k; ++q) {
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(_mm256_set1_ps(arow[q]),
+                                       _mm256_loadu_ps(bcol + q * n)));
+            }
+            _mm256_storeu_ps(crow + j, acc);
+        }
+        for (int64_t j = nv; j < n; ++j) {
+            float acc = 0.0f;
+            for (int64_t q = 0; q < k; ++q) {
+                acc += arow[q] * bbase[q * n + j];
+            }
+            crow[j] = acc;
+        }
+    }
+}
+
+void
+rowAddAvx2(float* yrow, const float* src, int64_t dim)
+{
+    const int64_t dv = dim & ~int64_t{7};
+    for (int64_t d = 0; d < dv; d += 8) {
+        _mm256_storeu_ps(yrow + d,
+                         _mm256_add_ps(_mm256_loadu_ps(yrow + d),
+                                       _mm256_loadu_ps(src + d)));
+    }
+    for (int64_t d = dv; d < dim; ++d) {
+        yrow[d] += src[d];
+    }
+}
+
+void
+rowAddScaledAvx2(float* yrow, const float* src, float scale, int64_t dim)
+{
+    // Deliberately mul-then-add (not FMA): the scalar tier rounds the
+    // product before the add, and SLWS is contractually bit-identical
+    // across tiers.
+    const __m256 sv = _mm256_set1_ps(scale);
+    const int64_t dv = dim & ~int64_t{7};
+    for (int64_t d = 0; d < dv; d += 8) {
+        _mm256_storeu_ps(
+            yrow + d,
+            _mm256_add_ps(_mm256_loadu_ps(yrow + d),
+                          _mm256_mul_ps(sv, _mm256_loadu_ps(src + d))));
+    }
+    for (int64_t d = dv; d < dim; ++d) {
+        yrow[d] += scale * src[d];
+    }
+}
+
+void
+rowScaleAvx2(float* yrow, float scale, int64_t dim)
+{
+    const __m256 sv = _mm256_set1_ps(scale);
+    const int64_t dv = dim & ~int64_t{7};
+    for (int64_t d = 0; d < dv; d += 8) {
+        _mm256_storeu_ps(yrow + d,
+                         _mm256_mul_ps(_mm256_loadu_ps(yrow + d), sv));
+    }
+    for (int64_t d = dv; d < dim; ++d) {
+        yrow[d] *= scale;
+    }
+}
+
+void
+rowCopyAvx2(float* dst, const float* src, int64_t dim)
+{
+    const int64_t dv = dim & ~int64_t{7};
+    for (int64_t d = 0; d < dv; d += 8) {
+        _mm256_storeu_ps(dst + d, _mm256_loadu_ps(src + d));
+    }
+    for (int64_t d = dv; d < dim; ++d) {
+        dst[d] = src[d];
+    }
+}
+
+}  // namespace detail
+}  // namespace kern
+}  // namespace recstack
+
+#else  // !RECSTACK_HAVE_AVX2_BUILD || !x86
+
+namespace recstack {
+namespace kern {
+namespace detail {
+
+float
+dotBiasAvx2(float bias, const float* x, const float* w, int64_t k)
+{
+    return dotBiasScalar(bias, x, w, k);
+}
+
+void
+fcRowsAvx2(const float* x, const float* w, const float* b, float* y,
+           int64_t lo, int64_t hi, int64_t n, int64_t k, FcAct act)
+{
+    fcRowsScalar(x, w, b, y, lo, hi, n, k, act);
+}
+
+void
+batchMatMulRowsAvx2(const float* a, const float* b, float* c, int64_t lo,
+                    int64_t hi, int64_t m, int64_t k, int64_t n)
+{
+    batchMatMulRowsScalar(a, b, c, lo, hi, m, k, n);
+}
+
+void
+rowAddAvx2(float* yrow, const float* src, int64_t dim)
+{
+    rowAddScalar(yrow, src, dim);
+}
+
+void
+rowAddScaledAvx2(float* yrow, const float* src, float scale, int64_t dim)
+{
+    rowAddScaledScalar(yrow, src, scale, dim);
+}
+
+void
+rowScaleAvx2(float* yrow, float scale, int64_t dim)
+{
+    rowScaleScalar(yrow, scale, dim);
+}
+
+void
+rowCopyAvx2(float* dst, const float* src, int64_t dim)
+{
+    rowCopyScalar(dst, src, dim);
+}
+
+}  // namespace detail
+}  // namespace kern
+}  // namespace recstack
+
+#endif  // RECSTACK_HAVE_AVX2_BUILD

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "ops/kernels.h"
 #include "ops/op_costs.h"
 
 namespace recstack {
@@ -46,22 +47,13 @@ BatchMatMulOp::run(Workspace& ws)
 
     // Partition the flattened (batch, i) output rows; each chunk
     // writes a disjoint band of C, so parallel == serial bitwise.
+    // batchMatMulRows vectorizes across the n dimension with the
+    // per-element scalar accumulation order, so the tier choice is
+    // bitwise-invisible here too (see ops/kernels.h).
+    const KernelIsa isa = activeKernelIsa();
     parallelFor(0, batch * m, grainForCost(static_cast<uint64_t>(n * k)),
                 [=](int64_t lo, int64_t hi) {
-        for (int64_t r = lo; r < hi; ++r) {
-            const int64_t bb = r / m;
-            const int64_t i = r % m;
-            const float* arow = a + (bb * m + i) * k;
-            const float* bbase = b + bb * k * n;
-            float* crow = c + (bb * m + i) * n;
-            for (int64_t j = 0; j < n; ++j) {
-                float acc = 0.0f;
-                for (int64_t q = 0; q < k; ++q) {
-                    acc += arow[q] * bbase[q * n + j];
-                }
-                crow[j] = acc;
-            }
-        }
+        kern::batchMatMulRows(isa, a, b, c, lo, hi, m, k, n);
     });
 }
 

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Property tests for the kernel-ISA dispatch layer
+ * (common/cpu_features.h): the RECSTACK_ISA override is honored,
+ * unsupported/garbage requests demote to scalar with an explanation
+ * instead of crashing, resolution is stable across repeated calls,
+ * and the IsaScope/setKernelIsa precedence chain restores correctly.
+ *
+ * These tests mutate process-global dispatch state (env var, process
+ * override); each one restores the default (clearKernelIsa + unset
+ * env) so ordering never leaks between tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/cpu_features.h"
+
+namespace recstack {
+namespace {
+
+/** RAII: leave dispatch state pristine no matter how a test exits. */
+class DispatchStateGuard
+{
+  public:
+    DispatchStateGuard()
+    {
+        unsetenv("RECSTACK_ISA");
+        clearKernelIsa();
+    }
+    ~DispatchStateGuard()
+    {
+        unsetenv("RECSTACK_ISA");
+        clearKernelIsa();
+    }
+};
+
+TEST(IsaDispatch, NamesRoundTrip)
+{
+    EXPECT_STREQ(kernelIsaName(KernelIsa::kScalar), "scalar");
+    EXPECT_STREQ(kernelIsaName(KernelIsa::kAvx2), "avx2");
+}
+
+TEST(IsaDispatch, ScalarAlwaysSupported)
+{
+    EXPECT_TRUE(kernelIsaSupported(KernelIsa::kScalar));
+}
+
+TEST(IsaDispatch, DetectReturnsASupportedTier)
+{
+    const KernelIsa best = detectKernelIsa();
+    EXPECT_TRUE(kernelIsaSupported(best));
+}
+
+TEST(IsaDispatch, ResolveEmptyFallsThroughToDetect)
+{
+    EXPECT_EQ(resolveKernelIsa(nullptr), detectKernelIsa());
+    EXPECT_EQ(resolveKernelIsa(""), detectKernelIsa());
+}
+
+TEST(IsaDispatch, ResolveScalarAlwaysHonored)
+{
+    std::string why;
+    EXPECT_EQ(resolveKernelIsa("scalar", &why), KernelIsa::kScalar);
+    EXPECT_TRUE(why.empty()) << why;
+}
+
+TEST(IsaDispatch, ResolveAvx2HonoredOrDemotedWithReason)
+{
+    std::string why;
+    const KernelIsa got = resolveKernelIsa("avx2", &why);
+    if (kernelIsaSupported(KernelIsa::kAvx2)) {
+        EXPECT_EQ(got, KernelIsa::kAvx2);
+        EXPECT_TRUE(why.empty()) << why;
+    } else {
+        // Unsupported hardware demotes, never crashes, and says why.
+        EXPECT_EQ(got, KernelIsa::kScalar);
+        EXPECT_FALSE(why.empty());
+    }
+}
+
+TEST(IsaDispatch, ResolveGarbageFallsBackToScalarWithReason)
+{
+    for (const char* bad :
+         {"bogus", "avx512", "AVX2", "neon", "sse4.2", "  scalar"}) {
+        SCOPED_TRACE(bad);
+        std::string why;
+        EXPECT_EQ(resolveKernelIsa(bad, &why), KernelIsa::kScalar);
+        EXPECT_FALSE(why.empty())
+            << "an unrecognized spec must explain the demotion";
+    }
+}
+
+TEST(IsaDispatch, EnvOverrideHonored)
+{
+    DispatchStateGuard guard;
+    ASSERT_EQ(setenv("RECSTACK_ISA", "scalar", 1), 0);
+    clearKernelIsa();
+    EXPECT_EQ(activeKernelIsa(), KernelIsa::kScalar);
+
+    if (kernelIsaSupported(KernelIsa::kAvx2)) {
+        ASSERT_EQ(setenv("RECSTACK_ISA", "avx2", 1), 0);
+        clearKernelIsa();
+        EXPECT_EQ(activeKernelIsa(), KernelIsa::kAvx2);
+    }
+}
+
+TEST(IsaDispatch, EnvGarbageDemotesToScalarWithoutCrashing)
+{
+    DispatchStateGuard guard;
+    ASSERT_EQ(setenv("RECSTACK_ISA", "definitely-not-an-isa", 1), 0);
+    clearKernelIsa();
+    EXPECT_EQ(activeKernelIsa(), KernelIsa::kScalar);
+}
+
+TEST(IsaDispatch, ActiveIsStableAcrossRepeatedCalls)
+{
+    DispatchStateGuard guard;
+    const KernelIsa first = activeKernelIsa();
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(activeKernelIsa(), first) << "call " << i;
+    }
+}
+
+TEST(IsaDispatch, EnvCachedUntilCleared)
+{
+    DispatchStateGuard guard;
+    ASSERT_EQ(setenv("RECSTACK_ISA", "scalar", 1), 0);
+    clearKernelIsa();
+    ASSERT_EQ(activeKernelIsa(), KernelIsa::kScalar);
+    // Mutating the environment mid-process must NOT silently change
+    // the dispatch (resolution is cached for stability); only an
+    // explicit clearKernelIsa() re-reads it.
+    ASSERT_EQ(setenv("RECSTACK_ISA", "avx2", 1), 0);
+    EXPECT_EQ(activeKernelIsa(), KernelIsa::kScalar);
+    clearKernelIsa();
+    EXPECT_EQ(activeKernelIsa(),
+              kernelIsaSupported(KernelIsa::kAvx2) ? KernelIsa::kAvx2
+                                                   : KernelIsa::kScalar);
+}
+
+TEST(IsaDispatch, SetKernelIsaBeatsEnv)
+{
+    DispatchStateGuard guard;
+    if (!kernelIsaSupported(KernelIsa::kAvx2)) {
+        GTEST_SKIP() << "avx2 tier unsupported on this host/build";
+    }
+    ASSERT_EQ(setenv("RECSTACK_ISA", "avx2", 1), 0);
+    clearKernelIsa();
+    setKernelIsa(KernelIsa::kScalar);
+    EXPECT_EQ(activeKernelIsa(), KernelIsa::kScalar);
+    clearKernelIsa();
+    EXPECT_EQ(activeKernelIsa(), KernelIsa::kAvx2);
+}
+
+TEST(IsaDispatch, SetKernelIsaDemotesUnsupportedRequest)
+{
+    DispatchStateGuard guard;
+    if (kernelIsaSupported(KernelIsa::kAvx2)) {
+        GTEST_SKIP() << "host supports avx2; demotion not observable";
+    }
+    setKernelIsa(KernelIsa::kAvx2);
+    EXPECT_EQ(activeKernelIsa(), KernelIsa::kScalar);
+}
+
+TEST(IsaDispatch, ScopeBeatsProcessOverrideAndRestores)
+{
+    DispatchStateGuard guard;
+    setKernelIsa(KernelIsa::kScalar);
+    const KernelIsa outer = activeKernelIsa();
+    ASSERT_EQ(outer, KernelIsa::kScalar);
+    {
+        IsaScope scope(detectKernelIsa());
+        EXPECT_EQ(activeKernelIsa(), detectKernelIsa());
+        {
+            IsaScope inner(KernelIsa::kScalar);
+            EXPECT_EQ(activeKernelIsa(), KernelIsa::kScalar);
+        }
+        // Nested scopes restore the enclosing scope, not the process
+        // default.
+        EXPECT_EQ(activeKernelIsa(), detectKernelIsa());
+    }
+    EXPECT_EQ(activeKernelIsa(), outer);
+}
+
+TEST(IsaDispatch, ScopeIsThreadLocal)
+{
+    DispatchStateGuard guard;
+    IsaScope scope(KernelIsa::kScalar);
+    ASSERT_EQ(activeKernelIsa(), KernelIsa::kScalar);
+    // A fresh thread does not inherit this thread's scope: it sees
+    // the process-level resolution. This is why Operator::run resolves
+    // the tier once and captures it into the parallelFor lambda.
+    KernelIsa seen = KernelIsa::kScalar;
+    std::thread t([&seen] { seen = activeKernelIsa(); });
+    t.join();
+    EXPECT_EQ(seen, detectKernelIsa());
+}
+
+}  // namespace
+}  // namespace recstack

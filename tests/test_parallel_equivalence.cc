@@ -1,16 +1,19 @@
 /**
  * @file
- * Differential harness for intra-op parallelism: for every model
- * builder, Executor::run at 1 thread must be bit-identical to N
+ * Differential harness for intra-op parallelism, parameterized over
+ * the {ISA × thread-width} matrix: for every model builder and every
+ * kernel tier, Executor::run at 1 thread must be bit-identical to N
  * threads — every float of every blob, and every KernelProfile
  * aggregate. This is the determinism contract of the chunked-range
  * pool (disjoint-output partitioning, no cross-chunk reductions;
- * docs/parallelism.md); any kernel whose parallelization perturbs
- * rounding or profile lowering fails here immediately.
+ * docs/parallelism.md) and it must hold per tier: vector kernels may
+ * reorder accumulation relative to scalar (docs/vectorization.md),
+ * but never relative to themselves across thread counts. Tiers the
+ * host cannot execute skip rather than silently demoting to scalar.
  *
  * Runs under RECSTACK_SANITIZE=thread as well (ctest -L sanitize):
  * the same executions that prove bit-equality also race-check the
- * pool and every parallel kernel.
+ * pool and every parallel kernel on both tiers.
  */
 
 #include <gtest/gtest.h>
@@ -19,6 +22,7 @@
 #include <cstring>
 #include <tuple>
 
+#include "common/cpu_features.h"
 #include "common/thread_pool.h"
 #include "graph/executor.h"
 #include "models/model.h"
@@ -127,7 +131,7 @@ runAt(const Model& model, int num_threads, int64_t batch, Workspace* ws)
 }
 
 class ParallelEquivalence
-    : public ::testing::TestWithParam<std::tuple<ModelId, int>>
+    : public ::testing::TestWithParam<std::tuple<ModelId, int, KernelIsa>>
 {
 };
 
@@ -135,7 +139,14 @@ TEST_P(ParallelEquivalence, BitIdenticalAcrossThreadCounts)
 {
     const ModelId id = std::get<0>(GetParam());
     const int threads = std::get<1>(GetParam());
+    const KernelIsa isa = std::get<2>(GetParam());
     const int64_t batch = 16;
+
+    if (!kernelIsaSupported(isa)) {
+        GTEST_SKIP() << kernelIsaName(isa)
+                     << " tier unsupported on this host/build";
+    }
+    IsaScope tier(isa);
 
     const Model model = buildModel(id, testOptions());
 
@@ -172,16 +183,31 @@ INSTANTIATE_TEST_SUITE_P(
                                          ModelId::kRM2, ModelId::kRM3,
                                          ModelId::kWnD, ModelId::kMTWnD,
                                          ModelId::kDIN, ModelId::kDIEN),
-                       ::testing::Values(2, 8)),
-    [](const ::testing::TestParamInfo<std::tuple<ModelId, int>>& info) {
+                       ::testing::Values(2, 8),
+                       ::testing::Values(KernelIsa::kScalar,
+                                         KernelIsa::kAvx2)),
+    [](const ::testing::TestParamInfo<std::tuple<ModelId, int, KernelIsa>>&
+           info) {
         std::string name = modelName(std::get<0>(info.param));
         for (char& c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c))) {
                 c = '_';  // "MT-WnD" -> "MT_WnD"
             }
         }
-        return name + "_t" + std::to_string(std::get<1>(info.param));
+        return name + "_t" + std::to_string(std::get<1>(info.param)) +
+               "_" + kernelIsaName(std::get<2>(info.param));
     });
+
+/** Both tiers the host supports, for the variant tests below. */
+std::vector<KernelIsa>
+supportedIsas()
+{
+    std::vector<KernelIsa> isas = {KernelIsa::kScalar};
+    if (kernelIsaSupported(KernelIsa::kAvx2)) {
+        isas.push_back(KernelIsa::kAvx2);
+    }
+    return isas;
+}
 
 /** The position-weighted DLRM variant exercises SLWS. */
 TEST(ParallelEquivalenceVariants, PositionWeightedRm1)
@@ -189,12 +215,16 @@ TEST(ParallelEquivalenceVariants, PositionWeightedRm1)
     ModelOptions opts = testOptions();
     opts.positionWeighted = true;
     const Model model = buildModel(ModelId::kRM1, opts);
-    Workspace a;
-    runAt(model, 1, 16, &a);
-    Workspace b;
-    runAt(model, 8, 16, &b);
-    for (const std::string& blob : a.names()) {
-        expectTensorsIdentical(blob, a.get(blob), b.get(blob));
+    for (const KernelIsa isa : supportedIsas()) {
+        SCOPED_TRACE(kernelIsaName(isa));
+        IsaScope tier(isa);
+        Workspace a;
+        runAt(model, 1, 16, &a);
+        Workspace b;
+        runAt(model, 8, 16, &b);
+        for (const std::string& blob : a.names()) {
+            expectTensorsIdentical(blob, a.get(blob), b.get(blob));
+        }
     }
 }
 
@@ -204,12 +234,16 @@ TEST(ParallelEquivalenceVariants, FusedGruDien)
     ModelOptions opts = testOptions();
     opts.dienFusedGru = true;
     const Model model = buildModel(ModelId::kDIEN, opts);
-    Workspace a;
-    runAt(model, 1, 16, &a);
-    Workspace b;
-    runAt(model, 8, 16, &b);
-    for (const std::string& blob : a.names()) {
-        expectTensorsIdentical(blob, a.get(blob), b.get(blob));
+    for (const KernelIsa isa : supportedIsas()) {
+        SCOPED_TRACE(kernelIsaName(isa));
+        IsaScope tier(isa);
+        Workspace a;
+        runAt(model, 1, 16, &a);
+        Workspace b;
+        runAt(model, 8, 16, &b);
+        for (const std::string& blob : a.names()) {
+            expectTensorsIdentical(blob, a.get(blob), b.get(blob));
+        }
     }
 }
 

@@ -397,6 +397,8 @@ cmdPlan(const std::string& model, int64_t batch, bool json)
                     net.originalOpCount(), net.opCount());
         std::printf("  \"planningEnabled\": %s,\n",
                     net.planningEnabled() ? "true" : "false");
+        std::printf("  \"kernelIsa\": \"%s\",\n",
+                    kernelIsaName(plan.kernelIsa));
         std::printf("  \"naiveActivationBytes\": %zu,\n",
                     plan.naiveActivationBytes);
         std::printf("  \"fusedActivationBytes\": %zu,\n",
@@ -433,10 +435,10 @@ cmdPlan(const std::string& model, int64_t batch, bool json)
     }
 
     std::printf("%s @ batch %lld: %zu ops compiled to %zu (%zu fusions)"
-                "%s\n\n",
+                ", kernel tier %s%s\n\n",
                 c.model(id).name.c_str(), static_cast<long long>(batch),
                 net.originalOpCount(), net.opCount(),
-                net.fusions().size(),
+                net.fusions().size(), kernelIsaName(plan.kernelIsa),
                 net.planningEnabled() ? ""
                                       : "  [planning disabled]");
 

@@ -2,11 +2,11 @@
 # Sanitizer passes over the suites that can hide memory/concurrency
 # bugs from the default build:
 #
-#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|serving|obs|sched'`:
+#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|serving|obs|sched|simd'`:
 #           the concurrency suites (thread pool, serving engine,
 #           parallel kernels, plan-vs-interpreted equivalence, the
 #           sharded embedding store's lock/prefetch machinery).
-#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|serving|obs|sched'`:
+#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|serving|obs|sched|simd'`:
 #           the compiled-net planner/arena suites plus the embedding
 #           store. Arena aliasing assigns overlapping
 #           [offset, offset+bytes) ranges to blobs with disjoint
@@ -21,6 +21,13 @@
 # paths, so the observability layer must stay clean under TSan (the
 # striped counters, the per-slot ready flags) and ASan (fixed-size
 # record copies).
+#
+# The `simd` label covers the kernel-tier suites (ISA dispatch and
+# the vector-vs-scalar differential harness): the AVX2 kernels read
+# 32-byte lanes up to the last full block and must never touch bytes
+# past a tensor's tail (ASan), and a kernel tier is resolved once per
+# op and captured into pool-worker lambdas, which TSan verifies races
+# neither with IsaScope nesting nor with the env-cache atomics.
 #
 # The `sched` label covers the heterogeneous scheduling suites
 # (threshold router, GPU lane, hill-climb tuner): the lane is driven
@@ -49,11 +56,11 @@ run_pass() {
 }
 
 case "${mode}" in
-    tsan) run_pass thread build-tsan 'sanitize|store|serving|obs|sched' ;;
-    asan) run_pass address build-asan 'plan|store|serving|obs|sched' ;;
+    tsan) run_pass thread build-tsan 'sanitize|store|serving|obs|sched|simd' ;;
+    asan) run_pass address build-asan 'plan|store|serving|obs|sched|simd' ;;
     all)
-        run_pass address build-asan 'plan|store|serving|obs|sched'
-        run_pass thread build-tsan 'sanitize|store|serving|obs|sched'
+        run_pass address build-asan 'plan|store|serving|obs|sched|simd'
+        run_pass thread build-tsan 'sanitize|store|serving|obs|sched|simd'
         ;;
     *)
         echo "usage: $0 [tsan|asan|all]" >&2
