@@ -1,0 +1,147 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace recstack {
+namespace fleet {
+
+const char*
+routePolicyName(RoutePolicy policy)
+{
+    switch (policy) {
+        case RoutePolicy::kRoundRobin:
+            return "round_robin";
+        case RoutePolicy::kConsistentHash:
+            return "consistent_hash";
+        case RoutePolicy::kPowerOfTwo:
+            return "p2c";
+    }
+    return "unknown";
+}
+
+uint64_t
+HashRing::mix(uint64_t key)
+{
+    // SplitMix64 finalizer: full-avalanche 64-bit mix, the same
+    // construction Rng seeds state from.
+    uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+HashRing::HashRing(int virtual_nodes) : virtualNodes_(virtual_nodes)
+{
+    RECSTACK_CHECK(virtual_nodes >= 1,
+                   "need at least one virtual node per node");
+}
+
+void
+HashRing::addNode(int node)
+{
+    RECSTACK_CHECK(node >= 0, "node ids are non-negative");
+    ring_.reserve(ring_.size() + static_cast<size_t>(virtualNodes_));
+    for (int r = 0; r < virtualNodes_; ++r) {
+        // Decorrelate the node's replicas by mixing twice with
+        // distinct lane constants; collisions across (node, replica)
+        // pairs are astronomically unlikely on a 64-bit ring.
+        const uint64_t point =
+            mix(mix(static_cast<uint64_t>(node) * 0x0123456789abcdefull +
+                    0x5bf03635ull) ^
+                (static_cast<uint64_t>(r) * 0xc2b2ae3d27d4eb4full));
+        ring_.emplace_back(point, node);
+    }
+    std::sort(ring_.begin(), ring_.end());
+    ++numNodes_;
+}
+
+void
+HashRing::removeNode(int node)
+{
+    const size_t before = ring_.size();
+    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                               [node](const std::pair<uint64_t, int>& p) {
+                                   return p.second == node;
+                               }),
+                ring_.end());
+    if (ring_.size() != before) {
+        --numNodes_;
+    }
+}
+
+int
+HashRing::nodeFor(uint64_t key) const
+{
+    if (ring_.empty()) {
+        return -1;
+    }
+    const uint64_t point = mix(key);
+    // First ring entry at or after the key's point, wrapping to the
+    // start of the ring past the last entry.
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(),
+        std::make_pair(point, std::numeric_limits<int>::min()));
+    if (it == ring_.end()) {
+        it = ring_.begin();
+    }
+    return it->second;
+}
+
+Router::Router(RoutePolicy policy, int num_nodes, uint64_t seed,
+               int virtual_nodes)
+    : policy_(policy), numNodes_(num_nodes), rng_(seed),
+      ring_(virtual_nodes)
+{
+    RECSTACK_CHECK(num_nodes >= 1, "need at least one node");
+    if (policy_ == RoutePolicy::kConsistentHash) {
+        for (int n = 0; n < num_nodes; ++n) {
+            ring_.addNode(n);
+        }
+    }
+}
+
+int
+Router::pickShallower(int a, double depth_a, int b, double depth_b)
+{
+    return depth_b < depth_a ? b : a;
+}
+
+int
+Router::route(uint64_t user_key,
+              const std::vector<double>& queue_depths)
+{
+    switch (policy_) {
+        case RoutePolicy::kRoundRobin:
+            return static_cast<int>(
+                (nextIdx_++) % static_cast<uint64_t>(numNodes_));
+        case RoutePolicy::kConsistentHash:
+            return ring_.nodeFor(user_key);
+        case RoutePolicy::kPowerOfTwo: {
+            RECSTACK_CHECK(queue_depths.size() ==
+                               static_cast<size_t>(numNodes_),
+                           "p2c needs one depth per node");
+            if (numNodes_ == 1) {
+                return 0;
+            }
+            const int a = static_cast<int>(
+                rng_.nextBounded(static_cast<uint64_t>(numNodes_)));
+            int b = static_cast<int>(rng_.nextBounded(
+                static_cast<uint64_t>(numNodes_ - 1)));
+            if (b >= a) {
+                ++b;  // second sample uniform over the other M-1
+            }
+            return pickShallower(a,
+                                 queue_depths[static_cast<size_t>(a)],
+                                 b,
+                                 queue_depths[static_cast<size_t>(b)]);
+        }
+    }
+    return 0;
+}
+
+}  // namespace fleet
+}  // namespace recstack

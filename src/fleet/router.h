@@ -1,0 +1,136 @@
+#ifndef RECSTACK_FLEET_ROUTER_H_
+#define RECSTACK_FLEET_ROUTER_H_
+
+/**
+ * @file
+ * Fleet front-end routing: which node serves the next query.
+ *
+ * The fleet simulator (fleet/fleet_sim.h) models the tier in front of
+ * DeepRecSys-style inference nodes — the load balancer that assigns
+ * each arriving query to one of M ServingNodes. Three classic
+ * policies are provided:
+ *
+ *  - kRoundRobin       — node = arrival index mod M. Key-oblivious;
+ *    spreads any traffic mix evenly by count.
+ *  - kConsistentHash   — a hash ring with virtual nodes keyed by the
+ *    querying user. Sticky (a user always lands on the same node, the
+ *    property cache-affinity tiers want) and stable under resizing:
+ *    adding or removing a node moves only the keys in the ring arcs
+ *    it gains or loses, about 1/M of them (pinned by a property test
+ *    in tests/test_fleet.cc). Under Zipf-skewed users the stickiness
+ *    concentrates hot users on fixed nodes, so tails inflate — the
+ *    trade the simulator makes measurable.
+ *  - kPowerOfTwo       — power-of-two-choices: sample two distinct
+ *    nodes uniformly, send the query to the one with the shallower
+ *    queue at arrival time. The classic result (Mitzenmacher) is an
+ *    exponential improvement in max queue depth over random/static
+ *    assignment; the router never picks the deeper of its two samples
+ *    (exposed as the pure pickShallower() for the property test).
+ *
+ * Routing is deterministic given the seed: the ring hash is a fixed
+ * mixing function and the p2c sampler is a seeded Rng, so a fleet run
+ * is exactly reproducible.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace recstack {
+namespace fleet {
+
+/** Front-end assignment policy. */
+enum class RoutePolicy {
+    kRoundRobin,
+    kConsistentHash,
+    kPowerOfTwo,
+};
+
+const char* routePolicyName(RoutePolicy policy);
+
+/**
+ * Consistent-hash ring with virtual nodes.
+ *
+ * Each node owns `virtualNodes` points on a 64-bit ring, placed by a
+ * SplitMix64-style mix of (node, replica); a key is served by the
+ * owner of the first ring point at or after hash(key). More virtual
+ * nodes → smoother arc distribution → smaller per-node share variance
+ * and tighter key movement on membership changes.
+ */
+class HashRing
+{
+  public:
+    explicit HashRing(int virtual_nodes = 128);
+
+    /** Add node id @c node (idempotent adds are a bug; ids unique). */
+    void addNode(int node);
+
+    /** Remove node id @c node; no-op if absent. */
+    void removeNode(int node);
+
+    /** Owner of @c key; -1 when the ring is empty. */
+    int nodeFor(uint64_t key) const;
+
+    int numNodes() const { return numNodes_; }
+
+    /** Stateless key hash (the mix route() applies to user ids). */
+    static uint64_t mix(uint64_t key);
+
+  private:
+    int virtualNodes_;
+    int numNodes_ = 0;
+    /// Sorted ring points: (point, node id).
+    std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+/**
+ * The fleet front end. route() is called once per arrival, in arrival
+ * order, with the per-node queue depths at that instant (only the
+ * p2c policy reads them).
+ */
+class Router
+{
+  public:
+    /**
+     * @param policy        assignment policy
+     * @param num_nodes     fleet size M (>= 1)
+     * @param seed          p2c sampling seed
+     * @param virtual_nodes ring points per node (consistent hashing)
+     */
+    Router(RoutePolicy policy, int num_nodes, uint64_t seed,
+           int virtual_nodes = 128);
+
+    /**
+     * Node for the next arrival. @c user_key identifies the querying
+     * user (hashed for the ring); @c queue_depths[i] is node i's
+     * outstanding work at the arrival instant (size num_nodes; only
+     * read by kPowerOfTwo).
+     */
+    int route(uint64_t user_key,
+              const std::vector<double>& queue_depths);
+
+    RoutePolicy policy() const { return policy_; }
+    int numNodes() const { return numNodes_; }
+
+    /**
+     * The p2c decision rule, exposed pure so the "never picks the
+     * deeper queue" property is testable with exact inputs: returns
+     * the index with the smaller depth, preferring @c a on ties
+     * (first-sampled wins, keeping the rule deterministic).
+     */
+    static int pickShallower(int a, double depth_a, int b,
+                             double depth_b);
+
+  private:
+    RoutePolicy policy_;
+    int numNodes_;
+    Rng rng_;            ///< p2c sampling stream
+    HashRing ring_;
+    uint64_t nextIdx_ = 0;  ///< round-robin cursor
+};
+
+}  // namespace fleet
+}  // namespace recstack
+
+#endif  // RECSTACK_FLEET_ROUTER_H_

@@ -140,6 +140,18 @@ HistogramSnapshot::percentile(double p) const
     return hi;
 }
 
+void
+HistogramSnapshot::merge(const HistogramSnapshot& other)
+{
+    RECSTACK_OBS_CHECK(other.lo == lo && other.hi == hi);
+    RECSTACK_OBS_CHECK(other.counts.size() == counts.size());
+    for (size_t i = 0; i < counts.size(); ++i) {
+        counts[i] += other.counts[i];
+    }
+    total += other.total;
+    sum += other.sum;
+}
+
 LatencyHistogram::LatencyHistogram(double lo, double hi, size_t buckets)
     : lo_(lo),
       hi_(hi),
@@ -165,6 +177,21 @@ LatencyHistogram::record(double x)
         1, std::memory_order_relaxed);
     total_.fetch_add(1, std::memory_order_relaxed);
     atomicAddDouble(sum_, x);
+}
+
+void
+LatencyHistogram::merge(const HistogramSnapshot& other)
+{
+    RECSTACK_OBS_CHECK(other.lo == lo_ && other.hi == hi_);
+    RECSTACK_OBS_CHECK(other.counts.size() == counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (other.counts[i] != 0) {
+            counts_[i].fetch_add(other.counts[i],
+                                 std::memory_order_relaxed);
+        }
+    }
+    total_.fetch_add(other.total, std::memory_order_relaxed);
+    atomicAddDouble(sum_, other.sum);
 }
 
 HistogramSnapshot

@@ -115,6 +115,17 @@ struct HistogramSnapshot {
     {
         return total ? sum / static_cast<double>(total) : 0.0;
     }
+
+    /**
+     * Fold @c other into this snapshot (bucket-wise count addition).
+     * Both snapshots must share lo/hi/bucket-count; because bucketing
+     * is deterministic, the merge of per-source histograms is
+     * *identical* to recording every sample into one histogram, so a
+     * merged percentile carries the same one-bucket error bound as a
+     * single-histogram percentile. This is the fleet p99 roll-up:
+     * per-node latency histograms merge into one fleet-wide tail.
+     */
+    void merge(const HistogramSnapshot& other);
 };
 
 /** Fixed-bucket concurrent histogram over [lo, hi). */
@@ -127,6 +138,17 @@ class LatencyHistogram
 
     /** Record one sample (clamped to the edge buckets). Lock-free. */
     void record(double x);
+
+    /**
+     * Fold a snapshot of another histogram with identical bounds and
+     * bucket count into this one (per-bucket atomic adds). Concurrent
+     * record() calls remain safe; the merge itself is not atomic as a
+     * whole, so readers snapshotting mid-merge may see a partial fold
+     * — merge quiescent histograms (the fleet merges after a node's
+     * epoch completes).
+     */
+    void merge(const HistogramSnapshot& other);
+    void merge(const LatencyHistogram& other) { merge(other.snapshot()); }
 
     HistogramSnapshot snapshot() const;
     void reset();

@@ -10,6 +10,23 @@
 
 namespace recstack {
 
+void
+fillLatencyStats(std::vector<double>& latencies, ServingStats* stats)
+{
+    if (latencies.empty()) {
+        return;
+    }
+    double sum = 0.0;
+    for (double lat : latencies) {
+        sum += lat;
+    }
+    stats->meanLatency = sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    stats->p50Latency = percentileOfSorted(latencies, 0.50);
+    stats->p95Latency = percentileOfSorted(latencies, 0.95);
+    stats->p99Latency = percentileOfSorted(latencies, 0.99);
+}
+
 ServingSimulator::ServingSimulator(QueryScheduler* scheduler,
                                    ModelId model, size_t platform_idx)
     : scheduler_(scheduler), model_(model), platformIdx_(platform_idx)
@@ -98,17 +115,7 @@ ServingSimulator::simulate(const ServingConfig& config)
     // explicitly instead of letting them vanish from the stats.
     stats.droppedSamples = static_cast<uint64_t>(queue.size());
 
-    if (!latencies.empty()) {
-        double sum = 0.0;
-        for (double lat : latencies) {
-            sum += lat;
-        }
-        stats.meanLatency = sum / static_cast<double>(latencies.size());
-        std::sort(latencies.begin(), latencies.end());
-        stats.p50Latency = percentileOfSorted(latencies, 0.50);
-        stats.p95Latency = percentileOfSorted(latencies, 0.95);
-        stats.p99Latency = percentileOfSorted(latencies, 0.99);
-    }
+    fillLatencyStats(latencies, &stats);
     if (stats.batchesServed > 0) {
         stats.meanBatch /= static_cast<double>(stats.batchesServed);
     }

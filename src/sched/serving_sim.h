@@ -53,6 +53,16 @@ struct ServingStats {
     double throughputQps = 0.0; ///< served samples / simulated time
 };
 
+/**
+ * Reduce completed-sample latencies into ServingStats mean/tail
+ * fields (sorts @c latencies in place; leaves the stats untouched
+ * when empty). Shared by the analytical simulator, the threaded
+ * serving node, and the fleet simulator so every layer's percentile
+ * convention is percentileOfSorted's.
+ */
+void fillLatencyStats(std::vector<double>& latencies,
+                      ServingStats* stats);
+
 /** Single-engine dynamic-batching server. */
 class ServingSimulator
 {

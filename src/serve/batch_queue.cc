@@ -40,10 +40,32 @@ BatchQueue::BatchQueue(const Config& cfg)
     RECSTACK_CHECK(cfg_.maxBatch > 0, "batch cap must be > 0");
     RECSTACK_CHECK(cfg_.horizonSeconds > 0.0, "horizon must be > 0");
     RECSTACK_CHECK(cfg_.numWorkers >= 1, "need at least one worker");
+    if (cfg_.useArrivalTrace) {
+        for (size_t i = 0; i < cfg_.arrivalTrace.size(); ++i) {
+            RECSTACK_CHECK(cfg_.arrivalTrace[i] >= 0.0,
+                           "trace arrivals must be >= 0");
+            RECSTACK_CHECK(i == 0 || cfg_.arrivalTrace[i] >=
+                                         cfg_.arrivalTrace[i - 1],
+                           "trace arrivals must be ascending");
+        }
+    }
     readyTime_.assign(static_cast<size_t>(cfg_.numWorkers), 0.0);
     active_.assign(static_cast<size_t>(cfg_.numWorkers), true);
-    nextArrival_ = process_.next();
+    nextArrival_ = drawArrival();
     exhausted_ = nextArrival_ >= cfg_.horizonSeconds;
+}
+
+double
+BatchQueue::drawArrival()
+{
+    if (cfg_.useArrivalTrace) {
+        if (traceCursor_ >= cfg_.arrivalTrace.size()) {
+            // Past-the-end sentinel >= any horizon: flips exhausted_.
+            return cfg_.horizonSeconds;
+        }
+        return cfg_.arrivalTrace[traceCursor_++];
+    }
+    return process_.next();
 }
 
 bool
@@ -67,7 +89,7 @@ BatchQueue::admitOne()
 {
     pending_.push_back(nextArrival_);
     ++arrived_;
-    nextArrival_ = process_.next();
+    nextArrival_ = drawArrival();
     exhausted_ = nextArrival_ >= cfg_.horizonSeconds;
 }
 

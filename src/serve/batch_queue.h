@@ -62,6 +62,16 @@ class BatchQueue
         double horizonSeconds = 2.0;
         uint64_t seed = 42;
         int numWorkers = 1;
+        /// Explicit arrival-trace mode (fleet nodes): when set, the
+        /// queue admits the timestamps in `arrivalTrace` (ascending,
+        /// >= 0) instead of drawing a Poisson stream — a routed node
+        /// serves exactly the sub-stream a fleet router assigned to
+        /// it. Timestamps at or past horizonSeconds are ignored, the
+        /// same cut-off the generated stream has; admission, launch,
+        /// and drain rules are unchanged, so a trace equal to the
+        /// Poisson stream reproduces the generated run exactly.
+        bool useArrivalTrace = false;
+        std::vector<double> arrivalTrace;
     };
 
     explicit BatchQueue(const Config& cfg);
@@ -116,12 +126,14 @@ class BatchQueue
     bool isTurn(int wid) const;
     void admitUpTo(double t);
     void admitOne();
+    double drawArrival();
 
     Config cfg_;
     mutable std::mutex mu_;
     std::condition_variable cv_;
 
     PoissonProcess process_;
+    size_t traceCursor_ = 0;
     double nextArrival_ = 0.0;
     bool exhausted_ = false;
     std::deque<double> pending_;   // arrival times of waiting samples

@@ -26,131 +26,20 @@
  *  - contention-aware: with N workers, per-worker latency inflates
  *    the way estimateMulticoreScaling predicts, so embedding-heavy
  *    models saturate aggregate throughput early.
+ *
+ * The machinery lives in ServingNode (serve/serving_node.h), the unit
+ * the fleet simulator (src/fleet/) composes M of behind a router;
+ * ServingEngine is the single-machine face of one node, kept as the
+ * stable entry point for single-node experiments, the CLI, and the
+ * tests that pin engine behavior. EngineConfig / EngineResult are
+ * defined with the node and re-exported here.
  */
 
-#include <cstdint>
-#include <memory>
-#include <mutex>
-#include <vector>
-
-#include "graph/executor.h"
-#include "sched/serving_sim.h"
-#include "serve/gpu_lane.h"
-#include "store/embedding_store.h"
+#include "serve/serving_node.h"
 
 namespace recstack {
 
-/** One multi-worker serving experiment. */
-struct EngineConfig {
-    int numWorkers = 1;            ///< inference worker threads
-    double arrivalQps = 1000.0;    ///< mean sample arrival rate
-    int64_t maxBatch = 256;        ///< dynamic-batching cap
-    double maxWaitSeconds = 1e-3;  ///< batching window
-    double simSeconds = 2.0;       ///< arrival-stream duration
-    uint64_t seed = 42;
-    /// How workers execute the net per batch: kNumericOnly runs real
-    /// numerics (weights materialized per worker — tests, small
-    /// models); kProfileOnly runs shape inference only (full-size
-    /// models, high load). kFull additionally lowers profiles.
-    ExecMode execMode = ExecMode::kProfileOnly;
-    /// Couple service times to the shared-L3/DRAM contention model.
-    bool modelContention = true;
-    /// Intra-op width each worker passes to Executor::run. All
-    /// workers share the one process-wide pool
-    /// (common/thread_pool.h). 1 = serial kernels (default: inter-op
-    /// worker parallelism already covers the socket); 0 = process
-    /// default (RECSTACK_NUM_THREADS). Numerics are bit-identical at
-    /// any width, so this only moves EngineResult::hostSeconds.
-    int numThreads = 1;
-    /// Share one sharded EmbeddingStore across all workers when
-    /// running real numerics: workers bind shape-only table blobs
-    /// against it instead of materializing a private copy of every
-    /// table, cutting resident table bytes from O(workers) copies to
-    /// O(1 copy + cache). Numerics stay bit-identical. Ignored in
-    /// kProfileOnly (no table payloads exist there), and the env
-    /// hatch RECSTACK_DISABLE_STORE=1 forces the legacy per-worker
-    /// copies regardless.
-    bool sharedEmbeddingStore = true;
-    /// Shard / cache / tier knobs of the shared store.
-    StoreConfig storeConfig;
-    /// Turn span tracing on for the duration of this run (restoring
-    /// the previous setting afterwards), so the run can be exported
-    /// as a Chrome trace without touching RECSTACK_TRACE_RUNTIME.
-    /// See docs/observability.md; the buffer is bounded, so long runs
-    /// keep the oldest spans and count the rest in dropped().
-    bool captureTrace = false;
-    /// Heterogeneous serving (DeepRecSys loop, docs/scheduling.md):
-    /// dynamic batches at or above the scheduler's per-model GPU
-    /// threshold (QueryScheduler::gpuThreshold) are not serviced on
-    /// the CPU worker — the worker pays only the host dispatch cost
-    /// and the samples defer to a GpuLane accumulation queue priced
-    /// by the GPU platform's characterization (GpuModel::simulateNet
-    /// through the sweep), on the same virtual clock. Off by default:
-    /// single-platform runs are bit-identical to the legacy engine.
-    bool heterogeneous = false;
-    /// Index of a kGpu platform in the scheduler's sweep (checked
-    /// when heterogeneous is set).
-    size_t gpuPlatformIdx = 3;
-    /// Accumulation knobs of the GPU lane.
-    GpuLaneConfig gpuLane;
-};
-
-/** Result of one engine run. */
-struct EngineResult {
-    ServingStats aggregate;
-    std::vector<ServingStats> perWorker;
-    /// Mean / max service-time inflation applied across batches
-    /// (1.0 = no contention observed).
-    double meanSlowdown = 1.0;
-    double maxSlowdown = 1.0;
-    /// Real host seconds spent inside Executor::run across workers
-    /// (wall-clock measurement, not part of the virtual-time stats).
-    /// 0.0 when execMode is kProfileOnly (no kernels run there; see
-    /// graph/executor.h hostSeconds semantics).
-    double hostSeconds = 0.0;
-    uint64_t batchesExecuted = 0;
-    /// Mean real host seconds per executed batch (hostSeconds /
-    /// batchesExecuted); comparing runs at different numThreads gives
-    /// the measured per-batch intra-op speedup.
-    double hostSecondsPerBatch = 0.0;
-    /// Resolved intra-op width the workers used.
-    int intraOpThreads = 1;
-    /// True when workers served table lookups from one shared
-    /// EmbeddingStore instead of private per-worker copies.
-    bool storeShared = false;
-    /// Embedding-table bytes of one dense copy of the served model.
-    uint64_t tableBytesOneCopy = 0;
-    /// Table bytes resident across the engine at the end of the run:
-    /// shared-store mode = one backing copy + hot-row caches; legacy
-    /// numeric mode = workers x one copy; 0 in kProfileOnly.
-    uint64_t residentTableBytes = 0;
-    /// What per-worker dense copies would have kept resident
-    /// (workers x one copy) — the baseline the shared store saves
-    /// against. 0 in kProfileOnly.
-    uint64_t perWorkerTableBytes = 0;
-    /// Shard-aggregated store counters for this run (hit/miss/tier
-    /// traffic and modeled fetch seconds); empty when !storeShared.
-    /// Like hostSeconds, these are host-side measurement, not
-    /// virtual-time state: hit/miss splits depend on the order in
-    /// which concurrent workers touch the shared caches.
-    StoreStats storeStats;
-    /// True when this run served through the CPU/GPU split. The
-    /// fields below are only populated then; aggregate combines both
-    /// sides (its utilization/offeredLoad are over numWorkers + 1
-    /// servers).
-    bool heterogeneous = false;
-    /// The accelerator lane's own serving view: samples/batches it
-    /// served, its mean accumulated batch, device utilization, and
-    /// the latency tail of GPU-served samples.
-    ServingStats gpuLaneStats;
-    /// Dynamic batches the CPU workers handed over to the lane.
-    uint64_t deferredTickets = 0;
-    /// The per-model threshold the run routed with
-    /// (QueryScheduler::kNoGpuThreshold when none was set).
-    int64_t gpuThreshold = 0;
-};
-
-/** Thread-pooled dynamic-batching inference server. */
+/** Thread-pooled dynamic-batching inference server (one node). */
 class ServingEngine
 {
   public:
@@ -161,26 +50,28 @@ class ServingEngine
      * @param platform_idx platform in the scheduler's sweep
      */
     ServingEngine(QueryScheduler* scheduler, ModelId model,
-                  size_t platform_idx);
+                  size_t platform_idx)
+        : node_(scheduler, model, platform_idx)
+    {
+    }
 
-    EngineResult run(const EngineConfig& config);
+    EngineResult run(const EngineConfig& config)
+    {
+        return node_.run(config);
+    }
 
     /**
      * The engine's compiled net (compile-once: shared by all workers
      * of all run() calls; workers only differ in their private
      * Workspace + Arena). Null until the first run().
      */
-    std::shared_ptr<const CompiledNet> compiled() const;
+    std::shared_ptr<const CompiledNet> compiled() const
+    {
+        return node_.compiled();
+    }
 
   private:
-    QueryScheduler* scheduler_;
-    ModelId model_;
-    size_t platformIdx_;
-
-    /// One compilation per engine, reused across run() configs; the
-    /// per-batch memory plans inside it are shared by every worker.
-    mutable std::mutex compileMu_;
-    std::shared_ptr<CompiledNet> compiled_;
+    ServingNode node_;
 };
 
 }  // namespace recstack

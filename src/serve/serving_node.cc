@@ -1,4 +1,4 @@
-#include "serve/serving_engine.h"
+#include "serve/serving_node.h"
 
 #include <algorithm>
 #include <thread>
@@ -67,44 +67,40 @@ struct WorkerLocal {
     uint64_t deferredTickets = 0;
 };
 
-/** Reduce a latency sample into ServingStats tail/mean fields. */
-void
-fillLatencyStats(std::vector<double>& latencies, ServingStats* stats)
-{
-    if (latencies.empty()) {
-        return;
-    }
-    double sum = 0.0;
-    for (double lat : latencies) {
-        sum += lat;
-    }
-    stats->meanLatency = sum / static_cast<double>(latencies.size());
-    std::sort(latencies.begin(), latencies.end());
-    stats->p50Latency = percentileOfSorted(latencies, 0.50);
-    stats->p95Latency = percentileOfSorted(latencies, 0.95);
-    stats->p99Latency = percentileOfSorted(latencies, 0.99);
-}
-
 }  // namespace
 
-ServingEngine::ServingEngine(QueryScheduler* scheduler, ModelId model,
-                             size_t platform_idx)
+ServingNode::ServingNode(QueryScheduler* scheduler, ModelId model,
+                         size_t platform_idx)
     : scheduler_(scheduler), model_(model), platformIdx_(platform_idx)
 {
-    RECSTACK_CHECK(scheduler_ != nullptr, "engine needs a scheduler");
+    RECSTACK_CHECK(scheduler_ != nullptr, "node needs a scheduler");
     RECSTACK_CHECK(platform_idx < scheduler_->sweep()->platforms().size(),
                    "platform index out of range");
 }
 
 std::shared_ptr<const CompiledNet>
-ServingEngine::compiled() const
+ServingNode::compiled() const
 {
     std::lock_guard<std::mutex> lock(compileMu_);
     return compiled_;
 }
 
 EngineResult
-ServingEngine::run(const EngineConfig& config)
+ServingNode::run(const EngineConfig& config)
+{
+    return runImpl(config, nullptr);
+}
+
+EngineResult
+ServingNode::runTrace(const EngineConfig& config,
+                      std::vector<double> arrivals)
+{
+    return runImpl(config, &arrivals);
+}
+
+EngineResult
+ServingNode::runImpl(const EngineConfig& config,
+                     std::vector<double>* trace)
 {
     RECSTACK_CHECK(config.numWorkers >= 1, "need at least one worker");
     RECSTACK_CHECK(config.arrivalQps > 0.0, "arrival rate must be > 0");
@@ -112,6 +108,8 @@ ServingEngine::run(const EngineConfig& config)
     RECSTACK_CHECK(config.simSeconds > 0.0, "duration must be > 0");
     RECSTACK_CHECK(config.numThreads >= 0,
                    "intra-op thread count must be >= 0");
+    RECSTACK_CHECK(config.remoteSecondsPerSample >= 0.0,
+                   "remote surcharge must be >= 0");
 
     TraceCaptureScope trace_scope(config.captureTrace);
     RECSTACK_SPAN("engine.run",
@@ -128,7 +126,7 @@ ServingEngine::run(const EngineConfig& config)
     // the queue lock.
     const Model& model = sweep->characterizer().model(model_);
     {
-        // Compile once per engine: workers (and later run() calls)
+        // Compile once per node: workers (and later run() calls)
         // share the schedule and its per-batch memory plans, and only
         // bring their own Workspace + Arena.
         std::lock_guard<std::mutex> lock(compileMu_);
@@ -177,7 +175,7 @@ ServingEngine::run(const EngineConfig& config)
         handoff_seconds = std::max(1e-9, gpu.gpu.hostDispatchSec);
     }
 
-    // One parameter store for the whole engine run: workers bind
+    // One parameter store for the whole node run: workers bind
     // against it instead of each materializing every table. Built
     // before the worker threads exist, like the compiled net.
     const bool use_store = config.sharedEmbeddingStore &&
@@ -196,6 +194,10 @@ ServingEngine::run(const EngineConfig& config)
     qcfg.horizonSeconds = config.simSeconds;
     qcfg.seed = config.seed;
     qcfg.numWorkers = config.numWorkers;
+    if (trace != nullptr) {
+        qcfg.useArrivalTrace = true;
+        qcfg.arrivalTrace = std::move(*trace);
+    }
     BatchQueue queue(qcfg);
 
     std::vector<WorkerLocal> locals(
@@ -246,7 +248,12 @@ ServingEngine::run(const EngineConfig& config)
                     local.slowdownSum += factor;
                     local.slowdownMax =
                         std::max(local.slowdownMax, factor);
-                    return base * factor;
+                    // Placement surcharge: remote-row fetches cross
+                    // the network, not the shared socket, so they add
+                    // after the contention stretch.
+                    return base * factor +
+                           static_cast<double>(ticket.size()) *
+                               config.remoteSecondsPerSample;
                 };
 
             BatchTicket ticket;

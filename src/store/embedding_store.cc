@@ -173,13 +173,20 @@ EmbeddingStore::tableInfo(int table) const
 }
 
 size_t
-EmbeddingStore::shardOf(int table, int64_t row) const
+EmbeddingStore::rowShard(int table, int64_t row, size_t num_shards)
 {
     // Offsetting by the table id decorrelates the Zipf heads of
     // co-stored tables (all hot at row 0) across shards.
     return static_cast<size_t>(
         (static_cast<uint64_t>(row) + static_cast<uint64_t>(table)) %
-        static_cast<uint64_t>(config_.numShards));
+        static_cast<uint64_t>(num_shards));
+}
+
+size_t
+EmbeddingStore::shardOf(int table, int64_t row) const
+{
+    return rowShard(table, row,
+                    static_cast<size_t>(config_.numShards));
 }
 
 const float*

@@ -216,6 +216,15 @@ class EmbeddingStore
     /** True when RECSTACK_DISABLE_STORE is set to a non-zero value. */
     static bool disabledByEnv();
 
+    /**
+     * The store's row-partition function, exposed so fleet placement
+     * (src/fleet/placement.h) assigns embedding rows to nodes with
+     * exactly the rule the store shards by: the table-id offset
+     * decorrelates the Zipf heads of co-stored tables (all hot at
+     * row 0) across partitions. shardOf() delegates here.
+     */
+    static size_t rowShard(int table, int64_t row, size_t num_shards);
+
   private:
     struct Table {
         TableInfo info;

@@ -1,0 +1,117 @@
+#include "workload/rate_envelope.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace recstack {
+
+RateEnvelope
+RateEnvelope::constant()
+{
+    return RateEnvelope();
+}
+
+RateEnvelope
+RateEnvelope::diurnal(double period_seconds, double trough_fraction,
+                      double peak_time_seconds)
+{
+    RECSTACK_CHECK(period_seconds > 0.0, "envelope period must be > 0");
+    RECSTACK_CHECK(trough_fraction > 0.0 && trough_fraction <= 1.0,
+                   "trough fraction must be in (0, 1]");
+    RateEnvelope env;
+    env.kind_ = Kind::kDiurnal;
+    env.period_ = period_seconds;
+    env.trough_ = trough_fraction;
+    env.peakTime_ = peak_time_seconds;
+    return env;
+}
+
+RateEnvelope
+RateEnvelope::piecewise(std::vector<double> times,
+                        std::vector<double> multipliers)
+{
+    RECSTACK_CHECK(!times.empty(), "piecewise envelope needs knots");
+    RECSTACK_CHECK(times.size() == multipliers.size(),
+                   "times/multipliers length mismatch");
+    double peak = 0.0;
+    for (size_t i = 0; i < times.size(); ++i) {
+        RECSTACK_CHECK(multipliers[i] > 0.0,
+                       "envelope multipliers must be > 0");
+        RECSTACK_CHECK(i == 0 || times[i] > times[i - 1],
+                       "envelope knot times must be strictly increasing");
+        peak = std::max(peak, multipliers[i]);
+    }
+    // Normalize so the maximum knot is exactly 1.0: the envelope's
+    // contract is peak == 1, which makes the thinning bound tight.
+    for (double& m : multipliers) {
+        m /= peak;
+    }
+    RateEnvelope env;
+    env.kind_ = Kind::kPiecewise;
+    env.times_ = std::move(times);
+    env.values_ = std::move(multipliers);
+    return env;
+}
+
+double
+RateEnvelope::at(double t) const
+{
+    switch (kind_) {
+      case Kind::kConstant:
+        return 1.0;
+      case Kind::kDiurnal: {
+        const double phase =
+            2.0 * M_PI * (t - peakTime_) / period_;
+        return trough_ +
+               (1.0 - trough_) * 0.5 * (1.0 + std::cos(phase));
+      }
+      case Kind::kPiecewise: {
+        if (t <= times_.front()) {
+            return values_.front();
+        }
+        if (t >= times_.back()) {
+            return values_.back();
+        }
+        const auto it =
+            std::upper_bound(times_.begin(), times_.end(), t);
+        const size_t hi = static_cast<size_t>(it - times_.begin());
+        const size_t lo = hi - 1;
+        const double frac =
+            (t - times_[lo]) / (times_[hi] - times_[lo]);
+        return values_[lo] + frac * (values_[hi] - values_[lo]);
+      }
+    }
+    return 1.0;
+}
+
+ModulatedPoissonProcess::ModulatedPoissonProcess(double base_rate_qps,
+                                                 RateEnvelope envelope,
+                                                 uint64_t seed)
+    : process_(base_rate_qps, seed),
+      envelope_(std::move(envelope)),
+      // A distinct stream for acceptance draws keeps the candidate
+      // clock identical to the homogeneous process at any envelope.
+      accept_(seed ^ 0xd1b54a32d192ed03ull)
+{
+}
+
+double
+ModulatedPoissonProcess::next()
+{
+    while (true) {
+        const double t = process_.next();
+        // Constant envelope: multiplier is 1 everywhere, every
+        // candidate is accepted and no acceptance randomness is
+        // drawn, so the stream is bit-identical to PoissonProcess.
+        if (envelope_.isConstant()) {
+            return t;
+        }
+        if (accept_.nextDouble() < envelope_.at(t)) {
+            return t;
+        }
+    }
+}
+
+}  // namespace recstack

@@ -340,6 +340,60 @@ TEST(LatencyHistogram, PercentileAgreesWithExactWithinOneBucket)
     }
 }
 
+TEST(LatencyHistogram, MergedShardsMatchSingleHistogramExactly)
+{
+    // Bucketing is deterministic, so recording samples into per-node
+    // shards and merging must reproduce the single-histogram counts
+    // bit for bit — and therefore every percentile. This is the
+    // contract the fleet p99 roll-up rests on.
+    constexpr int kShards = 4;
+    obs::LatencyHistogram single(0.0, 0.5, 500);
+    std::vector<std::unique_ptr<obs::LatencyHistogram>> shards;
+    for (int s = 0; s < kShards; ++s) {
+        shards.push_back(
+            std::make_unique<obs::LatencyHistogram>(0.0, 0.5, 500));
+    }
+    Rng rng(21);
+    for (int i = 0; i < 40000; ++i) {
+        const double x = 0.6 * std::pow(rng.nextDouble(), 2.0);
+        single.record(x);
+        shards[static_cast<size_t>(i % kShards)]->record(x);
+    }
+
+    // Snapshot-level merge.
+    obs::HistogramSnapshot merged = shards[0]->snapshot();
+    for (int s = 1; s < kShards; ++s) {
+        merged.merge(shards[static_cast<size_t>(s)]->snapshot());
+    }
+    const obs::HistogramSnapshot exact = single.snapshot();
+    EXPECT_EQ(merged.total, exact.total);
+    ASSERT_EQ(merged.counts.size(), exact.counts.size());
+    for (size_t b = 0; b < exact.counts.size(); ++b) {
+        ASSERT_EQ(merged.counts[b], exact.counts[b]) << "bucket " << b;
+    }
+    for (double p : {0.5, 0.9, 0.99, 0.999}) {
+        EXPECT_DOUBLE_EQ(merged.percentile(p), exact.percentile(p))
+            << "p=" << p;
+    }
+
+    // Histogram-level merge folds shards into a live histogram.
+    obs::LatencyHistogram folded(0.0, 0.5, 500);
+    for (const auto& shard : shards) {
+        folded.merge(*shard);
+    }
+    const obs::HistogramSnapshot folded_snap = folded.snapshot();
+    EXPECT_EQ(folded_snap.total, exact.total);
+    EXPECT_DOUBLE_EQ(folded_snap.percentile(0.99),
+                     exact.percentile(0.99));
+}
+
+TEST(LatencyHistogram, MergeRejectsMismatchedBounds)
+{
+    obs::LatencyHistogram a(0.0, 1.0, 100);
+    obs::LatencyHistogram b(0.0, 2.0, 100);
+    EXPECT_DEATH(a.merge(b), "check failed");
+}
+
 TEST(LatencyHistogram, OutOfRangeSamplesClampToEdgeBuckets)
 {
     obs::LatencyHistogram hist(0.0, 1.0, 10);

@@ -13,6 +13,7 @@
 
 #include "serve/batch_queue.h"
 #include "serve/serving_engine.h"
+#include "serve/serving_node.h"
 
 namespace recstack {
 namespace {
@@ -520,6 +521,83 @@ TEST(BatchQueueTest, DrainsEveryAdmittedSample)
         }
     }
     EXPECT_EQ(arrivals_seen.size(), queue.samplesArrived());
+}
+
+TEST_F(ServingEngineTest, RunTraceReproducesRunFromTheSameClock)
+{
+    // A trace drawn from the same seeded Poisson clock the engine
+    // would use internally must reproduce run() bit for bit — the
+    // contract the fleet simulator's per-node replay rests on.
+    EngineConfig cfg;
+    cfg.numWorkers = 3;
+    cfg.arrivalQps = 9000.0;
+    cfg.maxBatch = 64;
+    cfg.maxWaitSeconds = 1e-3;
+    cfg.simSeconds = 0.25;
+    cfg.seed = 17;
+
+    ServingNode node(&sched_, ModelId::kRM1, 0);
+    const EngineResult generated = node.run(cfg);
+
+    std::vector<double> trace;
+    PoissonProcess clock(cfg.arrivalQps, cfg.seed);
+    for (double t = clock.next(); t < cfg.simSeconds;
+         t = clock.next()) {
+        trace.push_back(t);
+    }
+    ASSERT_EQ(trace.size(), generated.aggregate.samplesArrived);
+
+    ServingNode replay(&sched_, ModelId::kRM1, 0);
+    const EngineResult replayed = replay.runTrace(cfg, trace);
+
+    EXPECT_EQ(replayed.aggregate.samplesArrived,
+              generated.aggregate.samplesArrived);
+    EXPECT_EQ(replayed.aggregate.samplesServed,
+              generated.aggregate.samplesServed);
+    EXPECT_EQ(replayed.aggregate.batchesServed,
+              generated.aggregate.batchesServed);
+    EXPECT_DOUBLE_EQ(replayed.aggregate.meanLatency,
+                     generated.aggregate.meanLatency);
+    EXPECT_DOUBLE_EQ(replayed.aggregate.p50Latency,
+                     generated.aggregate.p50Latency);
+    EXPECT_DOUBLE_EQ(replayed.aggregate.p99Latency,
+                     generated.aggregate.p99Latency);
+    EXPECT_DOUBLE_EQ(replayed.aggregate.utilization,
+                     generated.aggregate.utilization);
+    EXPECT_DOUBLE_EQ(replayed.aggregate.meanBatch,
+                     generated.aggregate.meanBatch);
+}
+
+TEST_F(ServingEngineTest, RemoteSurchargeStretchesServiceDeterministically)
+{
+    // The placement surcharge prices remote embedding fetches into
+    // each batch's virtual service time: zero surcharge is the legacy
+    // engine bit for bit, a positive surcharge can only slow serving.
+    EngineConfig cfg;
+    cfg.numWorkers = 2;
+    cfg.arrivalQps = 6000.0;
+    cfg.maxBatch = 128;
+    cfg.maxWaitSeconds = 1e-3;
+    cfg.simSeconds = 0.25;
+    cfg.seed = 5;
+
+    ServingNode legacy(&sched_, ModelId::kRM1, 0);
+    const EngineResult baseline = legacy.run(cfg);
+
+    cfg.remoteSecondsPerSample = 0.0;
+    ServingNode zero(&sched_, ModelId::kRM1, 0);
+    const EngineResult same = zero.run(cfg);
+    EXPECT_DOUBLE_EQ(same.aggregate.meanLatency,
+                     baseline.aggregate.meanLatency);
+    EXPECT_DOUBLE_EQ(same.aggregate.p99Latency, baseline.aggregate.p99Latency);
+
+    cfg.remoteSecondsPerSample = 5e-6;
+    ServingNode taxed(&sched_, ModelId::kRM1, 0);
+    const EngineResult slower = taxed.run(cfg);
+    EXPECT_EQ(slower.aggregate.samplesArrived,
+              baseline.aggregate.samplesArrived);
+    EXPECT_GT(slower.aggregate.meanLatency, baseline.aggregate.meanLatency);
+    EXPECT_GE(slower.aggregate.utilization, baseline.aggregate.utilization);
 }
 
 }  // namespace

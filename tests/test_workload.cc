@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "workload/batch_generator.h"
+#include "workload/rate_envelope.h"
 
 namespace recstack {
 namespace {
@@ -151,6 +154,98 @@ TEST_P(BatchSweep, MaterializeAndDeclareAgreeOnShapes)
 
 INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep,
                          ::testing::Values(1, 2, 7, 64, 513, 4096));
+
+TEST(RateEnvelope, ConstantIsFlatUnity)
+{
+    const RateEnvelope env = RateEnvelope::constant();
+    EXPECT_TRUE(env.isConstant());
+    for (double t : {0.0, 1.5, 86400.0, 1e7}) {
+        EXPECT_DOUBLE_EQ(env.at(t), 1.0);
+    }
+}
+
+TEST(RateEnvelope, DiurnalPeaksAtOneAndTroughsHalfAPeriodLater)
+{
+    const double period = 100.0;
+    const RateEnvelope env = RateEnvelope::diurnal(period, 0.25, 10.0);
+    EXPECT_FALSE(env.isConstant());
+    EXPECT_DOUBLE_EQ(env.at(10.0), 1.0);               // peak
+    EXPECT_DOUBLE_EQ(env.at(10.0 + period), 1.0);      // periodic
+    EXPECT_NEAR(env.at(10.0 + period / 2.0), 0.25, 1e-12);
+    // Quarter period sits exactly halfway between trough and peak.
+    EXPECT_NEAR(env.at(10.0 + period / 4.0), 0.625, 1e-12);
+    for (double t = 0.0; t < 2.0 * period; t += period / 17.0) {
+        EXPECT_GT(env.at(t), 0.0);
+        EXPECT_LE(env.at(t), 1.0);
+    }
+}
+
+TEST(RateEnvelope, PiecewiseNormalizesAndInterpolates)
+{
+    // Max knot 0.8 rescales to 1.0, so 0.4 becomes 0.5.
+    const RateEnvelope env =
+        RateEnvelope::piecewise({0.0, 10.0, 20.0}, {0.4, 0.8, 0.4});
+    EXPECT_DOUBLE_EQ(env.at(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(env.at(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(env.at(-5.0), 0.5);   // clamps before first knot
+    EXPECT_DOUBLE_EQ(env.at(25.0), 0.5);   // clamps after last knot
+    EXPECT_NEAR(env.at(5.0), 0.75, 1e-12);  // linear between knots
+}
+
+TEST(ModulatedPoisson, ConstantEnvelopeIsBitIdenticalToPoisson)
+{
+    PoissonProcess plain(5000.0, 7);
+    ModulatedPoissonProcess modulated(5000.0, RateEnvelope::constant(),
+                                      7);
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_DOUBLE_EQ(modulated.next(), plain.next()) << i;
+    }
+}
+
+TEST(ModulatedPoisson, SameSeedReplaysTheSameStream)
+{
+    const RateEnvelope env = RateEnvelope::diurnal(1.0, 0.3);
+    ModulatedPoissonProcess a(8000.0, env, 99);
+    ModulatedPoissonProcess b(8000.0, env, 99);
+    ModulatedPoissonProcess c(8000.0, env, 100);
+    double prev = -1.0;
+    bool diverged = false;
+    for (int i = 0; i < 2000; ++i) {
+        const double t = a.next();
+        ASSERT_DOUBLE_EQ(t, b.next()) << i;
+        ASSERT_GT(t, prev) << "timestamps must strictly increase";
+        prev = t;
+        diverged = diverged || (t != c.next());
+    }
+    EXPECT_TRUE(diverged) << "different seeds should differ";
+}
+
+TEST(ModulatedPoisson, DiurnalThinningTracksTheEnvelopeIntegral)
+{
+    // Mean multiplier of a full diurnal cycle is (1 + trough) / 2;
+    // the thinned count over whole cycles should land near
+    // base * horizon * mean (Poisson sd ~ sqrt(count)).
+    const double base = 20000.0;
+    const double period = 0.5;
+    const double trough = 0.2;
+    const double horizon = 4.0;  // 8 full cycles
+    ModulatedPoissonProcess arrivals(
+        base, RateEnvelope::diurnal(period, trough), 42);
+    uint64_t count = 0;
+    while (arrivals.next() < horizon) {
+        ++count;
+    }
+    const double expected = base * horizon * (1.0 + trough) / 2.0;
+    EXPECT_NEAR(static_cast<double>(count), expected,
+                6.0 * std::sqrt(expected));
+    // And strictly fewer arrivals than the unthinned clock admits.
+    PoissonProcess plain(base, 42);
+    uint64_t plain_count = 0;
+    while (plain.next() < horizon) {
+        ++plain_count;
+    }
+    EXPECT_LT(count, plain_count);
+}
 
 }  // namespace
 }  // namespace recstack

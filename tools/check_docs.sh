@@ -12,7 +12,10 @@
 #      as RECSTACK_NUM_THREADS, macros such as RECSTACK_SPAN, CMake
 #      options such as RECSTACK_SANITIZE) still exists somewhere in
 #      the source tree, so the docs cannot describe knobs that were
-#      renamed or removed.
+#      renamed or removed;
+#   4. every CLI subcommand the binary's usage() advertises is
+#      mentioned in README.md, so a new `recstack <cmd>` cannot ship
+#      undocumented.
 #
 # Usage: tools/check_docs.sh   (run from anywhere; cds to repo root)
 set -euo pipefail
@@ -62,6 +65,18 @@ while IFS= read -r name; do
         err "docs mention ${name}, which no longer appears in the source tree"
     fi
 done <<<"$names"
+
+# -- 4. every usage() subcommand is documented in README -----------
+# The usage text lists one "  recstack <cmd> ..." line per
+# subcommand; pull the command words out of the CLI source.
+cmds=$(grep -oE '"  recstack [a-z]+' tools/recstack_cli.cpp |
+    awk '{print $3}' | sort -u)
+while IFS= read -r cmd; do
+    [ -z "$cmd" ] && continue
+    if ! grep -qE "recstack ${cmd}\b" README.md; then
+        err "CLI subcommand 'recstack ${cmd}' is not documented in README.md"
+    fi
+done <<<"$cmds"
 
 if [ "$fail" -ne 0 ]; then
     exit 1

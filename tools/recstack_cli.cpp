@@ -12,11 +12,13 @@
  *   recstack store <MODEL> <BATCH> [--json]
  *   recstack obs <MODEL> <BATCH> [--trace out.json] [--metrics]
  *   recstack hetero <MODEL> [--json]
+ *   recstack fleet <MODEL> [--nodes N] [--json]
  *   recstack record <MODEL> <BATCH> <FILE>
  *   recstack replay <FILE> [platform-substring]
  *   recstack custom <CONFIG> <BATCH>
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +37,8 @@
 #include "report/chart.h"
 #include "report/csv.h"
 #include "report/table.h"
+#include "fleet/autoscaler.h"
+#include "fleet/fleet_sim.h"
 #include "sched/hill_climb.h"
 #include "sched/query_scheduler.h"
 #include "serve/serving_engine.h"
@@ -67,6 +71,11 @@ usage()
         "                                           + metrics snapshot\n"
         "  recstack hetero <MODEL> [--json]         tune the CPU/GPU "
         "routing threshold online\n"
+        "  recstack fleet <MODEL> [--nodes N] [--json]\n"
+        "                                           simulate an M-node "
+        "fleet: routing policies\n"
+        "                                           + obs-driven "
+        "autoscaling\n"
         "  recstack record <MODEL> <BATCH> <FILE>   capture a kernel "
         "trace\n"
         "  recstack replay <FILE> [PLATFORM]        re-simulate a "
@@ -920,6 +929,163 @@ cmdHetero(const std::string& model_name, bool json)
     return 0;
 }
 
+/**
+ * Cluster-scale serving demo: route a diurnally modulated, Zipf-skewed
+ * query stream across an M-node fleet under each routing policy, then
+ * let the autoscaler walk the fleet size against a p99 SLA read from
+ * the merged per-node latency histograms. See docs/fleet.md.
+ */
+int
+cmdFleet(const std::string& model_name, int nodes, bool json)
+{
+    if (nodes < 1 || nodes > 64) {
+        std::fprintf(stderr, "--nodes must be in [1, 64]\n");
+        return 2;
+    }
+    const ModelId id = modelFromName(model_name);
+    // Scaled tables keep an M-node multi-policy sweep interactive;
+    // the virtual-time pricing path is the full one (see `obs`).
+    ModelOptions opts;
+    opts.tableScale = 0.05;
+    SweepCache sweep(allPlatforms(), opts);
+    QueryScheduler sched(&sweep, {1, 16, 64, 256, 1024});
+    fleet::FleetSimulator sim(&sched, id, 0);  // Broadwell nodes
+
+    fleet::FleetConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.workersPerNode = 2;
+    cfg.maxBatch = 64;
+    cfg.maxWaitSeconds = 1e-3;
+    cfg.simSeconds = 0.2;
+    cfg.placement.kind = fleet::PlacementKind::kRowPartitioned;
+    cfg.placement.replicationFactor = 1;
+
+    // Offer ~60% of the fleet's batch-64 capacity — including the
+    // placement surcharge, which dominates for lookup-heavy models —
+    // swinging over one full diurnal cycle (trough at half the peak)
+    // so the run exercises the modulated clock.
+    const fleet::PlacementView view(
+        cfg.placement, nodes,
+        sweep.characterizer().model(id).workload);
+    const double cap_node =
+        cfg.workersPerNode * 64.0 /
+        (sched.latency(id, 0, 64) +
+         64.0 * view.remoteSecondsPerSample());
+    fleet::TrafficConfig traffic;
+    traffic.baseQps = 0.6 * static_cast<double>(nodes) * cap_node;
+    traffic.numUsers = 2000000;
+    traffic.userZipf = 0.9;
+    traffic.envelope = RateEnvelope::diurnal(cfg.simSeconds, 0.5);
+    traffic.seed = 42;
+
+    const fleet::RoutePolicy policies[] = {
+        fleet::RoutePolicy::kRoundRobin,
+        fleet::RoutePolicy::kConsistentHash,
+        fleet::RoutePolicy::kPowerOfTwo,
+    };
+    fleet::FleetResult results[3];
+    for (int p = 0; p < 3; ++p) {
+        cfg.policy = policies[p];
+        results[p] = sim.simulate(cfg, traffic);
+    }
+    const fleet::FleetResult& p2c = results[2];
+
+    // Autoscale against a p99 SLA set 25% above the p2c tail at the
+    // requested size, so the walk has a feasible target to find.
+    fleet::AutoscalerConfig asc;
+    asc.slaP99Seconds = 1.25 * p2c.mergedP99;
+    asc.minNodes = 1;
+    asc.maxNodes = std::max(2 * nodes, nodes + 2);
+    asc.maxEpochs = 12;
+    cfg.policy = fleet::RoutePolicy::kPowerOfTwo;
+    const fleet::AutoscalerResult scaled = fleet::autoscale(
+        asc, [&](int n, int /*epoch*/) {
+            fleet::FleetConfig epoch_cfg = cfg;
+            epoch_cfg.numNodes = n;
+            return sim.simulate(epoch_cfg, traffic).mergedHistogram;
+        });
+
+    if (json) {
+        std::printf("{\n  \"model\": \"%s\",\n", modelName(id));
+        std::printf("  \"nodes\": %d,\n", nodes);
+        std::printf("  \"offeredQps\": %.1f,\n", traffic.baseQps);
+        std::printf("  \"remoteSecondsPerSample\": %.6e,\n",
+                    p2c.remoteSecondsPerSample);
+        std::printf("  \"nodeTableBytes\": %llu,\n",
+                    static_cast<unsigned long long>(
+                        p2c.nodeTableBytes));
+        std::printf("  \"policies\": [\n");
+        for (int p = 0; p < 3; ++p) {
+            const fleet::FleetResult& r = results[p];
+            std::printf(
+                "    {\"policy\": \"%s\", \"servedQps\": %.1f, "
+                "\"meanLatency\": %.6e, \"p99\": %.6e, "
+                "\"mergedP99\": %.6e, \"imbalance\": %.4f}%s\n",
+                fleet::routePolicyName(policies[p]),
+                r.aggregate.throughputQps, r.aggregate.meanLatency,
+                r.aggregate.p99Latency, r.mergedP99,
+                r.routedImbalance, p + 1 < 3 ? "," : "");
+        }
+        std::printf("  ],\n");
+        std::printf("  \"autoscaler\": {\n");
+        std::printf("    \"slaP99Seconds\": %.6e,\n",
+                    asc.slaP99Seconds);
+        std::printf("    \"history\": [\n");
+        for (size_t i = 0; i < scaled.history.size(); ++i) {
+            const fleet::AutoscalerStep& s = scaled.history[i];
+            std::printf("      {\"nodes\": %d, \"p99\": %.6e, "
+                        "\"violated\": %s}%s\n",
+                        s.nodes, s.p99, s.violated ? "true" : "false",
+                        i + 1 < scaled.history.size() ? "," : "");
+        }
+        std::printf("    ],\n");
+        std::printf("    \"nodes\": %d,\n", scaled.nodes);
+        std::printf("    \"feasible\": %s,\n",
+                    scaled.feasible ? "true" : "false");
+        std::printf("    \"p99\": %.6e,\n", scaled.p99);
+        std::printf("    \"epochsUsed\": %d\n", scaled.epochsUsed);
+        std::printf("  }\n}\n");
+        return 0;
+    }
+
+    std::printf("%s fleet: %d nodes x %d Broadwell workers, offered "
+                "%s qps (diurnal, trough 50%%), row-partitioned "
+                "store (+%s/sample remote)\n\n",
+                modelName(id), nodes, cfg.workersPerNode,
+                TextTable::fmt(traffic.baseQps, 0).c_str(),
+                TextTable::fmtSeconds(
+                    p2c.remoteSecondsPerSample).c_str());
+    TextTable table({"policy", "served qps", "mean", "p99 (exact)",
+                     "p99 (merged hist)", "imbalance"});
+    for (int p = 0; p < 3; ++p) {
+        const fleet::FleetResult& r = results[p];
+        table.addRow({fleet::routePolicyName(policies[p]),
+                      TextTable::fmt(r.aggregate.throughputQps, 0),
+                      TextTable::fmtSeconds(r.aggregate.meanLatency),
+                      TextTable::fmtSeconds(r.aggregate.p99Latency),
+                      TextTable::fmtSeconds(r.mergedP99),
+                      TextTable::fmt(r.routedImbalance, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("autoscaler (SLA p99 <= %s, p2c):\n",
+                TextTable::fmtSeconds(asc.slaP99Seconds).c_str());
+    TextTable walk({"epoch", "nodes", "fleet p99", "SLA"});
+    for (size_t i = 0; i < scaled.history.size(); ++i) {
+        const fleet::AutoscalerStep& s = scaled.history[i];
+        walk.addRow({std::to_string(i + 1), std::to_string(s.nodes),
+                     TextTable::fmtSeconds(s.p99),
+                     s.violated ? "MISS" : "ok"});
+    }
+    std::printf("%s", walk.render().c_str());
+    std::printf("settled at %d node%s after %d epochs (p99 %s, %s)\n",
+                scaled.nodes, scaled.nodes == 1 ? "" : "s",
+                scaled.epochsUsed,
+                TextTable::fmtSeconds(scaled.p99).c_str(),
+                scaled.feasible ? "feasible" : "INFEASIBLE");
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -978,6 +1144,20 @@ main(int argc, char** argv)
     if (cmd == "hetero" && argc >= 3) {
         const bool json = argc > 3 && std::strcmp(argv[3], "--json") == 0;
         return cmdHetero(argv[2], json);
+    }
+    if (cmd == "fleet" && argc >= 3) {
+        int nodes = 4;
+        bool json = false;
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+                nodes = std::atoi(argv[++i]);
+            } else if (std::strcmp(argv[i], "--json") == 0) {
+                json = true;
+            } else {
+                return usage();
+            }
+        }
+        return cmdFleet(argv[2], nodes, json);
     }
     if (cmd == "record" && argc >= 5) {
         return cmdRecord(argv[2], std::atoll(argv[3]), argv[4]);

@@ -2,11 +2,11 @@
 # Sanitizer passes over the suites that can hide memory/concurrency
 # bugs from the default build:
 #
-#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|serving|obs|sched|simd'`:
+#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|serving|obs|sched|simd|fleet'`:
 #           the concurrency suites (thread pool, serving engine,
 #           parallel kernels, plan-vs-interpreted equivalence, the
 #           sharded embedding store's lock/prefetch machinery).
-#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|serving|obs|sched|simd'`:
+#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|serving|obs|sched|simd|fleet'`:
 #           the compiled-net planner/arena suites plus the embedding
 #           store. Arena aliasing assigns overlapping
 #           [offset, offset+bytes) ranges to blobs with disjoint
@@ -35,6 +35,12 @@
 # reads the shared metrics registry, so those paths run under both
 # sanitizers too.
 #
+# The `fleet` label covers the cluster simulator suites: the
+# differential replay drives the real multi-threaded ServingNode on
+# captured traces (worker pool + batch queue under load), and the
+# per-node histogram merge folds atomics written by those workers, so
+# both sanitizers rerun them.
+#
 # Usage: tools/run_sanitize_checks.sh [tsan|asan|all]   (default: all)
 #
 # Build trees land in build-tsan/ and build-asan/ next to build/ and
@@ -56,11 +62,11 @@ run_pass() {
 }
 
 case "${mode}" in
-    tsan) run_pass thread build-tsan 'sanitize|store|serving|obs|sched|simd' ;;
-    asan) run_pass address build-asan 'plan|store|serving|obs|sched|simd' ;;
+    tsan) run_pass thread build-tsan 'sanitize|store|serving|obs|sched|simd|fleet' ;;
+    asan) run_pass address build-asan 'plan|store|serving|obs|sched|simd|fleet' ;;
     all)
-        run_pass address build-asan 'plan|store|serving|obs|sched|simd'
-        run_pass thread build-tsan 'sanitize|store|serving|obs|sched|simd'
+        run_pass address build-asan 'plan|store|serving|obs|sched|simd|fleet'
+        run_pass thread build-tsan 'sanitize|store|serving|obs|sched|simd|fleet'
         ;;
     *)
         echo "usage: $0 [tsan|asan|all]" >&2
