@@ -12,15 +12,26 @@
  * table and reports demand hit-rates and the modeled p99 lookup cost,
  * plus a prefetch column showing the double-buffered warm-up lifting
  * the demand hit-rate.
+ *
+ * A third sweep turns on the REAL far tier (store/disk_tier.h): cold
+ * rows live in a page file behind a radix-spline learned index, fetch
+ * cost is measured wall clock, and a full model (RM2) is served with
+ * near-tier DRAM far below one dense copy of its tables.
  */
 
+#include <chrono>
 #include <cinttypes>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "graph/executor.h"
+#include "models/model.h"
+#include "models/store_binding.h"
 #include "store/embedding_store.h"
+#include "store/spline_index.h"
 
 namespace recstack {
 namespace {
@@ -168,6 +179,162 @@ main()
     }
     std::printf("%s\n", shards.render().c_str());
 
+    // --- Sweep 3: the real disk far tier (page file + spline). ---
+    TextTable disk({"cache", "hit rate", "disk fetches", "disk p99",
+                    "promoted", "resident"});
+    std::vector<double> disk_hit;
+    bool disk_served = true;
+    for (size_t cache : kCaches) {
+        StoreConfig cfg;
+        cfg.numShards = 8;
+        cfg.cacheBytesPerShard = cache / 8;
+        cfg.nearTierFraction = 0.25;
+        cfg.farTier = FarTierKind::kDisk;
+        auto store = std::make_unique<EmbeddingStore>(cfg);
+        {
+            Tensor table({kRows, kDim});
+            Rng rng(99);
+            float* data = table.data<float>();
+            for (int64_t i = 0; i < kRows * kDim; ++i) {
+                data[i] = rng.nextFloat(-1.0f, 1.0f);
+            }
+            store->addTable("bench_table", std::move(table));
+        }
+        const RunStats rs = driveStore(*store, 0.9, /*prefetch=*/false);
+        const StoreStats stats = store->stats();
+        if (stats.total.diskFetches == 0) {
+            disk_served = false;
+        }
+        disk_hit.push_back(rs.hitRate);
+        disk.addRow({std::to_string(cache >> 10) + " KB",
+                     TextTable::fmtPercent(rs.hitRate),
+                     std::to_string(stats.total.diskFetches),
+                     TextTable::fmtSeconds(stats.diskCostPercentile(0.99)),
+                     std::to_string(stats.total.promotedRows),
+                     std::to_string(store->residentBytes() >> 10) +
+                         " KB"});
+    }
+    std::printf("%s\n", disk.render().c_str());
+    bool disk_cap_monotone = true;
+    for (size_t i = 1; i < disk_hit.size(); ++i) {
+        if (disk_hit[i] + 0.01 < disk_hit[i - 1]) {
+            disk_cap_monotone = false;
+        }
+    }
+
+    // --- Spline vs. binary search on the cold-key set. ---
+    // ~2M sparse keys with random gaps (no closed-form position, so
+    // the spline has real segments to fit); accumulate the found
+    // ordinals so the loop cannot be optimized away. Best of three
+    // trials per side.
+    const size_t kSplineKeys = 2'000'000;
+    std::vector<uint64_t> cold_keys;
+    cold_keys.reserve(kSplineKeys);
+    {
+        Rng rng(31);
+        uint64_t k = 1000;
+        for (size_t i = 0; i < kSplineKeys; ++i) {
+            k += 1 + rng.nextBounded(10007);
+            cold_keys.push_back(k);
+        }
+    }
+    const SplineIndex spline(cold_keys, {});
+    std::vector<uint64_t> probes = cold_keys;
+    {
+        Rng rng(7);
+        for (size_t i = probes.size(); i > 1; --i) {
+            std::swap(probes[i - 1],
+                      probes[rng.nextBounded(static_cast<uint64_t>(i))]);
+        }
+    }
+    uint64_t sink = 0;
+    double spline_s = 1e30;
+    double binary_s = 1e30;
+    for (int trial = 0; trial < 3; ++trial) {
+        auto t0 = std::chrono::steady_clock::now();
+        for (uint64_t key : probes) {
+            sink += spline.find(key);
+        }
+        spline_s = std::min(
+            spline_s, std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+        t0 = std::chrono::steady_clock::now();
+        for (uint64_t key : probes) {
+            sink += spline.findBinarySearch(key);
+        }
+        binary_s = std::min(
+            binary_s, std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    }
+    const SplineIndexStats ss = spline.stats();
+    std::printf("spline index: %zu keys, %zu segments, err bound %zu "
+                "(observed %zu), %zu KB; lookup %.1f ns vs binary "
+                "search %.1f ns (sink %" PRIu64 ")\n\n",
+                ss.numKeys, ss.numSegments, ss.maxErrorBound,
+                ss.maxErrorObserved, ss.indexBytes >> 10,
+                1e9 * spline_s / static_cast<double>(probes.size()),
+                1e9 * binary_s / static_cast<double>(probes.size()),
+                sink);
+
+    // --- A whole model served mostly from disk. ---
+    bool model_from_disk = true;
+    bool model_bit_exact = true;
+    uint64_t model_dense_bytes = 0;
+    uint64_t model_resident = 0;
+    {
+        ModelOptions opts = tinyOptions();
+        opts.tableScale = 0.05;
+        const Model model = buildModel(ModelId::kRM2, opts);
+        Workspace ref_ws;
+        model.initParams(ref_ws);
+        {
+            BatchGenerator gen(model.workload, /*seed=*/77);
+            gen.materialize(ref_ws, 64);
+        }
+        Executor::run(model.net, ref_ws, ExecMode::kNumericOnly);
+
+        StoreConfig cfg;
+        cfg.numShards = 4;
+        cfg.cacheBytesPerShard = 16u << 10;
+        cfg.nearTierFraction = 0.05;  // tables >> near-tier bytes
+        cfg.farTier = FarTierKind::kDisk;
+        const StoreBackedModel disk_model(model, cfg);
+        Workspace ws;
+        disk_model.bind(ws);
+        BatchGenerator gen(model.workload, /*seed=*/77);
+        gen.materialize(ws, 64);
+        Executor::run(model.net, ws, ExecMode::kNumericOnly);
+        for (const std::string& blob : model.net.externalOutputs()) {
+            const Tensor& a = ref_ws.get(blob);
+            const Tensor& b = ws.get(blob);
+            if (std::memcmp(a.data<float>(), b.data<float>(),
+                            a.byteSize()) != 0) {
+                model_bit_exact = false;
+            }
+        }
+        const EmbeddingStore& store = disk_model.store();
+        for (size_t t = 0; t < store.numTables(); ++t) {
+            const auto& info = store.tableInfo(static_cast<int>(t));
+            model_dense_bytes += static_cast<uint64_t>(
+                info.rows * info.dim * 4);
+        }
+        model_resident = store.tableBytes();
+        if (store.stats().total.diskFetches == 0 ||
+            model_resident >= model_dense_bytes) {
+            model_from_disk = false;
+        }
+        std::printf("RM2 from disk: dense tables %.1f MB, resident "
+                    "near tier %.1f MB, disk fetches %" PRIu64
+                    ", file %.1f MB\n\n",
+                    static_cast<double>(model_dense_bytes) / (1u << 20),
+                    static_cast<double>(model_resident) / (1u << 20),
+                    store.stats().total.diskFetches,
+                    static_cast<double>(store.diskFileBytes()) /
+                        (1u << 20));
+    }
+
     // --- Checks. ---
     bool cap_monotone = true;
     for (size_t ai = 0; ai < kAlphas.size(); ++ai) {
@@ -223,5 +390,16 @@ main()
     check(clock_tracks_lru, "CLOCK second-chance stays within 10% "
                             "hit-rate of exact LRU at every shard "
                             "count");
+    check(disk_cap_monotone && disk_served,
+          "with the disk far tier live, demand hit rate still rises "
+          "monotonically with cache capacity and cold rows really "
+          "come off the page file");
+    check(spline_s <= binary_s * 1.10,
+          "radix-spline lookup is at least as fast as binary search "
+          "over the 2M-key cold set");
+    check(model_bit_exact && model_from_disk,
+          "a model whose tables exceed the near tier serves "
+          "bit-exactly from disk with resident table DRAM below one "
+          "dense copy");
     return 0;
 }

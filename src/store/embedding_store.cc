@@ -1,9 +1,13 @@
 #include "store/embedding_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -28,38 +32,34 @@ fetchCost(double latency_s, double bandwidth_gbs, uint64_t bytes)
            static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
 }
 
-}  // namespace
-
-void
-ShardCounters::accumulate(const ShardCounters& other)
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
 {
-    lookups += other.lookups;
-    hits += other.hits;
-    nearFetches += other.nearFetches;
-    farFetches += other.farFetches;
-    evictions += other.evictions;
-    updates += other.updates;
-    prefetchedRows += other.prefetchedRows;
-    bytesFromCache += other.bytesFromCache;
-    bytesFromNear += other.bytesFromNear;
-    bytesFromFar += other.bytesFromFar;
-    cacheBytesUsed += other.cacheBytesUsed;
-    simSeconds += other.simSeconds;
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
 }
 
+/**
+ * Bucket a measured duration to the next power of two of a
+ * nanosecond, so the per-shard measured-cost map stays tiny no
+ * matter how many distinct wall-clock values occur.
+ */
 double
-ShardCounters::hitRate() const
+diskCostBucket(double seconds)
 {
-    return lookups > 0
-               ? static_cast<double>(hits) / static_cast<double>(lookups)
-               : 0.0;
+    if (seconds <= 1e-9) {
+        return 1e-9;
+    }
+    return std::exp2(std::ceil(std::log2(seconds)));
 }
 
+/** Shared exact-percentile walk over a cost -> count map. */
 double
-StoreStats::costPercentile(double p) const
+percentileOfCountMap(const std::map<double, uint64_t>& hist, double p)
 {
     uint64_t n = 0;
-    for (const auto& [cost, count] : costHistogram) {
+    for (const auto& [cost, count] : hist) {
         n += count;
     }
     if (n == 0) {
@@ -69,13 +69,110 @@ StoreStats::costPercentile(double p) const
         std::min<double>(static_cast<double>(n - 1),
                          std::max(0.0, p) * static_cast<double>(n)));
     uint64_t seen = 0;
-    for (const auto& [cost, count] : costHistogram) {
+    for (const auto& [cost, count] : hist) {
         seen += count;
         if (seen > rank) {
             return cost;
         }
     }
-    return costHistogram.rbegin()->first;
+    return hist.rbegin()->first;
+}
+
+bool
+envFlagSet(const char* name)
+{
+    const char* v = std::getenv(name);
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+/**
+ * Resolve the page-file directory: explicit config dir, then
+ * RECSTACK_STORE_DIR, then a fresh mkdtemp dir the store owns (and
+ * removes when it dies).
+ */
+std::string
+resolveDiskDir(const std::string& configured, bool* owns)
+{
+    *owns = false;
+    if (!configured.empty()) {
+        std::filesystem::create_directories(configured);
+        return configured;
+    }
+    const char* env = std::getenv("RECSTACK_STORE_DIR");
+    if (env != nullptr && *env != '\0') {
+        std::filesystem::create_directories(env);
+        return env;
+    }
+    const char* tmp = std::getenv("TMPDIR");
+    std::string tmpl =
+        std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
+        "/recstack_store.XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    RECSTACK_CHECK(::mkdtemp(buf.data()) != nullptr,
+                   "cannot create store temp dir from template '"
+                       << tmpl << "'");
+    *owns = true;
+    return std::string(buf.data());
+}
+
+}  // namespace
+
+const char*
+farTierKindName(FarTierKind kind)
+{
+    switch (kind) {
+      case FarTierKind::kSimulated: return "simulated";
+      case FarTierKind::kDisk: return "disk";
+    }
+    return "?";
+}
+
+void
+ShardCounters::accumulate(const ShardCounters& other)
+{
+    lookups += other.lookups;
+    hits += other.hits;
+    nearFetches += other.nearFetches;
+    farFetches += other.farFetches;
+    diskFetches += other.diskFetches;
+    evictions += other.evictions;
+    updates += other.updates;
+    prefetchedRows += other.prefetchedRows;
+    promotedRows += other.promotedRows;
+    demotedRows += other.demotedRows;
+    bytesFromCache += other.bytesFromCache;
+    bytesFromNear += other.bytesFromNear;
+    bytesFromFar += other.bytesFromFar;
+    bytesFromDisk += other.bytesFromDisk;
+    cacheBytesUsed += other.cacheBytesUsed;
+    simSeconds += other.simSeconds;
+    diskSeconds += other.diskSeconds;
+}
+
+double
+ShardCounters::hitRate() const
+{
+    // Zero lookups define a 0.0 hit rate (not NaN): an untouched
+    // store has not demonstrated any hit. Pinned by
+    // tests/test_store.cc (StoreEdgeCases).
+    return lookups > 0
+               ? static_cast<double>(hits) / static_cast<double>(lookups)
+               : 0.0;
+}
+
+double
+StoreStats::costPercentile(double p) const
+{
+    // Empty histogram -> 0.0 (no demand fetch has a defined cost
+    // yet). Pinned by tests/test_store.cc (StoreEdgeCases).
+    return percentileOfCountMap(costHistogram, p);
+}
+
+double
+StoreStats::diskCostPercentile(double p) const
+{
+    return percentileOfCountMap(diskSecondsHistogram, p);
 }
 
 EmbeddingStore::EmbeddingStore(StoreConfig config)
@@ -86,11 +183,20 @@ EmbeddingStore::EmbeddingStore(StoreConfig config)
     RECSTACK_CHECK(config_.nearTierFraction >= 0.0 &&
                        config_.nearTierFraction <= 1.0,
                    "nearTierFraction must be in [0, 1]");
+    farTierDiskActive_ = config_.farTier == FarTierKind::kDisk &&
+                         !diskTierDisabledByEnv();
     shards_.reserve(static_cast<size_t>(config_.numShards));
     for (int s = 0; s < config_.numShards; ++s) {
         auto shard = std::make_unique<Shard>();
         shard->cache = std::make_unique<RowCache>(
             config_.policy, config_.cacheBytesPerShard);
+        if (farTierDiskActive_) {
+            // Promotion targets use CLOCK: evicting (demoting) a
+            // promoted row is free — the disk copy is authoritative.
+            shard->promoted = std::make_unique<RowCache>(
+                CachePolicy::kClock,
+                config_.disk.promotedBytesPerShard);
+        }
         shards_.push_back(std::move(shard));
     }
 }
@@ -104,6 +210,11 @@ EmbeddingStore::~EmbeddingStore()
     prefetchCv_.notify_all();
     if (prefetchThread_.joinable()) {
         prefetchThread_.join();
+    }
+    diskTier_.reset();     // unlinks the page file (unless keepFile)
+    diskBuilder_.reset();  // abandoned build unlinks too
+    if (ownsDiskDir_) {
+        ::rmdir(diskDir_.c_str());  // fails harmlessly if non-empty
     }
 }
 
@@ -120,7 +231,49 @@ EmbeddingStore::registerTable(const std::string& name, TableInfo info,
         info.rows,
         static_cast<int64_t>(std::ceil(
             config_.nearTierFraction * static_cast<double>(info.rows))));
+    maxDim_ = std::max(maxDim_, info.dim);
     const int id = static_cast<int>(tables_.size());
+
+    if (farTierDiskActive_ && info.materialized &&
+        info.nearRows < info.rows) {
+        RECSTACK_CHECK(!diskFinalized_.load(std::memory_order_acquire),
+                       "disk-tier stores must receive every table "
+                       "before the first lookup (the learned index "
+                       "is built once); cannot add '"
+                           << name << "' now");
+        if (diskBuilder_ == nullptr) {
+            diskDir_ = resolveDiskDir(config_.disk.dir, &ownsDiskDir_);
+            static std::atomic<uint64_t> seq{0};
+            const std::string path =
+                diskDir_ + "/store_" + std::to_string(::getpid()) +
+                "_" + std::to_string(seq.fetch_add(1)) + ".pages";
+            DiskTierConfig dc;
+            dc.pageBytes = config_.disk.pageBytes;
+            dc.bufferPages = config_.disk.bufferPages;
+            dc.directIO = config_.disk.directIO;
+            dc.keepFile = config_.disk.keepFile;
+            dc.spline.maxError = config_.disk.splineMaxError;
+            dc.spline.radixBits = config_.disk.splineRadixBits;
+            diskBuilder_ =
+                std::make_unique<DiskTier::Builder>(path, dc);
+        }
+        // Spill the cold tail to the page file and keep only the
+        // near head resident — this is what lets tables larger than
+        // the near tier actually be served.
+        diskBuilder_->beginTable(id, info.dim);
+        const float* src = data.data<float>();
+        for (int64_t row = info.nearRows; row < info.rows; ++row) {
+            diskBuilder_->appendRow(row, src + row * info.dim);
+        }
+        Tensor near_head({info.nearRows, info.dim});
+        if (info.nearRows > 0) {
+            std::memcpy(near_head.data<float>(), src,
+                        static_cast<size_t>(info.nearRows * info.dim) *
+                            sizeof(float));
+        }
+        data = std::move(near_head);
+    }
+
     Table t;
     t.info = std::move(info);
     t.data = std::move(data);
@@ -189,6 +342,39 @@ EmbeddingStore::shardOf(int table, int64_t row) const
                     static_cast<size_t>(config_.numShards));
 }
 
+void
+EmbeddingStore::startPrefetchThreadLocked()
+{
+    if (!prefetchThread_.joinable()) {
+        prefetchThread_ = std::thread([this] { prefetchLoop(); });
+    }
+}
+
+void
+EmbeddingStore::ensureDiskReady()
+{
+    if (!farTierDiskActive_ ||
+        diskFinalized_.load(std::memory_order_acquire)) {
+        return;
+    }
+    std::call_once(diskOnce_, [this] {
+        if (diskBuilder_ != nullptr) {
+            diskTier_ = diskBuilder_->finish();
+            diskBuilder_.reset();
+        }
+        for (auto& shard : shards_) {
+            shard->scratch.resize(static_cast<size_t>(maxDim_));
+        }
+        if (diskTier_ != nullptr) {
+            // The existing prefetch thread doubles as the
+            // promotion/demotion worker.
+            std::lock_guard<std::mutex> lock(prefetchMu_);
+            startPrefetchThreadLocked();
+        }
+        diskFinalized_.store(true, std::memory_order_release);
+    });
+}
+
 const float*
 EmbeddingStore::fetchRowLocked(const Table& t, int table, int64_t row,
                                Shard& shard)
@@ -209,20 +395,73 @@ EmbeddingStore::fetchRowLocked(const Table& t, int table, int64_t row,
     RECSTACK_CHECK(t.info.materialized,
                    "lookup on declared-only store table '"
                        << t.info.name << "'");
-    const float* src =
-        t.data.data<float>() + row * t.info.dim;
-    double cost;
     if (row < t.info.nearRows) {
+        const float* src = t.data.data<float>() + row * t.info.dim;
         ++shard.counters.nearFetches;
         shard.counters.bytesFromNear += row_bytes;
-        cost = fetchCost(config_.nearLatencySeconds,
-                         config_.nearBandwidthGBs, row_bytes);
-    } else {
-        ++shard.counters.farFetches;
-        shard.counters.bytesFromFar += row_bytes;
-        cost = fetchCost(config_.farLatencySeconds,
-                         config_.farBandwidthGBs, row_bytes);
+        const double cost = fetchCost(config_.nearLatencySeconds,
+                                      config_.nearBandwidthGBs,
+                                      row_bytes);
+        shard.counters.simSeconds += cost;
+        ++shard.costs[cost];
+        shard.cache->insert(key, src, row_bytes,
+                            &shard.counters.evictions);
+        return src;
     }
+    if (farTierDiskActive_) {
+        // Promoted slab: a DRAM copy of a hot disk row. Charged as a
+        // near fetch — it is the near tier for disk-resident rows.
+        const float* prom = shard.promoted->find(key);
+        if (prom != nullptr) {
+            ++shard.counters.nearFetches;
+            shard.counters.bytesFromNear += row_bytes;
+            const double cost = fetchCost(config_.nearLatencySeconds,
+                                          config_.nearBandwidthGBs,
+                                          row_bytes);
+            shard.counters.simSeconds += cost;
+            ++shard.costs[cost];
+            shard.cache->insert(key, prom, row_bytes,
+                                &shard.counters.evictions);
+            return prom;
+        }
+        RECSTACK_CHECK(diskTier_ != nullptr,
+                       "disk fetch before the tier was finalized");
+        const auto t0 = std::chrono::steady_clock::now();
+        const bool ok =
+            diskTier_->readRow(key, shard.scratch.data());
+        const double dt = secondsSince(t0);
+        RECSTACK_CHECK(ok, "row " << row << " of table '"
+                                  << t.info.name
+                                  << "' missing from the disk tier");
+        ++shard.counters.diskFetches;
+        shard.counters.bytesFromDisk += row_bytes;
+        shard.counters.diskSeconds += dt;
+        ++shard.diskCosts[diskCostBucket(dt)];
+        if (config_.disk.promoteThreshold > 0) {
+            uint32_t& h =
+                shard.hotness[key & (kHotnessSlots - 1)];
+            if (++h == config_.disk.promoteThreshold) {
+                if (shard.promoRingSize < kPromoRingSlots) {
+                    shard.promoRing[shard.promoRingSize++] = key;
+                    promoPending_.store(true,
+                                        std::memory_order_release);
+                    prefetchCv_.notify_one();
+                } else {
+                    --h;  // ring full: retry on the next fetch
+                }
+            }
+        }
+        shard.cache->insert(key, shard.scratch.data(), row_bytes,
+                            &shard.counters.evictions);
+        return shard.scratch.data();
+    }
+    // Simulated far tier: the cold tail stays in DRAM and the fetch
+    // is charged modeled cost — fully deterministic.
+    const float* src = t.data.data<float>() + row * t.info.dim;
+    ++shard.counters.farFetches;
+    shard.counters.bytesFromFar += row_bytes;
+    const double cost = fetchCost(config_.farLatencySeconds,
+                                  config_.farBandwidthGBs, row_bytes);
     shard.counters.simSeconds += cost;
     ++shard.costs[cost];
     shard.cache->insert(key, src, row_bytes, &shard.counters.evictions);
@@ -234,6 +473,7 @@ EmbeddingStore::lookupSum(int table, const int64_t* indices,
                           const int64_t* offsets, int64_t b_lo,
                           int64_t b_hi, float* out, const float* weights)
 {
+    ensureDiskReady();
     const Table& t = tables_[static_cast<size_t>(
         static_cast<uint64_t>(table))];
     const int64_t dim = t.info.dim;
@@ -268,6 +508,7 @@ void
 EmbeddingStore::lookupGather(int table, const int64_t* indices,
                              int64_t lo, int64_t hi, float* out)
 {
+    ensureDiskReady();
     const Table& t = tables_[static_cast<size_t>(
         static_cast<uint64_t>(table))];
     const int64_t dim = t.info.dim;
@@ -286,6 +527,7 @@ EmbeddingStore::lookupGather(int table, const int64_t* indices,
 void
 EmbeddingStore::update(int table, int64_t row, const float* values)
 {
+    ensureDiskReady();
     Table& t = tables_[static_cast<size_t>(
         static_cast<uint64_t>(table))];
     RECSTACK_CHECK(t.info.materialized,
@@ -298,12 +540,21 @@ EmbeddingStore::update(int table, int64_t row, const float* values)
         static_cast<size_t>(t.info.dim) * sizeof(float);
     Shard& shard = *shards_[shardOf(table, row)];
     std::lock_guard<std::mutex> lock(shard.mu);
+    const uint64_t key = rowKey(table, row);
     // Write-through under the same lock readers of this row take, so
     // a reader sees either the old or the new payload, never a blend,
     // and any cached copy is refreshed before the lock is released.
-    std::memcpy(t.data.data<float>() + row * t.info.dim, values,
-                row_bytes);
-    shard.cache->refresh(rowKey(table, row), values, row_bytes);
+    if (farTierDiskActive_ && row >= t.info.nearRows) {
+        RECSTACK_CHECK(diskTier_ != nullptr &&
+                           diskTier_->writeRow(key, values),
+                       "disk write-through failed for row "
+                           << row << " of '" << t.info.name << "'");
+        shard.promoted->refresh(key, values, row_bytes);
+    } else {
+        std::memcpy(t.data.data<float>() + row * t.info.dim, values,
+                    row_bytes);
+    }
+    shard.cache->refresh(key, values, row_bytes);
     ++shard.counters.updates;
 }
 
@@ -323,7 +574,22 @@ EmbeddingStore::warmRow(int table, int64_t row)
     if (shard.cache->find(key) != nullptr) {
         return;  // already hot
     }
-    const float* src = t.data.data<float>() + row * t.info.dim;
+    const float* src = nullptr;
+    if (farTierDiskActive_ && row >= t.info.nearRows) {
+        if (diskTier_ == nullptr || shard.scratch.empty()) {
+            return;  // tier not finalized yet; demand path will
+        }
+        const float* prom = shard.promoted->find(key);
+        if (prom != nullptr) {
+            src = prom;
+        } else if (diskTier_->readRow(key, shard.scratch.data())) {
+            src = shard.scratch.data();
+        } else {
+            return;
+        }
+    } else {
+        src = t.data.data<float>() + row * t.info.dim;
+    }
     shard.cache->insert(key, src, row_bytes,
                         &shard.counters.evictions);
     ++shard.counters.prefetchedRows;
@@ -335,6 +601,7 @@ void
 EmbeddingStore::prefetch(int table, const int64_t* indices,
                          int64_t count)
 {
+    ensureDiskReady();
     for (int64_t i = 0; i < count; ++i) {
         warmRow(table, indices[i]);
     }
@@ -343,38 +610,115 @@ EmbeddingStore::prefetch(int table, const int64_t* indices,
 void
 EmbeddingStore::prefetchAsync(int table, std::vector<int64_t> indices)
 {
+    ensureDiskReady();
+    // Coalesce duplicates before queueing: a batch's index stream
+    // repeats hot rows heavily, and each warmRow pays a shard-lock
+    // acquisition — warming a row once per task is enough.
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()),
+                  indices.end());
     std::unique_lock<std::mutex> lock(prefetchMu_);
-    if (!prefetchThread_.joinable()) {
-        prefetchThread_ = std::thread([this] { prefetchLoop(); });
-    }
+    startPrefetchThreadLocked();
     prefetchQueue_.push_back(PrefetchTask{table, std::move(indices)});
     lock.unlock();
     prefetchCv_.notify_one();
 }
 
 void
+EmbeddingStore::servicePromotions()
+{
+    // Clear the pending flag BEFORE draining the rings: a push that
+    // races with the drain re-raises it, so nothing is ever lost.
+    promoPending_.store(false, std::memory_order_relaxed);
+    std::array<uint64_t, kPromoRingSlots> pending;
+    for (auto& shard_ptr : shards_) {
+        Shard& shard = *shard_ptr;
+        size_t n = 0;
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            n = shard.promoRingSize;
+            std::copy_n(shard.promoRing.begin(), n, pending.begin());
+            shard.promoRingSize = 0;
+        }
+        for (size_t i = 0; i < n; ++i) {
+            const uint64_t key = pending[i];
+            const int table = static_cast<int>(key >> 40);
+            const Table& t =
+                tables_[static_cast<size_t>(table)];
+            const size_t row_bytes =
+                static_cast<size_t>(t.info.dim) * sizeof(float);
+            std::lock_guard<std::mutex> lock(shard.mu);
+            shard.hotness[key & (kHotnessSlots - 1)] = 0;
+            if (shard.promoted->find(key) != nullptr) {
+                continue;  // already promoted
+            }
+            if (!diskTier_->readRow(key, shard.scratch.data())) {
+                continue;
+            }
+            // CLOCK evictions of the slab are the demotions; the
+            // disk copy is authoritative, so nothing is written.
+            shard.promoted->insert(key, shard.scratch.data(),
+                                   row_bytes,
+                                   &shard.counters.demotedRows);
+            ++shard.counters.promotedRows;
+        }
+    }
+}
+
+void
 EmbeddingStore::prefetchLoop()
 {
+    using namespace std::chrono_literals;
     for (;;) {
         PrefetchTask task;
+        bool has_task = false;
+        bool do_promo = false;
         {
             std::unique_lock<std::mutex> lock(prefetchMu_);
-            prefetchCv_.wait(lock, [this] {
-                return prefetchStop_ || !prefetchQueue_.empty();
-            });
-            if (prefetchQueue_.empty()) {
+            const auto ready = [this] {
+                return prefetchStop_ || !prefetchQueue_.empty() ||
+                       (farTierDiskActive_ &&
+                        promoPending_.load(
+                            std::memory_order_acquire));
+            };
+            if (farTierDiskActive_) {
+                // Timed wait: promotion work can arrive without a
+                // reliably-paired notify (the demand path signals
+                // outside this mutex), so sweep periodically.
+                prefetchCv_.wait_for(lock, 50ms, ready);
+            } else {
+                prefetchCv_.wait(lock, ready);
+            }
+            if (prefetchStop_ && prefetchQueue_.empty()) {
                 return;  // stop requested with nothing pending
             }
-            task = std::move(prefetchQueue_.front());
-            prefetchQueue_.pop_front();
-            prefetchBusy_ = true;
+            if (!prefetchQueue_.empty()) {
+                task = std::move(prefetchQueue_.front());
+                prefetchQueue_.pop_front();
+                prefetchBusy_ = true;
+                has_task = true;
+            }
+            if (farTierDiskActive_ &&
+                promoPending_.load(std::memory_order_acquire)) {
+                promoBusy_ = true;
+                do_promo = true;
+            }
+            if (!has_task && !do_promo) {
+                continue;  // timed out with nothing to do
+            }
         }
-        for (int64_t row : task.indices) {
-            warmRow(task.table, row);
+        if (has_task) {
+            for (int64_t row : task.indices) {
+                warmRow(task.table, row);
+            }
+        }
+        if (do_promo) {
+            servicePromotions();
         }
         {
             std::lock_guard<std::mutex> lock(prefetchMu_);
             prefetchBusy_ = false;
+            promoBusy_ = false;
         }
         prefetchIdleCv_.notify_all();
     }
@@ -385,7 +729,9 @@ EmbeddingStore::drainPrefetch()
 {
     std::unique_lock<std::mutex> lock(prefetchMu_);
     prefetchIdleCv_.wait(lock, [this] {
-        return prefetchQueue_.empty() && !prefetchBusy_;
+        return prefetchQueue_.empty() && !prefetchBusy_ &&
+               !promoBusy_ &&
+               !promoPending_.load(std::memory_order_acquire);
     });
 }
 
@@ -403,6 +749,13 @@ EmbeddingStore::stats() const
         for (const auto& [cost, count] : shard->costs) {
             out.costHistogram[cost] += count;
         }
+        for (const auto& [cost, count] : shard->diskCosts) {
+            out.diskSecondsHistogram[cost] += count;
+        }
+    }
+    out.diskTierActive = farTierDiskActive_;
+    if (diskTier_ != nullptr) {
+        out.diskTier = diskTier_->stats();
     }
     return out;
 }
@@ -414,12 +767,19 @@ EmbeddingStore::resetStats()
         std::lock_guard<std::mutex> lock(shard->mu);
         shard->counters = ShardCounters{};
         shard->costs.clear();
+        shard->diskCosts.clear();
+    }
+    if (diskTier_ != nullptr) {
+        diskTier_->resetStats();
     }
 }
 
 uint64_t
 EmbeddingStore::tableBytes() const
 {
+    // Under a disk far tier each materialized table was shrunk to
+    // its near head at registration, so byteSize() is already the
+    // DRAM-resident portion only.
     uint64_t n = 0;
     for (const Table& t : tables_) {
         if (t.info.materialized) {
@@ -445,6 +805,35 @@ EmbeddingStore::cacheCapacityBytes() const
 {
     return static_cast<uint64_t>(config_.numShards) *
            static_cast<uint64_t>(config_.cacheBytesPerShard);
+}
+
+uint64_t
+EmbeddingStore::promotedBytesUsed() const
+{
+    uint64_t n = 0;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        if (shard->promoted != nullptr) {
+            n += shard->promoted->bytesUsed();
+        }
+    }
+    return n;
+}
+
+uint64_t
+EmbeddingStore::diskFileBytes() const
+{
+    return diskTier_ != nullptr ? diskTier_->stats().fileBytes : 0;
+}
+
+uint64_t
+EmbeddingStore::residentBytes() const
+{
+    uint64_t n = tableBytes() + cacheBytesUsed() + promotedBytesUsed();
+    if (diskTier_ != nullptr) {
+        n += diskTier_->stats().frameBytes;
+    }
+    return n;
 }
 
 double
@@ -480,8 +869,13 @@ EmbeddingStore::farTierFraction(int table, double zipf) const
 bool
 EmbeddingStore::disabledByEnv()
 {
-    const char* v = std::getenv("RECSTACK_DISABLE_STORE");
-    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+    return envFlagSet("RECSTACK_DISABLE_STORE");
+}
+
+bool
+EmbeddingStore::diskTierDisabledByEnv()
+{
+    return envFlagSet("RECSTACK_DISABLE_DISK_TIER");
 }
 
 void
@@ -492,9 +886,15 @@ exportStoreStats(const StoreStats& stats)
     reg.counter("store.hits").add(stats.total.hits);
     reg.counter("store.near_fetches").add(stats.total.nearFetches);
     reg.counter("store.far_fetches").add(stats.total.farFetches);
+    reg.counter("store.disk_fetches").add(stats.total.diskFetches);
     reg.counter("store.evictions").add(stats.total.evictions);
+    reg.counter("store.promoted_rows").add(stats.total.promotedRows);
+    reg.counter("store.demoted_rows").add(stats.total.demotedRows);
+    reg.counter("store.bytes_from_disk")
+        .add(stats.total.bytesFromDisk);
     reg.gauge("store.cache_bytes_used")
         .set(static_cast<double>(stats.total.cacheBytesUsed));
+    reg.gauge("store.disk_seconds").set(stats.total.diskSeconds);
 }
 
 }  // namespace recstack

@@ -18,21 +18,39 @@
  *    counters, so concurrent ServingEngine workers contend only on
  *    rows that hash to the same shard.
  *  - Backing rows are split into a near tier (resident, DRAM-like) and
- *    a far tier (simulated high-latency / low-bandwidth memory). Every
- *    cache miss is charged latency + bytes/bandwidth for its tier into
- *    per-shard simulated seconds and a cost histogram (p99 lookup cost).
+ *    a far tier. The far tier comes in two kinds
+ *    (StoreConfig::farTier):
+ *      * kSimulated (default): cold rows stay in DRAM and every miss
+ *        is charged modeled latency + bytes/bandwidth — fully
+ *        deterministic, byte-identical to the pre-disk store.
+ *      * kDisk: cold rows are REAL — written to a page-based file
+ *        (store/disk_tier.h) indexed by a radix-spline learned index
+ *        (store/spline_index.h) and dropped from DRAM, so tables
+ *        larger than the configured near tier actually serve from
+ *        disk. Fetch time is measured wall clock, not modeled, and a
+ *        background promotion loop (the prefetch thread) moves rows
+ *        whose demand access count crosses a threshold into a
+ *        per-shard promoted DRAM slab; the slab's CLOCK evictions are
+ *        the demotions (the disk copy is authoritative, so demotion
+ *        never writes).
  *  - lookupSum / lookupGather serve batched reads with numerics
- *    bit-identical to reading a dense Workspace blob: cached copies are
- *    verbatim row payloads and pooling order is the caller's.
+ *    bit-identical to reading a dense Workspace blob: cached, near,
+ *    promoted and disk copies are all verbatim row payloads and
+ *    pooling order is the caller's.
  *  - prefetchAsync warms the cache with the next batch's indices on a
  *    background thread (the classic double-buffered embedding
  *    prefetch), overlapping far-tier fetches with current-batch
- *    compute.
+ *    compute. Indices are deduplicated per task before queueing.
  *
- * The env hatch RECSTACK_DISABLE_STORE=1 makes every integration point
- * (ServingEngine, CLI) fall back to per-worker dense table copies.
+ * Env hatches: RECSTACK_DISABLE_STORE=1 makes every integration point
+ * (ServingEngine, CLI) fall back to per-worker dense table copies;
+ * RECSTACK_DISABLE_DISK_TIER=1 forces farTier back to kSimulated; and
+ * RECSTACK_STORE_DIR picks the page-file directory (default: a fresh
+ * temp dir removed with the store).
  */
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
@@ -43,10 +61,39 @@
 #include <thread>
 #include <vector>
 
+#include "store/disk_tier.h"
 #include "store/row_cache.h"
+#include "store/spline_index.h"
 #include "tensor/tensor.h"
 
 namespace recstack {
+
+/** What backs the far tier of an EmbeddingStore. */
+enum class FarTierKind {
+    kSimulated,  ///< cold rows in DRAM, cost modeled (deterministic)
+    kDisk,       ///< cold rows in a page file, cost measured
+};
+
+/** Printable far-tier name ("simulated" / "disk"). */
+const char* farTierKindName(FarTierKind kind);
+
+/** Disk far-tier knobs (used when StoreConfig::farTier == kDisk). */
+struct DiskTierOptions {
+    /// Page-file directory; "" resolves RECSTACK_STORE_DIR, then a
+    /// fresh mkdtemp dir owned (and removed) by the store.
+    std::string dir;
+    size_t pageBytes = 4096;
+    size_t bufferPages = 64;       ///< CLOCK page-buffer pool frames
+    bool directIO = false;         ///< pread/O_DIRECT instead of mmap
+    bool keepFile = false;         ///< survive store destruction
+    /// Per-shard DRAM budget for rows promoted off the disk tier.
+    size_t promotedBytesPerShard = 256u << 10;
+    /// Demand fetches of a cold row before the promotion loop copies
+    /// it into the promoted slab (0 disables promotion).
+    uint32_t promoteThreshold = 4;
+    size_t splineMaxError = 32;    ///< learned-index corridor width
+    int splineRadixBits = 18;
+};
 
 /** Shard / cache / tier knobs of an EmbeddingStore. */
 struct StoreConfig {
@@ -57,8 +104,8 @@ struct StoreConfig {
     /// Replacement policy of every shard cache.
     CachePolicy policy = CachePolicy::kLRU;
     /// Leading fraction of each table's rows resident in the near
-    /// tier; the remainder lives in the simulated far tier. The Zipf
-    /// head is low row indices, so hot rows are near by construction.
+    /// tier; the remainder lives in the far tier. The Zipf head is
+    /// low row indices, so hot rows are near by construction.
     double nearTierFraction = 1.0;
     /// Cost model: per-row fetch pays tier latency + bytes/bandwidth.
     double cacheHitLatencySeconds = 8e-9;    ///< on-package SRAM-ish
@@ -66,6 +113,11 @@ struct StoreConfig {
     double nearBandwidthGBs = 64.0;
     double farLatencySeconds = 2.0e-6;       ///< CXL/NVM/remote-style
     double farBandwidthGBs = 8.0;
+    /// Far-tier backing; kSimulated keeps every pre-disk default
+    /// byte-identical. RECSTACK_DISABLE_DISK_TIER=1 overrides kDisk.
+    FarTierKind farTier = FarTierKind::kSimulated;
+    /// Disk-tier knobs (ignored under kSimulated).
+    DiskTierOptions disk;
 };
 
 /** Counters one shard accumulates under its lock. */
@@ -73,17 +125,25 @@ struct ShardCounters {
     uint64_t lookups = 0;        ///< demand row reads
     uint64_t hits = 0;           ///< served from the hot-row cache
     uint64_t nearFetches = 0;    ///< misses served by the near tier
+                                 ///  (incl. the promoted DRAM slab)
     uint64_t farFetches = 0;     ///< misses served by the far tier
+                                 ///  (simulated kind only)
+    uint64_t diskFetches = 0;    ///< misses served by the disk tier
     uint64_t evictions = 0;
     uint64_t updates = 0;
     uint64_t prefetchedRows = 0; ///< rows warmed by prefetch, not demand
+    uint64_t promotedRows = 0;   ///< disk rows promoted to the slab
+    uint64_t demotedRows = 0;    ///< slab CLOCK evictions (demotions)
     uint64_t bytesFromCache = 0;
     uint64_t bytesFromNear = 0;
     uint64_t bytesFromFar = 0;
+    uint64_t bytesFromDisk = 0;
     uint64_t cacheBytesUsed = 0; ///< snapshot at stats() time
     double simSeconds = 0.0;     ///< modeled fetch time, demand reads
+    double diskSeconds = 0.0;    ///< MEASURED wall clock in disk reads
 
     void accumulate(const ShardCounters& other);
+    /** Cache hit fraction; defined as 0.0 when lookups == 0. */
     double hitRate() const;
 };
 
@@ -95,19 +155,37 @@ struct StoreStats {
     /// domain is tiny (one cost per tier per table) so percentiles
     /// are exact.
     std::map<double, uint64_t> costHistogram;
+    /// Measured per-row disk fetch seconds, bucketed to powers of
+    /// two of a nanosecond so the map stays small.
+    std::map<double, uint64_t> diskSecondsHistogram;
+    /// Whether the snapshot came from a store with a live disk tier.
+    bool diskTierActive = false;
+    /// Page/pool/index counters of the disk tier (zero when
+    /// inactive or not yet touched).
+    DiskTierStats diskTier;
 
     double hitRate() const { return total.hitRate(); }
-    /** Exact p-th percentile (p in [0,1]) of per-row fetch cost. */
+    /**
+     * Exact p-th percentile (p in [0,1]) of modeled per-row fetch
+     * cost. An empty histogram (no demand lookups yet) returns 0.0.
+     */
     double costPercentile(double p) const;
+    /**
+     * p-th percentile of MEASURED per-row disk fetch seconds (bucket
+     * upper bounds). Returns 0.0 when no disk fetch happened.
+     */
+    double diskCostPercentile(double p) const;
 };
 
 /**
  * Re-export a StoreStats snapshot's totals into the global
  * MetricsRegistry (store.lookups / store.hits / store.near_fetches /
- * store.far_fetches / store.evictions counters plus the
- * store.cache_bytes_used gauge), so store health shows up in the same
- * snapshot as executor/queue/serving metrics. Counters are cumulative
- * across calls; reset the registry before a measured run.
+ * store.far_fetches / store.disk_fetches / store.evictions /
+ * store.promoted_rows / store.demoted_rows counters plus the
+ * store.cache_bytes_used and store.disk_seconds gauges), so store
+ * health shows up in the same snapshot as executor/queue/serving
+ * metrics. Counters are cumulative across calls; reset the registry
+ * before a measured run.
  */
 void exportStoreStats(const StoreStats& stats);
 
@@ -132,7 +210,10 @@ class EmbeddingStore
 
     /**
      * Move a materialized [rows, dim] float table into the store.
-     * Returns the table id ops use for lookups.
+     * Returns the table id ops use for lookups. Under a disk far
+     * tier, rows [nearRows, rows) are spilled to the page file and
+     * only the near head stays in DRAM; every table must be added
+     * before the first lookup (the learned index is built once).
      */
     int addTable(const std::string& name, Tensor data);
 
@@ -167,8 +248,9 @@ class EmbeddingStore
                       int64_t hi, float* out);
 
     /**
-     * Write one row through to the backing table and refresh any
-     * cached copy, so no reader ever observes the stale payload.
+     * Write one row through to the backing table (DRAM or disk page)
+     * and refresh any cached/promoted copy, so no reader ever
+     * observes the stale payload.
      */
     void update(int table, int64_t row, const float* values);
 
@@ -177,24 +259,40 @@ class EmbeddingStore
 
     /**
      * Queue the next batch's indices for cache warming on the
-     * background prefetch thread (started lazily).
+     * background prefetch thread (started lazily). Duplicate indices
+     * are coalesced per task before queueing, so warm traffic never
+     * pays repeated shard-lock acquisitions for the same row.
      */
     void prefetchAsync(int table, std::vector<int64_t> indices);
 
-    /** Block until the async prefetch queue is fully drained. */
+    /**
+     * Block until the async prefetch queue — and, under a disk far
+     * tier, any pending promotions — is fully drained.
+     */
     void drainPrefetch();
 
     StoreStats stats() const;
     void resetStats();
 
-    /** Bytes of materialized backing tables. */
+    /**
+     * Bytes of DRAM-resident backing tables. Under a disk far tier
+     * this is only the near heads — the cold tail lives in the page
+     * file (diskFileBytes()).
+     */
     uint64_t tableBytes() const;
     /** Bytes currently held by the shard caches. */
     uint64_t cacheBytesUsed() const;
     /** Total cache capacity across shards. */
     uint64_t cacheCapacityBytes() const;
-    /** Backing + cache: the store's whole resident footprint. */
-    uint64_t residentBytes() const { return tableBytes() + cacheBytesUsed(); }
+    /** Bytes held by the per-shard promoted DRAM slabs (disk tier). */
+    uint64_t promotedBytesUsed() const;
+    /** Size of the disk tier's page file (0 when inactive). */
+    uint64_t diskFileBytes() const;
+    /**
+     * The store's whole DRAM footprint: near tables + caches +
+     * promoted slabs + the disk tier's buffer-pool frames.
+     */
+    uint64_t residentBytes() const;
 
     /**
      * Analytical hit-rate expectation for a Zipf(zipf) stream over
@@ -213,8 +311,19 @@ class EmbeddingStore
 
     const StoreConfig& config() const { return config_; }
 
+    /**
+     * True when the far tier is actually disk-backed: configured
+     * kDisk and not overridden by RECSTACK_DISABLE_DISK_TIER.
+     */
+    bool diskTierActive() const { return farTierDiskActive_; }
+    /** The live disk tier, or nullptr before the first lookup /
+     *  when inactive. */
+    const DiskTier* diskTier() const { return diskTier_.get(); }
+
     /** True when RECSTACK_DISABLE_STORE is set to a non-zero value. */
     static bool disabledByEnv();
+    /** True when RECSTACK_DISABLE_DISK_TIER is set to non-zero. */
+    static bool diskTierDisabledByEnv();
 
     /**
      * The store's row-partition function, exposed so fleet placement
@@ -226,6 +335,13 @@ class EmbeddingStore
     static size_t rowShard(int table, int64_t row, size_t num_shards);
 
   private:
+    /// Slots of the per-shard approximate access-count table; key
+    /// collisions conflate rows, which only ever promotes early.
+    static constexpr size_t kHotnessSlots = 4096;
+    /// Bounded pending-promotion ring per shard (drop-new when full;
+    /// a dropped key re-queues on its next demand fetch).
+    static constexpr size_t kPromoRingSlots = 256;
+
     struct Table {
         TableInfo info;
         Tensor data;
@@ -233,8 +349,16 @@ class EmbeddingStore
     struct Shard {
         mutable std::mutex mu;
         std::unique_ptr<RowCache> cache;
+        /// Disk-tier promoted slab (null under kSimulated).
+        std::unique_ptr<RowCache> promoted;
         ShardCounters counters;
         std::map<double, uint64_t> costs;
+        std::map<double, uint64_t> diskCosts;
+        /// Preallocated disk-read row buffer (guarded by mu).
+        std::vector<float> scratch;
+        std::array<uint32_t, kHotnessSlots> hotness{};
+        std::array<uint64_t, kPromoRingSlots> promoRing{};
+        size_t promoRingSize = 0;
     };
     struct PrefetchTask {
         int table = 0;
@@ -244,17 +368,35 @@ class EmbeddingStore
     int registerTable(const std::string& name, TableInfo info,
                       Tensor data);
     size_t shardOf(int table, int64_t row) const;
-    /// Returns the row payload (cache copy or backing row), valid
-    /// while the shard lock is held; charges stats for a demand read.
+    /// Returns the row payload (cache copy, backing row, promoted
+    /// slab, or per-shard scratch filled from disk), valid while the
+    /// shard lock is held; charges stats for a demand read.
     const float* fetchRowLocked(const Table& t, int table, int64_t row,
                                 Shard& shard);
     void warmRow(int table, int64_t row);
     void prefetchLoop();
+    /// Finalize the disk builder into a servable tier + start the
+    /// promotion-capable background thread. Idempotent; called from
+    /// every lookup entry point.
+    void ensureDiskReady();
+    void servicePromotions();
+    void startPrefetchThreadLocked();
 
     StoreConfig config_;
     std::vector<Table> tables_;
     std::map<std::string, int> tableByName_;
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    // Disk far tier (all null/empty under kSimulated).
+    bool farTierDiskActive_ = false;
+    std::unique_ptr<DiskTier::Builder> diskBuilder_;
+    std::unique_ptr<DiskTier> diskTier_;
+    std::string diskDir_;
+    bool ownsDiskDir_ = false;
+    std::once_flag diskOnce_;
+    std::atomic<bool> diskFinalized_{false};
+    std::atomic<bool> promoPending_{false};
+    int64_t maxDim_ = 0;
 
     std::mutex prefetchMu_;
     std::condition_variable prefetchCv_;
@@ -262,6 +404,7 @@ class EmbeddingStore
     std::deque<PrefetchTask> prefetchQueue_;
     std::thread prefetchThread_;
     bool prefetchBusy_ = false;
+    bool promoBusy_ = false;
     bool prefetchStop_ = false;
 };
 

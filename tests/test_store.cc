@@ -324,7 +324,49 @@ TEST(StoreAccounting, FarTierFractionShrinksWithNearResidency)
     EXPECT_DOUBLE_EQ(all_near->farTierFraction(0, 0.9), 0.0);
 }
 
+// --- Documented edge cases (pinned; see embedding_store.h). -----------
+
+TEST(StoreEdgeCases, EmptyHistogramPercentileIsZero)
+{
+    // No demand lookups yet: every percentile of the empty cost
+    // histogram is the documented 0.0, not a crash or NaN.
+    auto store = makeStore(64, 8, StoreConfig{});
+    const StoreStats stats = store->stats();
+    EXPECT_TRUE(stats.costHistogram.empty());
+    for (double p : {0.0, 0.5, 0.99, 1.0}) {
+        EXPECT_EQ(stats.costPercentile(p), 0.0) << "p " << p;
+        EXPECT_EQ(stats.diskCostPercentile(p), 0.0) << "p " << p;
+    }
+}
+
+TEST(StoreEdgeCases, ZeroLookupHitRateIsZero)
+{
+    auto store = makeStore(64, 8, StoreConfig{});
+    const StoreStats stats = store->stats();
+    ASSERT_EQ(stats.total.lookups, 0u);
+    EXPECT_EQ(stats.total.hitRate(), 0.0);
+    EXPECT_EQ(stats.hitRate(), 0.0);
+    ShardCounters zero;
+    EXPECT_EQ(zero.hitRate(), 0.0);
+}
+
 // --- Prefetch and the env hatch. --------------------------------------
+
+TEST(StorePrefetch, AsyncPrefetchCoalescesDuplicateIndices)
+{
+    const int64_t dim = 8;
+    StoreConfig cfg;
+    cfg.numShards = 2;
+    cfg.cacheBytesPerShard = 64u << 10;
+    auto store = makeStore(256, dim, cfg);
+
+    // A heavily repeated index stream (the shape of a Zipf head)
+    // must warm each distinct row exactly once per task.
+    std::vector<int64_t> indices = {5, 5, 5, 7, 9, 7, 5, 9, 11};
+    store->prefetchAsync(0, indices);
+    store->drainPrefetch();
+    EXPECT_EQ(store->stats().total.prefetchedRows, 4u);
+}
 
 TEST(StorePrefetch, AsyncPrefetchTurnsDemandMissesIntoHits)
 {

@@ -519,6 +519,10 @@ cmdStore(const std::string& model_name, int64_t batch, bool json)
     cfg.numShards = 8;
     cfg.cacheBytesPerShard = 256u << 10;
     cfg.nearTierFraction = 0.5;
+    // Real disk far tier: cold rows in a page file behind the
+    // radix-spline index. RECSTACK_DISABLE_DISK_TIER=1 falls back to
+    // the simulated tier, RECSTACK_STORE_DIR picks the directory.
+    cfg.farTier = FarTierKind::kDisk;
     const StoreBackedModel store_model(model, cfg);
     EmbeddingStore& store = store_model.store();
 
@@ -547,15 +551,17 @@ cmdStore(const std::string& model_name, int64_t batch, bool json)
     const int kWorkers = 4;
     const uint64_t per_worker =
         one_copy * static_cast<uint64_t>(kWorkers);
-    const uint64_t total_bytes = stats.total.bytesFromCache +
-                                 stats.total.bytesFromNear +
-                                 stats.total.bytesFromFar;
+    const uint64_t total_bytes =
+        stats.total.bytesFromCache + stats.total.bytesFromNear +
+        stats.total.bytesFromFar + stats.total.bytesFromDisk;
     const double dram_frac =
         total_bytes > 0
             ? static_cast<double>(stats.total.bytesFromNear +
-                                  stats.total.bytesFromFar) /
+                                  stats.total.bytesFromFar +
+                                  stats.total.bytesFromDisk) /
                   static_cast<double>(total_bytes)
             : 0.0;
+    const SplineIndexStats& spline = stats.diskTier.spline;
 
     if (json) {
         std::printf("{\n  \"model\": \"%s\",\n  \"batch\": %lld,\n",
@@ -577,6 +583,35 @@ cmdStore(const std::string& model_name, int64_t batch, bool json)
                         stats.total.evictions));
         std::printf("  \"cacheFilteredTrafficFraction\": %.4f,\n",
                     dram_frac);
+        std::printf("  \"farTier\": \"%s\",\n",
+                    stats.diskTierActive ? "disk" : "simulated");
+        std::printf(
+            "  \"tiers\": {\n"
+            "    \"cache\": {\"rows\": %llu, \"bytes\": %llu},\n"
+            "    \"near\": {\"rows\": %llu, \"bytes\": %llu},\n"
+            "    \"disk\": {\"rows\": %llu, \"bytes\": %llu, "
+            "\"measuredP99Seconds\": %.3e, "
+            "\"measuredSeconds\": %.6e}\n  },\n",
+            static_cast<unsigned long long>(stats.total.hits),
+            static_cast<unsigned long long>(stats.total.bytesFromCache),
+            static_cast<unsigned long long>(stats.total.nearFetches),
+            static_cast<unsigned long long>(stats.total.bytesFromNear),
+            static_cast<unsigned long long>(stats.total.diskFetches),
+            static_cast<unsigned long long>(stats.total.bytesFromDisk),
+            stats.diskCostPercentile(0.99), stats.total.diskSeconds);
+        std::printf(
+            "  \"promotedRows\": %llu,\n  \"demotedRows\": %llu,\n",
+            static_cast<unsigned long long>(stats.total.promotedRows),
+            static_cast<unsigned long long>(stats.total.demotedRows));
+        std::printf(
+            "  \"spline\": {\"keys\": %zu, \"segments\": %zu, "
+            "\"maxErrorBound\": %zu, \"maxErrorObserved\": %zu, "
+            "\"indexBytes\": %zu},\n",
+            spline.numKeys, spline.numSegments, spline.maxErrorBound,
+            spline.maxErrorObserved, spline.indexBytes);
+        std::printf("  \"diskFileBytes\": %llu,\n",
+                    static_cast<unsigned long long>(
+                        store.diskFileBytes()));
         std::printf("  \"simSeconds\": %.6e,\n", stats.total.simSeconds);
         std::printf("  \"lookupCostP50\": %.3e,\n",
                     stats.costPercentile(0.50));
@@ -615,13 +650,14 @@ cmdStore(const std::string& model_name, int64_t batch, bool json)
                 cfg.cacheBytesPerShard >> 10, cfg.nearTierFraction);
 
     TextTable shards({"shard", "lookups", "hit rate", "near", "far",
-                      "evictions", "cache KB"});
+                      "disk", "evictions", "cache KB"});
     for (size_t s = 0; s < stats.perShard.size(); ++s) {
         const ShardCounters& c = stats.perShard[s];
         shards.addRow({std::to_string(s), std::to_string(c.lookups),
                        TextTable::fmtPercent(c.hitRate()),
                        std::to_string(c.nearFetches),
                        std::to_string(c.farFetches),
+                       std::to_string(c.diskFetches),
                        std::to_string(c.evictions),
                        std::to_string(c.cacheBytesUsed >> 10)});
     }
@@ -629,14 +665,59 @@ cmdStore(const std::string& model_name, int64_t batch, bool json)
                    TextTable::fmtPercent(stats.hitRate()),
                    std::to_string(stats.total.nearFetches),
                    std::to_string(stats.total.farFetches),
+                   std::to_string(stats.total.diskFetches),
                    std::to_string(stats.total.evictions),
                    std::to_string(stats.total.cacheBytesUsed >> 10)});
     std::printf("%s\n", shards.render().c_str());
 
-    std::printf("lookup cost: p50 %s, p99 %s; modeled fetch time %s\n",
+    // Per-tier breakdown: cache and near costs are modeled, the disk
+    // column is measured wall clock off the page file.
+    TextTable tiers({"tier", "rows", "bytes", "p99 cost"});
+    tiers.addRow({"cache", std::to_string(stats.total.hits),
+                  std::to_string(stats.total.bytesFromCache),
+                  TextTable::fmtSeconds(cfg.cacheHitLatencySeconds)});
+    tiers.addRow({"near", std::to_string(stats.total.nearFetches),
+                  std::to_string(stats.total.bytesFromNear),
+                  TextTable::fmtSeconds(stats.costPercentile(0.99))});
+    tiers.addRow(
+        {stats.diskTierActive ? "disk" : "far (simulated)",
+         std::to_string(stats.diskTierActive ? stats.total.diskFetches
+                                             : stats.total.farFetches),
+         std::to_string(stats.diskTierActive
+                            ? stats.total.bytesFromDisk
+                            : stats.total.bytesFromFar),
+         stats.diskTierActive
+             ? TextTable::fmtSeconds(stats.diskCostPercentile(0.99)) +
+                   " (measured)"
+             : TextTable::fmtSeconds(stats.costPercentile(0.99))});
+    std::printf("%s\n", tiers.render().c_str());
+
+    if (stats.diskTierActive) {
+        std::printf("spline index: %zu keys, %zu segments, error "
+                    "bound %zu (observed %zu), %zu KB; page file %llu "
+                    "KB, %llu page loads, %llu pool hits; promoted "
+                    "%llu rows, demoted %llu\n",
+                    spline.numKeys, spline.numSegments,
+                    spline.maxErrorBound, spline.maxErrorObserved,
+                    spline.indexBytes >> 10,
+                    static_cast<unsigned long long>(
+                        store.diskFileBytes() >> 10),
+                    static_cast<unsigned long long>(
+                        stats.diskTier.pageLoads),
+                    static_cast<unsigned long long>(
+                        stats.diskTier.pageHits),
+                    static_cast<unsigned long long>(
+                        stats.total.promotedRows),
+                    static_cast<unsigned long long>(
+                        stats.total.demotedRows));
+    }
+
+    std::printf("lookup cost: p50 %s, p99 %s; modeled fetch time %s; "
+                "measured disk time %s\n",
                 TextTable::fmtSeconds(stats.costPercentile(0.50)).c_str(),
                 TextTable::fmtSeconds(stats.costPercentile(0.99)).c_str(),
-                TextTable::fmtSeconds(stats.total.simSeconds).c_str());
+                TextTable::fmtSeconds(stats.total.simSeconds).c_str(),
+                TextTable::fmtSeconds(stats.total.diskSeconds).c_str());
     std::printf("cache-filtered table traffic: %s of lookup bytes "
                 "reach DRAM/far memory (rest served by hot-row "
                 "caches)\n",

@@ -2,11 +2,11 @@
 # Sanitizer passes over the suites that can hide memory/concurrency
 # bugs from the default build:
 #
-#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|serving|obs|sched|simd|fleet'`:
+#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|disk|serving|obs|sched|simd|fleet'`:
 #           the concurrency suites (thread pool, serving engine,
 #           parallel kernels, plan-vs-interpreted equivalence, the
 #           sharded embedding store's lock/prefetch machinery).
-#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|serving|obs|sched|simd|fleet'`:
+#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|disk|serving|obs|sched|simd|fleet'`:
 #           the compiled-net planner/arena suites plus the embedding
 #           store. Arena aliasing assigns overlapping
 #           [offset, offset+bytes) ranges to blobs with disjoint
@@ -41,6 +41,14 @@
 # per-node histogram merge folds atomics written by those workers, so
 # both sanitizers rerun them.
 #
+# The `disk` label covers the persistent far-tier suites: DiskTier
+# hands out payloads copied from a shared page buffer pool under its
+# own mutex while the promotion loop runs on the prefetch thread
+# (TSan: shard lock -> tier lock ordering, the promoPending flag),
+# and page frames, mmap windows and per-shard scratch rows are all
+# fixed-size regions an off-by-one row/page computation would
+# overrun (ASan).
+#
 # Usage: tools/run_sanitize_checks.sh [tsan|asan|all]   (default: all)
 #
 # Build trees land in build-tsan/ and build-asan/ next to build/ and
@@ -62,11 +70,11 @@ run_pass() {
 }
 
 case "${mode}" in
-    tsan) run_pass thread build-tsan 'sanitize|store|serving|obs|sched|simd|fleet' ;;
-    asan) run_pass address build-asan 'plan|store|serving|obs|sched|simd|fleet' ;;
+    tsan) run_pass thread build-tsan 'sanitize|store|disk|serving|obs|sched|simd|fleet' ;;
+    asan) run_pass address build-asan 'plan|store|disk|serving|obs|sched|simd|fleet' ;;
     all)
-        run_pass address build-asan 'plan|store|serving|obs|sched|simd|fleet'
-        run_pass thread build-tsan 'sanitize|store|serving|obs|sched|simd|fleet'
+        run_pass address build-asan 'plan|store|disk|serving|obs|sched|simd|fleet'
+        run_pass thread build-tsan 'sanitize|store|disk|serving|obs|sched|simd|fleet'
         ;;
     *)
         echo "usage: $0 [tsan|asan|all]" >&2
