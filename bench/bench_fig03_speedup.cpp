@@ -2,7 +2,9 @@
  * @file
  * Fig. 3: systems performance evaluation — speedup over the Broadwell
  * CPU for Cascade Lake, GTX 1080 Ti and T4, across the eight models
- * and batch sizes 1..16384.
+ * and batch sizes 1..16384. Extended with the near-memory PIM
+ * platform (src/pim/) as a fifth column: embedding pooling offloaded
+ * to DPU ranks, everything else on the Broadwell host.
  */
 
 #include "bench_util.h"
@@ -15,12 +17,13 @@ main()
 {
     banner("Fig. 3", "Speedup over Broadwell across models/batch sizes");
 
-    SweepCache sweep(allPlatforms());
+    SweepCache sweep(allPlatformsWithPim());
     const auto batches = paperBatchSizes();
 
     for (ModelId id : allModels()) {
         std::printf("\n--- %s ---\n", modelName(id));
-        TextTable table({"batch", "BDW latency", "CLX", "1080Ti", "T4"});
+        TextTable table(
+            {"batch", "BDW latency", "CLX", "1080Ti", "T4", "PIM"});
         for (int64_t batch : batches) {
             table.addRow(
                 {std::to_string(batch),
@@ -30,7 +33,9 @@ main()
                  TextTable::fmtSpeedup(
                      sweep.speedupOverBaseline(id, kGtx, batch)),
                  TextTable::fmtSpeedup(
-                     sweep.speedupOverBaseline(id, kT4, batch))});
+                     sweep.speedupOverBaseline(id, kT4, batch)),
+                 TextTable::fmtSpeedup(
+                     sweep.speedupOverBaseline(id, kPim, batch))});
         }
         std::printf("%s", table.render().c_str());
     }
@@ -99,5 +104,26 @@ main()
     }
     check(t4_large, "T4 overtakes the 1080 Ti at batch > ~10^3 for "
                     "NCF/RM3/WnD/MT-WnD/DIEN");
+
+    // 7) PIM column (extension, docs/pim.md): near-memory offload
+    //    tracks the SLS share. The embedding-dominated models gain
+    //    multiples once the batch amortizes the host<->DPU transfer;
+    //    the FC/GRU-dominated ones are bounded by their tiny SLS
+    //    share (Amdahl) and see no end-to-end gain.
+    bool pim_sls = true;
+    for (ModelId id : {ModelId::kRM1, ModelId::kRM2}) {
+        pim_sls &= sweep.speedupOverBaseline(id, kPim, 4096) >= 2.0;
+    }
+    check(pim_sls, "PIM (ext): SLS-dominated RM1/RM2 gain >= 2x over "
+                   "Broadwell at large batch");
+    bool pim_fc = true;
+    for (ModelId id : {ModelId::kNCF, ModelId::kWnD, ModelId::kMTWnD,
+                       ModelId::kDIEN}) {
+        for (int64_t b : batches) {
+            pim_fc &= sweep.speedupOverBaseline(id, kPim, b) <= 1.15;
+        }
+    }
+    check(pim_fc, "PIM (ext): FC/GRU-dominated NCF/WnD/MT-WnD/DIEN see "
+                  "no end-to-end gain at any batch");
     return 0;
 }

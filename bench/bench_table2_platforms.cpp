@@ -1,7 +1,8 @@
 /**
  * @file
  * Table II: the four hardware platforms and the parameters their
- * recstack models are configured with.
+ * recstack models are configured with, plus the near-memory PIM
+ * extension platform (src/pim/) as a third column group.
  */
 
 #include "bench_util.h"
@@ -56,6 +57,26 @@ main()
          TextTable::fmtSeconds(t4.kernelLaunchSec));
     std::printf("%s\n", gpus.render().c_str());
 
+    const PimConfig pim = upmemPimConfig();
+    TextTable pims({"parameter", pim.name});
+    auto prow = [&](const char* name, const std::string& a) {
+        pims.addRow({name, a});
+    };
+    prow("DPU ranks", std::to_string(pim.ranks));
+    prow("DPUs / rank", std::to_string(pim.dpusPerRank));
+    prow("tasklets / DPU",
+         std::to_string(pim.taskletsPerDpu) + " (pipeline fills at " +
+             std::to_string(pim.pipelineFillTasklets) + ")");
+    prow("rank internal BW",
+         TextTable::fmt(pim.rankInternalGBs, 1) + " GB/s");
+    prow("WRAM / DPU",
+         std::to_string(pim.wramBytesPerDpu / 1024) + " KB");
+    prow("host<->DPU BW", TextTable::fmt(pim.xferGBs, 1) + " GB/s");
+    prow("host<->DPU latency",
+         TextTable::fmtSeconds(pim.xferLatencySec));
+    prow("host CPU", pim.host.name);
+    std::printf("%s\n", pims.render().c_str());
+
     // Per-model activation memory on these platforms at a serving
     // batch: what op-at-a-time execution allocates (one blob per
     // activation of the builder's net) vs the compiled net's
@@ -107,5 +128,10 @@ main()
     check(dien_ratio <= 0.60,
           "memory planning fits DIEN's unrolled-GRU activations in "
           "<= 60% of the naive per-blob sum at serving batch");
+    check(pim.ranks * pim.rankInternalGBs > bdw.dramGBs &&
+              pim.xferGBs < bdw.dramGBs,
+          "PIM (ext): aggregate in-memory bandwidth exceeds the host's "
+          "DRAM while the host<->DPU path stays far narrower — the "
+          "asymmetry the offload exploits");
     return 0;
 }

@@ -45,11 +45,13 @@ checkHeader()
     std::printf("\nPAPER-CHECK (qualitative claims from the paper):\n");
 }
 
-/** Platform indices in allPlatforms() order. */
+/** Platform indices in allPlatforms() order; kPim only exists in
+ * allPlatformsWithPim(). */
 constexpr size_t kBdw = 0;
 constexpr size_t kClx = 1;
 constexpr size_t kGtx = 2;
 constexpr size_t kT4 = 3;
+constexpr size_t kPim = 4;
 
 inline const char*
 shortPlatformName(size_t idx)
@@ -59,6 +61,7 @@ shortPlatformName(size_t idx)
       case kClx: return "CascadeLake";
       case kGtx: return "GTX1080Ti";
       case kT4: return "T4";
+      case kPim: return "PIM";
     }
     return "?";
 }

@@ -33,6 +33,44 @@ simulateProfiles(const std::vector<KernelProfile>& profiles,
         return result;
     }
 
+    if (platform.kind == PlatformKind::kPim) {
+        // The pooling ops run on the DPUs; everything else — data
+        // loading included (a PIM host loads inputs exactly like a
+        // plain CPU) — runs on the attached host CPU model.
+        std::vector<KernelProfile> host_profiles;
+        std::vector<KernelProfile> offload_profiles;
+        host_profiles.reserve(profiles.size());
+        for (const KernelProfile& kp : profiles) {
+            if (PimModel::offloadable(kp)) {
+                offload_profiles.push_back(kp);
+            } else {
+                host_profiles.push_back(kp);
+            }
+        }
+
+        CpuModel cpu(platform.pim.host, seed);
+        for (const KernelProfile& kp : host_profiles) {
+            (void)cpu.simulateKernel(kp);
+        }
+        const double hz = platform.pim.host.freqGHz * 1e9;
+        for (const KernelProfile& kp : host_profiles) {
+            const CpuCounters c = cpu.simulateKernel(kp);
+            result.breakdown.add(kp.opType, c.cycles / hz);
+            result.counters.accumulate(c);
+        }
+        result.topdown = deriveTopDown(result.counters, platform.pim.host);
+
+        PimModel pim(platform.pim);
+        result.pim = pim.simulateOffload(offload_profiles);
+        for (const PimOpTime& t : result.pim.opTimes) {
+            result.breakdown.add(t.opType, t.seconds);
+        }
+        result.seconds =
+            result.counters.cycles / hz + result.pim.offloadSeconds;
+        exportPimStats(result.pim);
+        return result;
+    }
+
     GpuModel gpu(platform.gpu);
     // The device does not run host-side data loading; inputs cross
     // PCIe instead.

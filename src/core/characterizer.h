@@ -18,6 +18,7 @@
 #include "gpu/gpu_model.h"
 #include "graph/compiled_net.h"
 #include "models/model.h"
+#include "pim/pim_model.h"
 #include "platform/platform.h"
 #include "store/embedding_store.h"
 #include "topdown/topdown.h"
@@ -44,13 +45,20 @@ struct RunResult {
 
     // GPU-only payloads.
     GpuRunResult gpu;
+
+    // PIM-only payloads (the offloaded share; the host share reuses
+    // the CPU counters/topdown above, since a PIM platform is a CPU
+    // whose pooling ops moved into memory).
+    PimRunResult pim;
 };
 
 /**
  * Simulate an explicit kernel-profile sequence on a platform —
  * the platform half of a characterization run, also used to replay
  * recorded traces. Profiles with opType "DataLoad" are host-side
- * work: simulated on CPUs, replaced by the PCIe transfer on GPUs.
+ * work: simulated on CPUs, replaced by the PCIe transfer on GPUs,
+ * and run on the host CPU of a PIM platform (which offloads only
+ * the embedding pooling ops to its DPU ranks).
  */
 RunResult simulateProfiles(const std::vector<KernelProfile>& profiles,
                            const Platform& platform, ModelId model,

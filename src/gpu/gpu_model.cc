@@ -98,15 +98,15 @@ GpuModel::simulateNet(const std::vector<KernelProfile>& kernels,
         r.kernelSeconds += t.seconds;
         r.opTimes.push_back(std::move(t));
     }
-    // A net with no input payload and no input blobs stages no
-    // cudaMemcpy at all: charging even one PCIe latency there (the old
-    // max(1, input_blobs)) skewed dataCommFraction for tiny nets. Any
+    // A net with no input payload stages no cudaMemcpy at all:
+    // charging PCIe latency there (the old max(1, input_blobs))
+    // skewed dataCommFraction for tiny nets. That includes the
+    // zero-bytes-with-declared-blobs corner — empty blobs are elided
+    // by the framework's staging, not copied one at a time. Any
     // nonzero payload still pays at least one per-copy latency, even
     // if the caller forgot to count blobs.
     const size_t copies =
-        (input_bytes == 0 && input_blobs == 0)
-            ? 0
-            : std::max<size_t>(1, input_blobs);
+        input_bytes == 0 ? 0 : std::max<size_t>(1, input_blobs);
     r.transferSeconds =
         cfg_.pcieLatencySec * static_cast<double>(copies) +
         static_cast<double>(input_bytes) / (cfg_.pcieGBs * 1e9);

@@ -1,6 +1,35 @@
 #include "platform/platform.h"
 
+#include <cstdlib>
+#include <string>
+
 namespace recstack {
+namespace {
+
+/** Positive numeric env override, or @c fallback when unset/invalid. */
+double
+envPositive(const char* name, double fallback)
+{
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') {
+        return fallback;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end == raw || v <= 0.0) {
+        return fallback;
+    }
+    return v;
+}
+
+int
+envPositiveInt(const char* name, int fallback)
+{
+    return static_cast<int>(
+        envPositive(name, static_cast<double>(fallback)));
+}
+
+}  // namespace
 
 CpuConfig
 broadwellConfig()
@@ -117,6 +146,27 @@ t4Config()
     return g;
 }
 
+PimConfig
+upmemPimConfig()
+{
+    PimConfig p;
+    p.ranks = envPositiveInt("RECSTACK_PIM_RANKS", p.ranks);
+    p.dpusPerRank =
+        envPositiveInt("RECSTACK_PIM_DPUS_PER_RANK", p.dpusPerRank);
+    p.taskletsPerDpu =
+        envPositiveInt("RECSTACK_PIM_TASKLETS", p.taskletsPerDpu);
+    p.rankInternalGBs =
+        envPositive("RECSTACK_PIM_RANK_GBS", p.rankInternalGBs);
+    p.xferGBs = envPositive("RECSTACK_PIM_XFER_GBS", p.xferGBs);
+    p.xferLatencySec =
+        envPositive("RECSTACK_PIM_XFER_LAT_US",
+                    p.xferLatencySec * 1e6) *
+        1e-6;
+    p.name = "UPMEM PIM (" + std::to_string(p.ranks) + " ranks)";
+    p.host = broadwellConfig();
+    return p;
+}
+
 Platform
 makeCpuPlatform(const CpuConfig& cfg)
 {
@@ -135,6 +185,15 @@ makeGpuPlatform(const GpuConfig& cfg)
     return p;
 }
 
+Platform
+makePimPlatform(const PimConfig& cfg)
+{
+    Platform p;
+    p.kind = PlatformKind::kPim;
+    p.pim = cfg;
+    return p;
+}
+
 std::vector<Platform>
 allPlatforms()
 {
@@ -142,6 +201,14 @@ allPlatforms()
             makeCpuPlatform(cascadeLakeConfig()),
             makeGpuPlatform(gtx1080TiConfig()),
             makeGpuPlatform(t4Config())};
+}
+
+std::vector<Platform>
+allPlatformsWithPim()
+{
+    std::vector<Platform> platforms = allPlatforms();
+    platforms.push_back(makePimPlatform(upmemPimConfig()));
+    return platforms;
 }
 
 }  // namespace recstack

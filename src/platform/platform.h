@@ -117,17 +117,64 @@ struct GpuConfig {
     double smallKernelFloorSec = 3.0e-6;
 };
 
-/** CPU or GPU wrapper used by sweep code. */
-enum class PlatformKind { kCpu, kGpu };
+/**
+ * An UPMEM-style processing-in-memory platform, modeled analytically
+ * (src/pim/pim_model.h). Embedding tables live row-partitioned across
+ * @c ranks DPU-populated memory ranks; the pooling kernels
+ * (SparseLengthsSum/-WeightedSum/-Mean) execute next to the rows on
+ * the DPUs, so only indices go up and pooled vectors come back over
+ * the (narrow) host<->DPU transfer path. Every other operator runs on
+ * the attached @c host CPU model — a PIM platform is a CPU whose
+ * sparse ops moved into memory, which is exactly why it helps
+ * SLS-dominated models and does nothing for FC-dominated ones.
+ */
+struct PimConfig {
+    std::string name = "UPMEM PIM (8 ranks)";
+    /// DPU-populated memory ranks the tables are partitioned across.
+    int ranks = 8;
+    /// DPUs per rank (UPMEM: 64 chips x 1 DPU per rank).
+    int dpusPerRank = 64;
+    /// Software threads per DPU. The DPU's in-order pipeline is only
+    /// full once ~pipelineFillTasklets are resident; more tasklets
+    /// add no bandwidth (they hide MRAM latency, already counted).
+    int taskletsPerDpu = 16;
+    int pipelineFillTasklets = 11;
+    /// Aggregate MRAM streaming bandwidth of one fully-pipelined rank
+    /// (dpusPerRank x ~0.6 GB/s per DPU).
+    double rankInternalGBs = 38.4;
+    /// Per-DPU WRAM scratchpad. Each active tasklet needs its row
+    /// buffer resident, so at most wramBytesPerDpu / rowBytes
+    /// tasklets can stream concurrently (the WRAM working-set
+    /// constraint).
+    uint64_t wramBytesPerDpu = 64 * 1024;
+    /// Host->DPU / DPU->host batched-copy bandwidth and per-transfer
+    /// launch latency (rank-level serial copies; far below DDR).
+    double xferGBs = 8.0;
+    double xferLatencySec = 20.0e-6;
+    /// Host-side framework dispatch per offloaded operator.
+    double hostDispatchSec = 3.0e-6;
+    /// CPU that runs the non-offloaded operators (FC, GRU, concat,
+    /// data loading).
+    CpuConfig host;
+};
+
+/** CPU, GPU or PIM wrapper used by sweep code. */
+enum class PlatformKind { kCpu, kGpu, kPim };
 
 struct Platform {
     PlatformKind kind;
     CpuConfig cpu;   ///< valid when kind == kCpu
     GpuConfig gpu;   ///< valid when kind == kGpu
+    PimConfig pim;   ///< valid when kind == kPim
 
     const std::string& name() const
     {
-        return kind == PlatformKind::kCpu ? cpu.name : gpu.name;
+        switch (kind) {
+          case PlatformKind::kCpu: return cpu.name;
+          case PlatformKind::kGpu: return gpu.name;
+          case PlatformKind::kPim: return pim.name;
+        }
+        return cpu.name;
     }
 };
 
@@ -137,11 +184,36 @@ CpuConfig cascadeLakeConfig();
 GpuConfig gtx1080TiConfig();
 GpuConfig t4Config();
 
+/**
+ * The UPMEM-style PIM instance (Broadwell host), with every knob
+ * overridable from the environment without a rebuild:
+ *
+ *   RECSTACK_PIM_RANKS          ranks
+ *   RECSTACK_PIM_DPUS_PER_RANK  dpusPerRank
+ *   RECSTACK_PIM_TASKLETS       taskletsPerDpu
+ *   RECSTACK_PIM_RANK_GBS       rankInternalGBs
+ *   RECSTACK_PIM_XFER_GBS       xferGBs
+ *   RECSTACK_PIM_XFER_LAT_US    xferLatencySec (microseconds)
+ *
+ * Values are read at call time (no caching), so tests and sweeps can
+ * setenv between calls. Invalid / non-positive values are ignored.
+ */
+PimConfig upmemPimConfig();
+
 /** All four platforms in the paper's order (BDW, CLX, 1080Ti, T4). */
 std::vector<Platform> allPlatforms();
 
+/**
+ * The paper's four platforms plus the PIM extension appended at
+ * index 4 (bench::kPim), so code indexing the paper platforms is
+ * unaffected. allPlatforms() stays the default everywhere golden
+ * numbers depend on the platform list.
+ */
+std::vector<Platform> allPlatformsWithPim();
+
 Platform makeCpuPlatform(const CpuConfig& cfg);
 Platform makeGpuPlatform(const GpuConfig& cfg);
+Platform makePimPlatform(const PimConfig& cfg);
 
 }  // namespace recstack
 

@@ -116,6 +116,20 @@ QueryScheduler::gpuThreshold(ModelId model) const
     return it == gpuThresholds_.end() ? kNoGpuThreshold : it->second;
 }
 
+void
+QueryScheduler::setPimThreshold(ModelId model, int64_t threshold)
+{
+    RECSTACK_CHECK(threshold > 0, "threshold must be positive");
+    pimThresholds_[model] = threshold;
+}
+
+int64_t
+QueryScheduler::pimThreshold(ModelId model) const
+{
+    const auto it = pimThresholds_.find(model);
+    return it == pimThresholds_.end() ? kNoPimThreshold : it->second;
+}
+
 ThroughputPoint
 QueryScheduler::bestThroughputUnderSla(ModelId model, double sla_seconds)
 {

@@ -139,10 +139,41 @@ class QueryScheduler
         return batch >= gpuThreshold(model);
     }
 
+    // ------------------------------------------------------------------
+    // PIM lane split: the same per-model threshold machinery for the
+    // near-memory platform (src/pim/). An SLS-heavy model's large
+    // batches amortize the host<->DPU transfer latency, so the tuner
+    // lowers its PIM threshold; FC-heavy models keep kNoPimThreshold.
+    // A batch that crosses both thresholds defers to the GPU lane
+    // (the engine checks routesToGpu first), so enabling PIM never
+    // steals traffic from an already-tuned GPU split.
+    // ------------------------------------------------------------------
+
+    /** Threshold meaning "never defer to the PIM lane" (default). */
+    static constexpr int64_t kNoPimThreshold =
+        std::numeric_limits<int64_t>::max();
+
+    /**
+     * Set the model's CPU/PIM split point: batches of size >=
+     * threshold defer to the PIM lane. Must be >= 1; a threshold of
+     * 1 routes every batch, kNoPimThreshold routes none.
+     */
+    void setPimThreshold(ModelId model, int64_t threshold);
+
+    /** The model's PIM split point (kNoPimThreshold when never set). */
+    int64_t pimThreshold(ModelId model) const;
+
+    /** True when a batch of this size defers to the PIM lane. */
+    bool routesToPim(ModelId model, int64_t batch) const
+    {
+        return batch >= pimThreshold(model);
+    }
+
   private:
     SweepCache* sweep_;
     std::vector<int64_t> batchGrid_;
     std::map<ModelId, int64_t> gpuThresholds_;
+    std::map<ModelId, int64_t> pimThresholds_;
 };
 
 }  // namespace recstack

@@ -16,9 +16,13 @@ GpuLane::GpuLane(QueryScheduler* scheduler, ModelId model,
     RECSTACK_CHECK(scheduler_ != nullptr, "lane needs a scheduler");
     RECSTACK_CHECK(gpu_platform < scheduler_->sweep()->platforms().size(),
                    "GPU platform index out of range");
-    RECSTACK_CHECK(scheduler_->sweep()->platforms()[gpu_platform].kind ==
-                       PlatformKind::kGpu,
-                   "lane platform must be a GPU");
+    // The same accumulation lane prices either accelerator: a GPU
+    // (heterogeneous serving) or the PIM DPU ranks (docs/pim.md).
+    const PlatformKind kind =
+        scheduler_->sweep()->platforms()[gpu_platform].kind;
+    RECSTACK_CHECK(kind == PlatformKind::kGpu ||
+                       kind == PlatformKind::kPim,
+                   "lane platform must be an accelerator (GPU or PIM)");
     RECSTACK_CHECK(cfg_.maxBatch > 0, "lane batch cap must be > 0");
     RECSTACK_CHECK(cfg_.maxWaitSeconds >= 0.0,
                    "lane window must be >= 0");

@@ -65,6 +65,8 @@ struct WorkerLocal {
     uint64_t cpuServicedBatches = 0;
     /// Batches handed over to the GPU lane (heterogeneous runs only).
     uint64_t deferredTickets = 0;
+    /// Batches handed over to the PIM lane (pimLaneEnabled runs only).
+    uint64_t pimDeferredTickets = 0;
 };
 
 }  // namespace
@@ -175,6 +177,27 @@ ServingNode::runImpl(const EngineConfig& config,
         handoff_seconds = std::max(1e-9, gpu.gpu.hostDispatchSec);
     }
 
+    // Near-memory lane (docs/pim.md): a second accumulation lane of
+    // the same GpuLane machinery — the lane prices batches through
+    // QueryScheduler::latency, which dispatches on the platform kind,
+    // so the only PIM-specific parts are the platform index and the
+    // hand-off cost. Built and prewarmed exactly like the GPU lane.
+    std::unique_ptr<GpuLane> pim_lane;
+    double pim_handoff_seconds = 0.0;
+    if (config.pimLaneEnabled) {
+        RECSTACK_CHECK(config.pimPlatformIdx < sweep->platforms().size(),
+                       "PIM platform index out of range");
+        const Platform& pim = sweep->platforms()[config.pimPlatformIdx];
+        RECSTACK_CHECK(pim.kind == PlatformKind::kPim,
+                       "PIM lane needs a kPim platform");
+        for (int64_t b : scheduler_->batchGrid()) {
+            scheduler_->latency(model_, config.pimPlatformIdx, b);
+        }
+        pim_lane = std::make_unique<GpuLane>(
+            scheduler_, model_, config.pimPlatformIdx, config.pimLane);
+        pim_handoff_seconds = std::max(1e-9, pim.pim.hostDispatchSec);
+    }
+
     // One parameter store for the whole node run: workers bind
     // against it instead of each materializing every table. Built
     // before the worker threads exist, like the compiled net.
@@ -230,13 +253,22 @@ ServingNode::runImpl(const EngineConfig& config,
             // virtual-time launch order (GpuLane's determinism
             // contract) — and cost the worker only the dispatch.
             bool deferred = false;
+            bool deferred_to_pim = false;
             const BatchQueue::ServiceFn service =
                 [&](const BatchTicket& ticket, int busy) {
                     if (lane != nullptr &&
                         scheduler_->routesToGpu(model_, ticket.size())) {
                         lane->submit(ticket, ticket.launchTime);
                         deferred = true;
+                        deferred_to_pim = false;
                         return handoff_seconds;
+                    }
+                    if (pim_lane != nullptr &&
+                        scheduler_->routesToPim(model_, ticket.size())) {
+                        pim_lane->submit(ticket, ticket.launchTime);
+                        deferred = true;
+                        deferred_to_pim = true;
+                        return pim_handoff_seconds;
                     }
                     deferred = false;
                     const double base = scheduler_->latency(
@@ -270,7 +302,11 @@ ServingNode::runImpl(const EngineConfig& config,
                     local.busySeconds += completion - ticket.launchTime;
                     local.lastCompletion =
                         std::max(local.lastCompletion, completion);
-                    ++local.deferredTickets;
+                    if (deferred_to_pim) {
+                        ++local.pimDeferredTickets;
+                    } else {
+                        ++local.deferredTickets;
+                    }
                     continue;
                 }
                 // Real execution of the served net on this worker's
@@ -320,6 +356,21 @@ ServingNode::runImpl(const EngineConfig& config,
             lat_hist.record(lat);
         }
     }
+    if (pim_lane != nullptr) {
+        // Same flush for the PIM lane: its tail feeds the one
+        // histogram the hill-climbing tuner reads, so the PIM
+        // threshold tunes against the same p99 SLA as the GPU split.
+        pim_lane->drain();
+        obs::LatencyHistogram& lat_hist = queryLatencyHistogram();
+        obs::Counter& queries = queriesCounter();
+        queries.add(pim_lane->samplesServed());
+        for (double lat : pim_lane->latencies()) {
+            lat_hist.record(lat);
+        }
+        obs::MetricsRegistry::global()
+            .counter("pim.lane_samples")
+            .add(pim_lane->samplesServed());
+    }
 
     double horizon = config.simSeconds;
     for (const WorkerLocal& local : locals) {
@@ -327,6 +378,9 @@ ServingNode::runImpl(const EngineConfig& config,
     }
     if (lane != nullptr) {
         horizon = std::max(horizon, lane->lastCompletion());
+    }
+    if (pim_lane != nullptr) {
+        horizon = std::max(horizon, pim_lane->lastCompletion());
     }
 
     EngineResult result;
@@ -360,6 +414,7 @@ ServingNode::runImpl(const EngineConfig& config,
         result.batchesExecuted += local.batchesServed;
         total_busy += local.busySeconds;
         result.deferredTickets += local.deferredTickets;
+        result.pimDeferredTickets += local.pimDeferredTickets;
     }
 
     if (lane != nullptr) {
@@ -391,16 +446,43 @@ ServingNode::runImpl(const EngineConfig& config,
         total_busy += lane->busySeconds();
     }
 
+    if (pim_lane != nullptr) {
+        result.pimEnabled = true;
+        result.pimThreshold = scheduler_->pimThreshold(model_);
+        ServingStats& p = result.pimLaneStats;
+        p.samplesArrived = pim_lane->samplesServed();
+        p.samplesServed = pim_lane->samplesServed();
+        p.batchesServed = pim_lane->batchesServed();
+        p.meanBatch =
+            p.batchesServed > 0
+                ? static_cast<double>(p.samplesServed) /
+                      static_cast<double>(p.batchesServed)
+                : 0.0;
+        p.utilization =
+            std::min(1.0, pim_lane->busySeconds() / horizon);
+        p.offeredLoad = pim_lane->busySeconds() / config.simSeconds;
+        p.throughputQps =
+            static_cast<double>(p.samplesServed) / horizon;
+        std::vector<double> pim_latencies = pim_lane->latencies();
+        all_latencies.insert(all_latencies.end(),
+                             pim_latencies.begin(),
+                             pim_latencies.end());
+        fillLatencyStats(pim_latencies, &p);
+
+        result.aggregate.samplesServed += p.samplesServed;
+        result.aggregate.batchesServed += p.batchesServed;
+        total_busy += pim_lane->busySeconds();
+    }
+
     result.aggregate.samplesArrived = queue.samplesArrived();
     result.aggregate.meanBatch =
         result.aggregate.batchesServed > 0
             ? static_cast<double>(result.aggregate.samplesServed) /
                   static_cast<double>(result.aggregate.batchesServed)
             : 0.0;
-    const double capacity =
-        lane != nullptr
-            ? static_cast<double>(config.numWorkers) + 1.0
-            : static_cast<double>(config.numWorkers);
+    const double capacity = static_cast<double>(config.numWorkers) +
+                            (lane != nullptr ? 1.0 : 0.0) +
+                            (pim_lane != nullptr ? 1.0 : 0.0);
     result.aggregate.utilization =
         std::min(1.0, total_busy / (capacity * horizon));
     result.aggregate.offeredLoad =

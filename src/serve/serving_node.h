@@ -92,6 +92,19 @@ struct EngineConfig {
     size_t gpuPlatformIdx = 3;
     /// Accumulation knobs of the GPU lane.
     GpuLaneConfig gpuLane;
+    /// Near-memory lane (docs/pim.md): batches at or above the
+    /// scheduler's per-model PIM threshold
+    /// (QueryScheduler::pimThreshold) defer to a second accumulation
+    /// lane priced by a kPim platform's characterization. Independent
+    /// of the GPU split (both lanes can be on; the GPU threshold is
+    /// checked first). Off by default: runs without the lane are
+    /// bit-identical to the pre-PIM engine.
+    bool pimLaneEnabled = false;
+    /// Index of a kPim platform in the scheduler's sweep (checked
+    /// when pimLaneEnabled is set).
+    size_t pimPlatformIdx = 4;
+    /// Accumulation knobs of the PIM lane.
+    GpuLaneConfig pimLane;
     /// Placement surcharge (docs/fleet.md): extra virtual seconds per
     /// sample added to every CPU-serviced batch's service time,
     /// pricing embedding rows this node must fetch from a peer
@@ -156,6 +169,17 @@ struct EngineResult {
     /// The per-model threshold the run routed with
     /// (QueryScheduler::kNoGpuThreshold when none was set).
     int64_t gpuThreshold = 0;
+    /// True when this run served through the PIM lane. The fields
+    /// below are only populated then; the aggregate's
+    /// utilization/offeredLoad count the lane as one more server.
+    bool pimEnabled = false;
+    /// The PIM lane's own serving view (mirror of gpuLaneStats).
+    ServingStats pimLaneStats;
+    /// Dynamic batches the CPU workers handed over to the PIM lane.
+    uint64_t pimDeferredTickets = 0;
+    /// The per-model PIM threshold the run routed with
+    /// (QueryScheduler::kNoPimThreshold when none was set).
+    int64_t pimThreshold = 0;
 };
 
 /** One inference machine: workers + batch queue + optional GPU lane. */

@@ -164,6 +164,12 @@ TEST(GpuModel, ZeroInputNetPaysNoTransfer)
     // if the caller forgot to count blobs.
     const GpuRunResult with_bytes = gpu.simulateNet({bigGemm()}, 4096, 0);
     EXPECT_GE(with_bytes.transferSeconds, cfg.pcieLatencySec);
+    // Regression: zero bytes spread over a nonzero blob count used to
+    // be charged input_blobs launch latencies for copies that move
+    // nothing. An empty payload is free regardless of blob count.
+    const GpuRunResult empty_blobs = gpu.simulateNet({bigGemm()}, 0, 7);
+    EXPECT_DOUBLE_EQ(empty_blobs.transferSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(empty_blobs.totalSeconds, empty_blobs.kernelSeconds);
 }
 
 TEST(GpuModel, DataCommFractionGrowsWithBytes)

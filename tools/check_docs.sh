@@ -15,7 +15,11 @@
 #      renamed or removed;
 #   4. every CLI subcommand the binary's usage() advertises is
 #      mentioned in README.md, so a new `recstack <cmd>` cannot ship
-#      undocumented.
+#      undocumented;
+#   5. every ctest label the docs tell the reader to run (`ctest -L
+#      foo`, `-L 'a|b'`) is actually assigned to some test in
+#      tests/CMakeLists.txt or tools/CMakeLists.txt, so a doc cannot
+#      recommend a label that selects nothing.
 #
 # Usage: tools/check_docs.sh   (run from anywhere; cds to repo root)
 set -euo pipefail
@@ -77,6 +81,26 @@ while IFS= read -r cmd; do
         err "CLI subcommand 'recstack ${cmd}' is not documented in README.md"
     fi
 done <<<"$cmds"
+
+# -- 5. ctest labels named in docs select real tests ---------------
+# Known labels: LABELS arguments of recstack_test() /
+# set_tests_properties() in the two test-defining CMakeLists, plus
+# `unit` (the recstack_test default) and `integration`.
+known_labels=$(
+    {
+        grep -hoE 'LABELS [a-z" ;|]+' tests/CMakeLists.txt \
+            tools/CMakeLists.txt | sed -E 's/^LABELS //'
+        echo "unit integration"
+    } | tr '";| ' '\n' | sort -u
+)
+doc_labels=$(grep -rhoE -- "-L '?[a-z|]+'?" README.md docs/*.md |
+    sed -E "s/^-L '?//; s/'$//" | tr '|' '\n' | sort -u)
+while IFS= read -r label; do
+    [ -z "$label" ] && continue
+    if ! grep -qxF "$label" <<<"$known_labels"; then
+        err "docs tell the reader to run ctest label '${label}', which no test carries"
+    fi
+done <<<"$doc_labels"
 
 if [ "$fail" -ne 0 ]; then
     exit 1

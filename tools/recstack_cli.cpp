@@ -12,6 +12,7 @@
  *   recstack store <MODEL> <BATCH> [--json]
  *   recstack obs <MODEL> <BATCH> [--trace out.json] [--metrics]
  *   recstack hetero <MODEL> [--json]
+ *   recstack pim <MODEL> <BATCH> [--json]
  *   recstack fleet <MODEL> [--nodes N] [--json]
  *   recstack record <MODEL> <BATCH> <FILE>
  *   recstack replay <FILE> [platform-substring]
@@ -33,6 +34,7 @@
 #include "models/store_binding.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "pim/pim_model.h"
 #include "obs/trace_export.h"
 #include "report/chart.h"
 #include "report/csv.h"
@@ -71,6 +73,8 @@ usage()
         "                                           + metrics snapshot\n"
         "  recstack hetero <MODEL> [--json]         tune the CPU/GPU "
         "routing threshold online\n"
+        "  recstack pim <MODEL> <BATCH> [--json]    near-memory offload "
+        "report + rank/tasklet sweep\n"
         "  recstack fleet <MODEL> [--nodes N] [--json]\n"
         "                                           simulate an M-node "
         "fleet: routing policies\n"
@@ -1011,6 +1015,173 @@ cmdHetero(const std::string& model_name, bool json)
 }
 
 /**
+ * Near-memory offload report (docs/pim.md): price one (model, batch)
+ * on Broadwell, the T4, and the UPMEM-style PIM platform, break the
+ * PIM time into host / dispatch / upload / DPU / download phases, and
+ * sweep rank count and tasklets-per-DPU. The host share is simulated
+ * once; sweep points re-price only the analytical offload, so the
+ * whole report costs three platform simulations.
+ */
+int
+cmdPim(const std::string& model_name, int64_t batch, bool json)
+{
+    const ModelId id = modelFromName(model_name);
+    Characterizer c;
+    uint64_t input_bytes = 0;
+    size_t input_blobs = 0;
+    const std::vector<KernelProfile> profiles =
+        c.profiles(id, batch, &input_bytes, &input_blobs);
+    std::vector<KernelProfile> offload;
+    for (const KernelProfile& kp : profiles) {
+        if (PimModel::offloadable(kp)) {
+            offload.push_back(kp);
+        }
+    }
+
+    const PimConfig base = upmemPimConfig();
+    const RunResult cpu = simulateProfiles(
+        profiles, makeCpuPlatform(broadwellConfig()), id, batch,
+        input_bytes, input_blobs);
+    const RunResult gpu = simulateProfiles(
+        profiles, makeGpuPlatform(t4Config()), id, batch, input_bytes,
+        input_blobs);
+    const RunResult pim = simulateProfiles(
+        profiles, makePimPlatform(base), id, batch, input_bytes,
+        input_blobs);
+    const double host_seconds = pim.seconds - pim.pim.offloadSeconds;
+
+    const std::vector<int> rank_points = {1, 2, 4, 8, 16, 32, 64};
+    const std::vector<int> tasklet_points = {1, 2, 4, 8, 11, 16, 24};
+    struct SweepRow {
+        int value;
+        PimRunResult r;
+    };
+    std::vector<SweepRow> rank_rows;
+    for (int ranks : rank_points) {
+        PimConfig cfg = base;
+        cfg.ranks = ranks;
+        PimModel m(cfg);
+        rank_rows.push_back({ranks, m.simulateOffload(offload)});
+    }
+    std::vector<SweepRow> tasklet_rows;
+    for (int tasklets : tasklet_points) {
+        PimConfig cfg = base;
+        cfg.taskletsPerDpu = tasklets;
+        PimModel m(cfg);
+        tasklet_rows.push_back({tasklets, m.simulateOffload(offload)});
+    }
+
+    if (json) {
+        std::printf("{\n  \"model\": \"%s\",\n", modelName(id));
+        std::printf("  \"batch\": %lld,\n",
+                    static_cast<long long>(batch));
+        std::printf("  \"ranks\": %d,\n", base.ranks);
+        std::printf("  \"cpuSeconds\": %.6e,\n", cpu.seconds);
+        std::printf("  \"gpuSeconds\": %.6e,\n", gpu.seconds);
+        std::printf("  \"pimSeconds\": %.6e,\n", pim.seconds);
+        std::printf("  \"pimHostSeconds\": %.6e,\n", host_seconds);
+        std::printf("  \"pimOffloadSeconds\": %.6e,\n",
+                    pim.pim.offloadSeconds);
+        std::printf("  \"pimUploadSeconds\": %.6e,\n",
+                    pim.pim.uploadSeconds);
+        std::printf("  \"pimDpuSeconds\": %.6e,\n", pim.pim.dpuSeconds);
+        std::printf("  \"pimDownloadSeconds\": %.6e,\n",
+                    pim.pim.downloadSeconds);
+        std::printf("  \"offloadedOps\": %llu,\n",
+                    static_cast<unsigned long long>(
+                        pim.pim.offloadedOps));
+        std::printf("  \"offloadedLookups\": %llu,\n",
+                    static_cast<unsigned long long>(pim.pim.lookups));
+        std::printf("  \"speedupVsCpu\": %.3f,\n",
+                    pim.seconds > 0.0 ? cpu.seconds / pim.seconds : 0.0);
+        std::printf("  \"rankSweep\": [\n");
+        for (size_t i = 0; i < rank_rows.size(); ++i) {
+            const SweepRow& row = rank_rows[i];
+            std::printf("    {\"ranks\": %d, \"seconds\": %.6e, "
+                        "\"transferFraction\": %.4f}%s\n",
+                        row.value, host_seconds + row.r.offloadSeconds,
+                        row.r.transferFraction(),
+                        i + 1 < rank_rows.size() ? "," : "");
+        }
+        std::printf("  ],\n  \"taskletSweep\": [\n");
+        for (size_t i = 0; i < tasklet_rows.size(); ++i) {
+            const SweepRow& row = tasklet_rows[i];
+            std::printf("    {\"tasklets\": %d, \"seconds\": %.6e}%s\n",
+                        row.value,
+                        host_seconds + row.r.offloadSeconds,
+                        i + 1 < tasklet_rows.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
+
+    std::printf("%s batch %lld on the three platforms:\n", modelName(id),
+                static_cast<long long>(batch));
+    TextTable platforms({"platform", "latency", "speedup vs BDW",
+                         "dominant op"});
+    platforms.addRow({cpu.platformName,
+                      TextTable::fmtSeconds(cpu.seconds), "1.00x",
+                      cpu.breakdown.dominantType()});
+    platforms.addRow({gpu.platformName,
+                      TextTable::fmtSeconds(gpu.seconds),
+                      TextTable::fmtSpeedup(cpu.seconds / gpu.seconds),
+                      gpu.breakdown.dominantType()});
+    platforms.addRow({pim.platformName,
+                      TextTable::fmtSeconds(pim.seconds),
+                      TextTable::fmtSpeedup(cpu.seconds / pim.seconds),
+                      pim.breakdown.dominantType()});
+    std::printf("%s\n", platforms.render().c_str());
+
+    std::printf("PIM phase split (%llu offloaded ops, %llu lookups):\n",
+                static_cast<unsigned long long>(pim.pim.offloadedOps),
+                static_cast<unsigned long long>(pim.pim.lookups));
+    TextTable phases({"phase", "seconds", "share"});
+    const auto share = [&](double s) {
+        return TextTable::fmtPercent(
+            pim.seconds > 0.0 ? s / pim.seconds : 0.0);
+    };
+    phases.addRow({"host (FC/GRU/dataload)",
+                   TextTable::fmtSeconds(host_seconds),
+                   share(host_seconds)});
+    phases.addRow({"dispatch",
+                   TextTable::fmtSeconds(pim.pim.dispatchSeconds),
+                   share(pim.pim.dispatchSeconds)});
+    phases.addRow({"index upload",
+                   TextTable::fmtSeconds(pim.pim.uploadSeconds),
+                   share(pim.pim.uploadSeconds)});
+    phases.addRow({"DPU pooling",
+                   TextTable::fmtSeconds(pim.pim.dpuSeconds),
+                   share(pim.pim.dpuSeconds)});
+    phases.addRow({"result download",
+                   TextTable::fmtSeconds(pim.pim.downloadSeconds),
+                   share(pim.pim.downloadSeconds)});
+    std::printf("%s\n", phases.render().c_str());
+
+    std::printf("rank sweep (tasklets/DPU = %d):\n", base.taskletsPerDpu);
+    TextTable ranks({"ranks", "latency", "speedup vs BDW",
+                     "transfer share"});
+    for (const SweepRow& row : rank_rows) {
+        const double total = host_seconds + row.r.offloadSeconds;
+        ranks.addRow({std::to_string(row.value),
+                      TextTable::fmtSeconds(total),
+                      TextTable::fmtSpeedup(cpu.seconds / total),
+                      TextTable::fmtPercent(row.r.transferFraction())});
+    }
+    std::printf("%s\n", ranks.render().c_str());
+
+    std::printf("tasklet sweep (ranks = %d):\n", base.ranks);
+    TextTable tasklets({"tasklets/DPU", "latency", "speedup vs BDW"});
+    for (const SweepRow& row : tasklet_rows) {
+        const double total = host_seconds + row.r.offloadSeconds;
+        tasklets.addRow({std::to_string(row.value),
+                         TextTable::fmtSeconds(total),
+                         TextTable::fmtSpeedup(cpu.seconds / total)});
+    }
+    std::printf("%s", tasklets.render().c_str());
+    return 0;
+}
+
+/**
  * Cluster-scale serving demo: route a diurnally modulated, Zipf-skewed
  * query stream across an M-node fleet under each routing policy, then
  * let the autoscaler walk the fleet size against a p99 SLA read from
@@ -1225,6 +1396,10 @@ main(int argc, char** argv)
     if (cmd == "hetero" && argc >= 3) {
         const bool json = argc > 3 && std::strcmp(argv[3], "--json") == 0;
         return cmdHetero(argv[2], json);
+    }
+    if (cmd == "pim" && argc >= 4) {
+        const bool json = argc > 4 && std::strcmp(argv[4], "--json") == 0;
+        return cmdPim(argv[2], std::atoll(argv[3]), json);
     }
     if (cmd == "fleet" && argc >= 3) {
         int nodes = 4;

@@ -2,11 +2,11 @@
 # Sanitizer passes over the suites that can hide memory/concurrency
 # bugs from the default build:
 #
-#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|disk|serving|obs|sched|simd|fleet'`:
+#   tsan  — RECSTACK_SANITIZE=thread build, `ctest -L 'sanitize|store|disk|serving|obs|sched|simd|fleet|pim'`:
 #           the concurrency suites (thread pool, serving engine,
 #           parallel kernels, plan-vs-interpreted equivalence, the
 #           sharded embedding store's lock/prefetch machinery).
-#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|disk|serving|obs|sched|simd|fleet'`:
+#   asan  — RECSTACK_SANITIZE=address build, `ctest -L 'plan|store|disk|serving|obs|sched|simd|fleet|pim'`:
 #           the compiled-net planner/arena suites plus the embedding
 #           store. Arena aliasing assigns overlapping
 #           [offset, offset+bytes) ranges to blobs with disjoint
@@ -41,6 +41,12 @@
 # per-node histogram merge folds atomics written by those workers, so
 # both sanitizers rerun them.
 #
+# The `pim` label covers the near-memory offload suites: the PIM
+# serving lane is the same batch-queue-driven accumulation lane as
+# the GPU one, submitted to from every worker thread and drained at
+# shutdown, so its routing and conservation tests run under both
+# sanitizers alongside the analytical-model invariants.
+#
 # The `disk` label covers the persistent far-tier suites: DiskTier
 # hands out payloads copied from a shared page buffer pool under its
 # own mutex while the promotion loop runs on the prefetch thread
@@ -70,11 +76,11 @@ run_pass() {
 }
 
 case "${mode}" in
-    tsan) run_pass thread build-tsan 'sanitize|store|disk|serving|obs|sched|simd|fleet' ;;
-    asan) run_pass address build-asan 'plan|store|disk|serving|obs|sched|simd|fleet' ;;
+    tsan) run_pass thread build-tsan 'sanitize|store|disk|serving|obs|sched|simd|fleet|pim' ;;
+    asan) run_pass address build-asan 'plan|store|disk|serving|obs|sched|simd|fleet|pim' ;;
     all)
-        run_pass address build-asan 'plan|store|disk|serving|obs|sched|simd|fleet'
-        run_pass thread build-tsan 'sanitize|store|disk|serving|obs|sched|simd|fleet'
+        run_pass address build-asan 'plan|store|disk|serving|obs|sched|simd|fleet|pim'
+        run_pass thread build-tsan 'sanitize|store|disk|serving|obs|sched|simd|fleet|pim'
         ;;
     *)
         echo "usage: $0 [tsan|asan|all]" >&2
